@@ -1,0 +1,618 @@
+package cnfetdk_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section III Table 1, Section V case studies 1-2, Figs 2-9).
+// Each benchmark prints a paper-vs-measured comparison once (b.Logf, shown
+// with -v) and exports its headline numbers as custom benchmark metrics so
+// plain `go test -bench=.` output records them.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/gdsii"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/immunity"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/liberty"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/report"
+	"cnfetdk/internal/route"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/sta"
+	"cnfetdk/internal/synth"
+)
+
+var (
+	kitOnce sync.Once
+	kitVal  *flow.Kit
+	kitErr  error
+)
+
+func kit(b *testing.B) *flow.Kit {
+	b.Helper()
+	kitOnce.Do(func() { kitVal, kitErr = flow.NewKit() })
+	if kitErr != nil {
+		b.Fatal(kitErr)
+	}
+	return kitVal
+}
+
+func mustGate(b *testing.B, f string) *network.Gate {
+	b.Helper()
+	g, err := network.NewGate(f, logic.MustParse(f), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func genCell(b *testing.B, f string, style layout.Style, w int) *layout.Cell {
+	b.Helper()
+	c, err := layout.Generate(f, mustGate(b, f), style, geom.Lambda(w), rules.Default65nm(rules.CNFET))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTable1AreaComparison regenerates Table 1: area saving of the
+// compact layouts over the etched-region layouts of ref [6].
+func BenchmarkTable1AreaComparison(b *testing.B) {
+	cells := []struct {
+		name, f string
+		paper   [4]float64 // paper's percentages at 3/4/6/10λ
+	}{
+		{"Inverter", "A", [4]float64{0, 0, 0, 0}},
+		{"NAND2", "AB", [4]float64{17.18, 14.52, 11.67, 9.25}},
+		{"NAND3", "ABC", [4]float64{19.64, 16.67, 13.45, 10.71}},
+		{"AOI22", "AB+CD", [4]float64{32.2, 27.7, 22.5, 14.9}},
+		{"AOI21", "AB+C", [4]float64{44.3, 40.6, 36.4, 32.5}},
+	}
+	sizes := []int{3, 4, 6, 10}
+	var nand3at4 float64
+	for i := 0; i < b.N; i++ {
+		tab := &report.Table{
+			Title:   "Table 1 (measured% / paper%)",
+			Headers: []string{"Cell", "3λ", "4λ", "6λ", "10λ"},
+		}
+		for _, c := range cells {
+			row := []string{c.name}
+			for k, w := range sizes {
+				oldA := genCell(b, c.f, layout.StyleEtched, w).NetworksArea()
+				newA := genCell(b, c.f, layout.StyleCompact, w).NetworksArea()
+				saving := 100 * (1 - newA/oldA)
+				if c.name == "NAND3" && w == 4 {
+					nand3at4 = saving
+				}
+				row = append(row, fmt.Sprintf("%.1f/%.1f", saving, c.paper[k]))
+			}
+			tab.AddRow(row...)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.String())
+		}
+	}
+	b.ReportMetric(nand3at4, "NAND3@4λ-%")
+}
+
+// BenchmarkFig2Immunity reproduces the vulnerable-vs-immune comparison:
+// Monte Carlo failure rate of the conventional NAND2 layout against the
+// certified-immune compact layout.
+func BenchmarkFig2Immunity(b *testing.B) {
+	vuln := genCell(b, "AB", layout.StyleVulnerable, 4)
+	comp := genCell(b, "AB", layout.StyleCompact, 4)
+	var failRate float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		vc := immunity.NewChecker(vuln.PUN, vuln.Gate.PUN, vuln.Gate.Inputs)
+		cc := immunity.NewChecker(comp.PUN, comp.Gate.PUN, comp.Gate.Inputs)
+		vr := vc.MonteCarlo(2000, 15, rng)
+		cr := cc.MonteCarlo(2000, 15, rand.New(rand.NewSource(42)))
+		failRate = vr.FailureRate()
+		if i == 0 {
+			b.Logf("vulnerable NAND2 PUN fail rate %.2f%%; compact %.2f%% (paper: immune = 0)",
+				100*vr.FailureRate(), 100*cr.FailureRate())
+		}
+		if cr.BadTubes != 0 {
+			b.Fatal("compact layout must be immune")
+		}
+	}
+	b.ReportMetric(100*failRate, "vulnerable-fail-%")
+}
+
+// BenchmarkFig3NAND3 regenerates the Fig 3 comparison: NAND3 etched vs
+// compact, both immune, 16.67% smaller at 4λ.
+func BenchmarkFig3NAND3(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		etched := genCell(b, "ABC", layout.StyleEtched, 4)
+		compact := genCell(b, "ABC", layout.StyleCompact, 4)
+		saving = 100 * (1 - compact.NetworksArea()/etched.NetworksArea())
+		if i == 0 {
+			p1, d1 := immunity.VerifyImmunity(etched)
+			p2, d2 := immunity.VerifyImmunity(compact)
+			b.Logf("etched %d etches %d vias, compact %d etches %d vias; both immune=%v; saving %.2f%% (paper 16.67%%)",
+				len(etched.PUN.Etches()), etched.ViasOnGate(),
+				len(compact.PUN.Etches()), compact.ViasOnGate(),
+				p1.Immune() && d1.Immune() && p2.Immune() && d2.Immune(), saving)
+		}
+	}
+	b.ReportMetric(saving, "saving-%")
+}
+
+// BenchmarkFig4AOI31 regenerates the generalized SOP/POS example: the
+// AOI31 (ABC+D)' basic layout with its intermediate-contact PUN and the
+// symmetric width assignment (PDN chain 3x, PUN 2x).
+func BenchmarkFig4AOI31(b *testing.B) {
+	var contacts float64
+	for i := 0; i < b.N; i++ {
+		c := genCell(b, "ABC+D", layout.StyleCompact, 4)
+		pun, pdn := immunity.VerifyImmunity(c)
+		if !pun.Immune() || !pdn.Immune() {
+			b.Fatal("AOI31 compact layout must be immune")
+		}
+		contacts = float64(len(c.PUN.Contacts()))
+		if i == 0 {
+			widths := map[string]float64{}
+			for _, d := range c.Gate.PDN.Devices {
+				widths["PDN:"+d.Gate] = d.Width
+			}
+			for _, d := range c.Gate.PUN.Devices {
+				widths["PUN:"+d.Gate] = d.Width
+			}
+			b.Logf("AOI31: PUN %d contacts (intermediate m contacts for the product-of-sums), widths %v (paper: chain 3x, PUN 2x)",
+				len(c.PUN.Contacts()), widths)
+		}
+	}
+	b.ReportMetric(contacts, "pun-contacts")
+}
+
+// BenchmarkFig6Schemes assembles the NAND2 standard cell both ways and
+// reports the scheme heights (scheme 2 collapses the cell height).
+func BenchmarkFig6Schemes(b *testing.B) {
+	var h1, h2 float64
+	for i := 0; i < b.N; i++ {
+		c := genCell(b, "AB", layout.StyleCompact, 4)
+		s1 := c.Assemble(layout.Scheme1)
+		s2 := c.Assemble(layout.Scheme2)
+		h1, h2 = s1.Height.Lambdas(), s2.Height.Lambdas()
+		if i == 0 {
+			b.Logf("NAND2 scheme1 %vλ x %vλ, scheme2 %vλ x %vλ",
+				s1.Width.Lambdas(), h1, s2.Width.Lambdas(), h2)
+		}
+	}
+	b.ReportMetric(h1/h2, "height-ratio")
+}
+
+// BenchmarkFig7FO4Sweep regenerates the Fig 7 series (delay gain vs CNT
+// count) with the calibrated model and reports the optimum.
+func BenchmarkFig7FO4Sweep(b *testing.B) {
+	p := device.DefaultFO4()
+	var peak float64
+	var optPitch float64
+	for i := 0; i < b.N; i++ {
+		opt := p.OptimalN(60)
+		peak = p.DelayGain(opt)
+		optPitch = device.Pitch(opt)
+		if i == 0 {
+			var s report.Series
+			for n := 1; n <= 40; n++ {
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, p.DelayGain(n))
+			}
+			var buf bytes.Buffer
+			s.Name = "FO4 delay gain vs tubes"
+			report.ASCIIPlot(&buf, s, 64, 12)
+			b.Logf("\n%s\npeak %.2fx at pitch %.2fnm (paper: 4.2x at 5nm)", buf.String(), peak, optPitch)
+		}
+	}
+	b.ReportMetric(peak, "peak-delay-gain")
+	b.ReportMetric(optPitch, "optimal-pitch-nm")
+}
+
+// BenchmarkCase1Inverter regenerates the case study 1 numbers: single-tube
+// gains, optimum gains, pitch band and inverter area gain vs width.
+func BenchmarkCase1Inverter(b *testing.B) {
+	p := device.DefaultFO4()
+	k := kit(b)
+	var d1, e1, dOpt, eOpt, area float64
+	for i := 0; i < b.N; i++ {
+		d1, e1 = p.DelayGain(1), p.EnergyGain(1)
+		opt := p.OptimalN(60)
+		dOpt, eOpt = p.DelayGain(opt), p.EnergyGain(26)
+		var err error
+		area, err = k.CellAreaGain(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("1 tube: %.2fx delay %.2fx energy (paper 2.75/6.3); optimum: %.2fx/%.2fx (paper 4.2/2.0); area gain %.2fx @4λ (paper 1.4)",
+				d1, e1, dOpt, eOpt, area)
+		}
+	}
+	b.ReportMetric(d1, "delay-gain-1tube")
+	b.ReportMetric(e1, "energy-gain-1tube")
+	b.ReportMetric(dOpt, "delay-gain-opt")
+	b.ReportMetric(eOpt, "energy-gain-5nm")
+	b.ReportMetric(area, "inv-area-gain")
+}
+
+// BenchmarkCase2FullAdder runs the full case study 2 (placement + spice).
+func BenchmarkCase2FullAdder(b *testing.B) {
+	k := kit(b)
+	var res *flow.FullAdderResult
+	for i := 0; i < b.N; i++ {
+		r, err := k.RunFullAdder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		if i == 0 {
+			b.Logf("delay %.2fx (paper ~3.5), energy %.2fx (paper ~1.5), area s1 %.2fx (paper ~1.4) s2 %.2fx (paper ~1.6)",
+				r.DelayGain(), r.EnergyGain(), r.AreaGainS1(), r.AreaGainS2())
+		}
+	}
+	b.ReportMetric(res.DelayGain(), "delay-gain")
+	b.ReportMetric(res.EnergyGain(), "energy-gain")
+	b.ReportMetric(res.AreaGainS1(), "area-gain-s1")
+	b.ReportMetric(res.AreaGainS2(), "area-gain-s2")
+}
+
+// BenchmarkFig8Placement reports the utilization story behind Fig 8:
+// normalized scheme-1 rows vs natural-height scheme-2 shelves.
+func BenchmarkFig8Placement(b *testing.B) {
+	k := kit(b)
+	nl := synth.FullAdder()
+	var u1, u2 float64
+	for i := 0; i < b.N; i++ {
+		p1, err := place.Rows(k.CNFET, nl, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, err := place.Shelves(k.CNFET, nl, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u1, u2 = p1.Utilization(), p2.Utilization()
+		if i == 0 {
+			b.Logf("scheme1 rows: %.0fλ² util %.2f; scheme2 shelves: %.0fλ² util %.2f",
+				p1.Area(), u1, p2.Area(), u2)
+		}
+	}
+	b.ReportMetric(u1, "util-s1")
+	b.ReportMetric(u2, "util-s2")
+}
+
+// BenchmarkFig9GDS streams the scheme-2 full adder to GDSII and reads it
+// back (the paper's Fig 9 layout snapshot as a byte stream).
+func BenchmarkFig9GDS(b *testing.B) {
+	k := kit(b)
+	nl := synth.FullAdder()
+	p2, err := place.Shelves(k.CNFET, nl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var size int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := flow.WritePlacementGDS(&buf, k.CNFET, p2, "FULLADDER_S2"); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+		lib, err := gdsii.Read(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lib.Find("FULLADDER_S2") == nil {
+			b.Fatal("round trip lost the top cell")
+		}
+	}
+	b.ReportMetric(float64(size), "gds-bytes")
+}
+
+// BenchmarkHeadlineGains reports the abstract's headline numbers: EDP gain
+// above 8 at the optimum (>10 across the sweep) and EDAP ~12x.
+func BenchmarkHeadlineGains(b *testing.B) {
+	p := device.DefaultFO4()
+	k := kit(b)
+	var edp, edap float64
+	for i := 0; i < b.N; i++ {
+		opt := p.OptimalN(60)
+		areaGain, err := k.CellAreaGain(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edp = p.EDPGain(opt)
+		edap = edp * areaGain
+		if i == 0 {
+			b.Logf("inverter EDP gain %.1fx at optimum (paper >8-10x), EDAP %.1fx (paper ~12x)", edp, edap)
+		}
+	}
+	b.ReportMetric(edp, "edp-gain")
+	b.ReportMetric(edap, "edap-gain")
+}
+
+// BenchmarkAblationScreening shows the paper's claim that the optimal
+// pitch is a technology parameter: sweeping the screening scale moves the
+// optimum (their 65nm low-k/poly: 5nm; Deng's 32nm high-k: 4nm).
+func BenchmarkAblationScreening(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		base := device.DefaultFO4()
+		pitches := []float64{}
+		for _, scale := range []float64{0.6, 1.0, 1.6} {
+			p := base
+			p.Screen.PitchScaleNM = base.Screen.PitchScaleNM * scale
+			pitches = append(pitches, p.OptimalPitchNM(60))
+		}
+		spread = pitches[2] - pitches[0]
+		if i == 0 {
+			b.Logf("optimal pitch vs screening scale {0.6,1.0,1.6}: %.2f / %.2f / %.2f nm", pitches[0], pitches[1], pitches[2])
+		}
+		if spread <= 0 {
+			b.Fatal("stronger screening must move the optimum to sparser pitch")
+		}
+	}
+	b.ReportMetric(spread, "pitch-spread-nm")
+}
+
+// BenchmarkAblationVerticalGating quantifies the manufacturability cost
+// the compact layouts remove: vias-on-gate across the Table 1 cells.
+func BenchmarkAblationVerticalGating(b *testing.B) {
+	var viasOld, viasNew float64
+	for i := 0; i < b.N; i++ {
+		viasOld, viasNew = 0, 0
+		for _, f := range []string{"AB", "ABC", "AB+C", "AB+CD", "ABC+D"} {
+			viasOld += float64(genCell(b, f, layout.StyleEtched, 4).ViasOnGate())
+			viasNew += float64(genCell(b, f, layout.StyleCompact, 4).ViasOnGate())
+		}
+		if i == 0 {
+			b.Logf("vias-on-gate across 5 cells: etched %c%.0f, compact %.0f", '~', viasOld, viasNew)
+		}
+		if viasNew != 0 {
+			b.Fatal("compact layouts must not need vertical gating")
+		}
+	}
+	b.ReportMetric(viasOld, "etched-vias")
+}
+
+// BenchmarkMonteCarloThroughput measures the immunity checker itself —
+// tubes verified per second on the NAND3 compact cell.
+func BenchmarkMonteCarloThroughput(b *testing.B) {
+	c := genCell(b, "ABC", layout.StyleCompact, 4)
+	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := ch.MonteCarlo(1000, 15, rng)
+		if !rep.Immune() {
+			b.Fatal("NAND3 compact must be immune")
+		}
+	}
+	b.ReportMetric(1000, "tubes/op")
+}
+
+// BenchmarkFunctionalYield measures the full-cell yield analysis used in
+// the Fig 2 experiment.
+func BenchmarkFunctionalYield(b *testing.B) {
+	c := genCell(b, "AB", layout.StyleCompact, 6)
+	cc := immunity.NewCellChecker(c)
+	params := cnt.DefaultParams()
+	params.MisalignedFrac = 0.25
+	params.PitchNM = 20
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	var y float64
+	for i := 0; i < b.N; i++ {
+		y = cc.FunctionalYield(10, params, rng)
+		if y != 1 {
+			b.Fatal("compact NAND2 yield must be 1.0")
+		}
+	}
+	b.ReportMetric(y, "yield")
+}
+
+// BenchmarkScalingRippleCarry extends case study 2 to multi-bit adders:
+// the scheme-2 packing advantage persists (and grows slightly) as the
+// design scales to many minimum-to-medium cells — the regime the paper
+// says scheme 2 targets.
+func BenchmarkScalingRippleCarry(b *testing.B) {
+	k := kit(b)
+	var gain2, gain4 float64
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{2, 4} {
+			nl := synth.RippleCarryAdder(bits)
+			cm, err := place.Rows(k.CMOS, nl, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s2, err := place.Shelves(k.CNFET, nl, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := cm.Area() / s2.Area()
+			if bits == 2 {
+				gain2 = g
+			} else {
+				gain4 = g
+			}
+			if i == 0 {
+				b.Logf("rca%d: %d cells, CMOS %.0fλ² vs scheme2 %.0fλ² -> %.2fx",
+					bits, len(nl.Instances), cm.Area(), s2.Area(), g)
+			}
+		}
+	}
+	b.ReportMetric(gain2, "rca2-area-gain")
+	b.ReportMetric(gain4, "rca4-area-gain")
+}
+
+// BenchmarkExtensionMetallicYield probes the assumption the paper defers
+// to manufacturing (Section II): residual metallic tubes short gates
+// regardless of layout style, so functional yield collapses as the
+// metallic fraction grows — quantifying why removal must happen upstream.
+func BenchmarkExtensionMetallicYield(b *testing.B) {
+	c := genCell(b, "AB", layout.StyleCompact, 6)
+	cc := immunity.NewCellChecker(c)
+	var y0, y20 float64
+	for i := 0; i < b.N; i++ {
+		params := cnt.DefaultParams()
+		params.PitchNM = 20
+		params.MisalignedFrac = 0
+		params.MetallicFrac = 0
+		y0 = cc.FunctionalYield(40, params, rand.New(rand.NewSource(5)))
+		params.MetallicFrac = 0.20
+		y20 = cc.FunctionalYield(40, params, rand.New(rand.NewSource(5)))
+		if i == 0 {
+			b.Logf("functional yield: 0%% metallic %.0f%%, 20%% metallic %.0f%% (immune layouts cannot fix metallic shorts)",
+				100*y0, 100*y20)
+		}
+	}
+	if y0 != 1 {
+		b.Fatal("clean population must yield 1.0")
+	}
+	if y20 >= y0 {
+		b.Fatal("metallic tubes must hurt yield")
+	}
+	b.ReportMetric(100*y20, "yield-at-20%-metallic")
+}
+
+// BenchmarkSTAFullAdder times the static-timing path of the kit: NLDM
+// characterization reuse + graph traversal, versus the full transient.
+func BenchmarkSTAFullAdder(b *testing.B) {
+	k := kit(b)
+	nl := synth.FullAdder()
+	used := map[string]bool{}
+	for _, inst := range nl.Instances {
+		used[inst.Cell] = true
+	}
+	m, err := liberty.Characterize(k.CNFET, nil, func(n string) bool { return used[n] })
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := place.Shelves(k.CNFET, nl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire := flow.WireCaps(p2, nl, k.CNFET.Rules.LambdaNM)
+	b.ResetTimer()
+	var arrival float64
+	for i := 0; i < b.N; i++ {
+		res, err := sta.Analyze(nl, m, wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrival = res.MaxArrival()
+	}
+	b.ReportMetric(arrival*1e12, "critical-path-ps")
+}
+
+// BenchmarkRoutingSchemes quantifies the routing-complexity trade the
+// paper flags for scheme 2 ("needs new placement tools taking into
+// account IR drops and routing complexity"): the scheme-2 full adder is
+// smaller but needs more wire and vias than the CMOS-like scheme 1.
+func BenchmarkRoutingSchemes(b *testing.B) {
+	k := kit(b)
+	nl := synth.FullAdder()
+	var wl1, wl2 float64
+	var vias1, vias2 int
+	for i := 0; i < b.N; i++ {
+		p1, err := place.Rows(k.CNFET, nl, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, err := place.Shelves(k.CNFET, nl, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := route.Route(p1, nl, route.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := route.Route(p2, nl, route.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl1, wl2 = r1.TotalWirelenLambda, r2.TotalWirelenLambda
+		vias1, vias2 = r1.Vias, r2.Vias
+		if i == 0 {
+			b.Logf("scheme1: %.0fλ wire %d vias overflow %d; scheme2: %.0fλ wire %d vias overflow %d",
+				wl1, vias1, r1.OverflowEdges, wl2, vias2, r2.OverflowEdges)
+		}
+	}
+	b.ReportMetric(wl1, "s1-wirelen-λ")
+	b.ReportMetric(wl2, "s2-wirelen-λ")
+	b.ReportMetric(float64(vias2-vias1), "extra-vias-s2")
+}
+
+// BenchmarkMixedSchemePlacement evaluates the paper's concluding idea: a
+// per-cell combination of scheme 1 and scheme 2.
+func BenchmarkMixedSchemePlacement(b *testing.B) {
+	k := kit(b)
+	nl := synth.FullAdder()
+	var aMixed, aS2 float64
+	for i := 0; i < b.N; i++ {
+		p2, err := place.Shelves(k.CNFET, nl, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, err := place.Mixed(k.CNFET, nl, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aMixed, aS2 = pm.Area(), p2.Area()
+		if i == 0 {
+			b.Logf("scheme2 %.0fλ² vs mixed %.0fλ² (%.1f%% delta)",
+				aS2, aMixed, 100*(1-aMixed/aS2))
+		}
+	}
+	b.ReportMetric(aS2/aMixed, "mixed-vs-s2")
+}
+
+// BenchmarkAngleSensitivity sweeps the misalignment-angle bound for the
+// vulnerable NAND2. Counter-intuitively, *small* angle bounds are the most
+// dangerous for this geometry: a nearly-horizontal tube that enters the
+// doped inter-strip band rides inside it all the way from the VDD column
+// to the OUT column, while steeper tubes tend to exit the band and hit a
+// gate or leave the active region. The compact layout stays at zero for
+// every bound — its immunity is unconditional, not a small-angle artifact.
+func BenchmarkAngleSensitivity(b *testing.B) {
+	vuln := genCell(b, "AB", layout.StyleVulnerable, 4)
+	comp := genCell(b, "AB", layout.StyleCompact, 4)
+	var at5, at25 float64
+	for i := 0; i < b.N; i++ {
+		vc := immunity.NewChecker(vuln.PUN, vuln.Gate.PUN, vuln.Gate.Inputs)
+		cc := immunity.NewChecker(comp.PUN, comp.Gate.PUN, comp.Gate.Inputs)
+		var line string
+		for _, ang := range []float64{5, 10, 15, 25} {
+			vr := vc.MonteCarlo(1500, ang, rand.New(rand.NewSource(17)))
+			cr := cc.MonteCarlo(1500, ang, rand.New(rand.NewSource(17)))
+			if cr.BadTubes != 0 {
+				b.Fatal("compact layout must stay immune at every angle")
+			}
+			line += fmt.Sprintf(" ±%.0f°:%.1f%%", ang, 100*vr.FailureRate())
+			switch ang {
+			case 5:
+				at5 = vr.FailureRate()
+			case 25:
+				at25 = vr.FailureRate()
+			}
+		}
+		if i == 0 {
+			b.Logf("vulnerable NAND2 failure rate vs angle bound:%s (compact: 0%% throughout)", line)
+		}
+		if at25 <= 0 || at5 <= 0 {
+			b.Fatal("the vulnerable layout must fail at every angle bound")
+		}
+	}
+	b.ReportMetric(100*at5, "fail-%-at-5deg")
+	b.ReportMetric(100*at25, "fail-%-at-25deg")
+}

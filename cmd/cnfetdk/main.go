@@ -1,0 +1,116 @@
+// Command cnfetdk is the end-to-end logic-to-GDSII flow driver (Fig 5):
+// it synthesizes Boolean output expressions (or reads a structural
+// netlist), maps them onto the misaligned-CNT-immune CNFET standard-cell
+// library, verifies the mapped logic, places the design, and streams
+// GDSII.
+//
+// Usage:
+//
+//	cnfetdk -expr "Sum=A*B'+A'*B" -expr "C=A*B" -gds out.gds
+//	cnfetdk -in design.net -scheme 2 -gds out.gds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/synth"
+)
+
+type exprList []string
+
+func (e *exprList) String() string     { return strings.Join(*e, ";") }
+func (e *exprList) Set(s string) error { *e = append(*e, s); return nil }
+
+func main() {
+	var exprs exprList
+	flag.Var(&exprs, "expr", "output expression NAME=f (repeatable)")
+	in := flag.String("in", "", "structural netlist file (alternative to -expr)")
+	name := flag.String("name", "design", "design name")
+	scheme := flag.Int("scheme", 2, "CNFET layout scheme (1 or 2)")
+	gds := flag.String("gds", "", "output GDS path")
+	flag.Parse()
+
+	nl, err := buildNetlist(*name, exprs, *in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("netlist %s: %d instances, %d nets\n", nl.Name, len(nl.Instances), len(nl.Nets()))
+
+	kit, err := flow.NewKit()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+		os.Exit(1)
+	}
+	var placement *place.Placement
+	if *scheme == 1 {
+		placement, err = place.Rows(kit.CNFET, nl, 0)
+	} else {
+		placement, err = place.Shelves(kit.CNFET, nl, 0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("placed (scheme %d): %.0fλ x %.0fλ = %.0f λ², utilization %.2f\n",
+		*scheme, placement.Width.Lambdas(), placement.Height.Lambdas(),
+		placement.Area(), placement.Utilization())
+
+	// CMOS reference for context.
+	cmosPl, err := place.Rows(kit.CMOS, nl, 0)
+	if err == nil {
+		fmt.Printf("CMOS reference: %.0f λ² (CNFET gain %.2fx)\n",
+			cmosPl.Area(), cmosPl.Area()/placement.Area())
+	}
+
+	if *gds != "" {
+		f, err := os.Create(*gds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := flow.WritePlacementGDS(f, kit.CNFET, placement, strings.ToUpper(nl.Name)); err != nil {
+			fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *gds)
+	}
+}
+
+func buildNetlist(name string, exprs exprList, inPath string) (*synth.Netlist, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		nl, err := synth.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return nl, nil
+	}
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("need -expr or -in (try -expr \"Y=A*B+C\")")
+	}
+	outputs := map[string]*logic.Expr{}
+	for _, s := range exprs {
+		parts := strings.SplitN(s, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -expr %q, want NAME=function", s)
+		}
+		e, err := logic.Parse(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("expr %q: %w", s, err)
+		}
+		outputs[strings.TrimSpace(parts[0])] = e
+	}
+	return synth.Synthesize(name, outputs)
+}

@@ -1,0 +1,83 @@
+// Command fasynth runs case study 2: the full adder of Fig 8, placed as
+// CMOS rows, CNFET scheme-1 rows and CNFET scheme-2 shelves, simulated at
+// the transistor level, and optionally exported to GDSII (Fig 9).
+//
+// Usage:
+//
+//	fasynth                 # run the case study, print the comparison
+//	fasynth -gds fa.gds     # also export the scheme-2 placement
+//	fasynth -netlist        # dump the Fig 8a netlist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/report"
+	"cnfetdk/internal/synth"
+)
+
+func main() {
+	gds := flag.String("gds", "", "write the scheme-2 full adder to this GDS file")
+	dumpNetlist := flag.Bool("netlist", false, "print the Fig 8a netlist and exit")
+	flag.Parse()
+
+	if *dumpNetlist {
+		if err := synth.FullAdder().Format(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fasynth:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	kit, err := flow.NewKit()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fasynth:", err)
+		os.Exit(1)
+	}
+	res, err := kit.RunFullAdder()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fasynth:", err)
+		os.Exit(1)
+	}
+
+	tab := &report.Table{
+		Title:   "Case study 2 — full adder (9x NAND2 2X + buffers), CNFET vs CMOS 65nm",
+		Headers: []string{"metric", "CMOS", "CNFET", "gain", "paper"},
+	}
+	tab.AddRow("avg delay",
+		fmt.Sprintf("%.1fps", res.DelayCMOS*1e12),
+		fmt.Sprintf("%.1fps", res.DelayCNFET*1e12),
+		report.Gain(res.DelayGain()), "~3.5x")
+	tab.AddRow("energy/cycle",
+		fmt.Sprintf("%.2ffJ", res.EnergyCMOS*1e15),
+		fmt.Sprintf("%.2ffJ", res.EnergyCNFET*1e15),
+		report.Gain(res.EnergyGain()), "~1.5x")
+	tab.AddRow("area (scheme 1)",
+		fmt.Sprintf("%.0fλ²", res.AreaCMOS),
+		fmt.Sprintf("%.0fλ²", res.AreaS1),
+		report.Gain(res.AreaGainS1()), "~1.4x")
+	tab.AddRow("area (scheme 2)",
+		fmt.Sprintf("%.0fλ²", res.AreaCMOS),
+		fmt.Sprintf("%.0fλ²", res.AreaS2),
+		report.Gain(res.AreaGainS2()), "~1.6x")
+	tab.AddRow("utilization s1/s2", "",
+		fmt.Sprintf("%.2f / %.2f", res.UtilS1, res.UtilS2), "", "")
+	tab.Format(os.Stdout)
+
+	if *gds != "" {
+		f, err := os.Create(*gds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fasynth:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := flow.WritePlacementGDS(f, kit.CNFET, res.Placements.S2, "FULLADDER_S2"); err != nil {
+			fmt.Fprintln(os.Stderr, "fasynth:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (Fig 9: scheme-2 full adder)\n", *gds)
+	}
+}

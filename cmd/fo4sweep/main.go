@@ -1,0 +1,148 @@
+// Command fo4sweep reproduces Fig 7 and case study 1: the FO4 delay and
+// energy gains of a CNFET inverter over the 65nm CMOS reference as a
+// function of the number of CNTs per device (fixed gate width), locating
+// the optimal pitch. With -spice it cross-checks selected points against
+// the transistor-level transient simulator.
+//
+// Usage:
+//
+//	fo4sweep              # analytic sweep + ASCII figure
+//	fo4sweep -csv out.csv # dump the series
+//	fo4sweep -spice       # add transient-simulation cross-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/report"
+	"cnfetdk/internal/spice"
+)
+
+func main() {
+	maxN := flag.Int("max", 40, "maximum number of CNTs per device")
+	csvPath := flag.String("csv", "", "write the sweep as CSV")
+	doSpice := flag.Bool("spice", false, "cross-check with transient simulation")
+	flag.Parse()
+
+	p := device.DefaultFO4()
+	var series report.Series
+	series.Name = "Fig 7 — FO4 delay gain vs number of CNTs (CNFET over CMOS 65nm)"
+	var rows [][]string
+	for n := 1; n <= *maxN; n++ {
+		g := p.DelayGain(n)
+		series.X = append(series.X, float64(n))
+		series.Y = append(series.Y, g)
+		rows = append(rows, []string{
+			strconv.Itoa(n),
+			fmt.Sprintf("%.3f", device.Pitch(n)),
+			fmt.Sprintf("%.3f", g),
+			fmt.Sprintf("%.3f", p.EnergyGain(n)),
+			fmt.Sprintf("%.3f", p.EDPGain(n)),
+		})
+	}
+	report.ASCIIPlot(os.Stdout, series, 72, 16)
+
+	opt := p.OptimalN(*maxN)
+	fmt.Printf("\nCase study 1 anchors:\n")
+	fmt.Printf("  1 CNT:  delay gain %s, energy gain %s (paper: ~2.75x, ~6.3x)\n",
+		report.Gain(p.DelayGain(1)), report.Gain(p.EnergyGain(1)))
+	fmt.Printf("  optimum: N=%d (pitch %.2fnm): delay gain %s, energy gain %s (paper: 5nm, 4.2x, 2x)\n",
+		opt, device.Pitch(opt), report.Gain(p.DelayGain(opt)), report.Gain(p.EnergyGain(26)))
+	fmt.Printf("  CNFET FO4 at optimum: %.2fps (CMOS anchor %.0fps)\n",
+		p.DelayPS(opt), device.CMOSFO4ps)
+	band := p.DelayUnits(opt)
+	worst := 0.0
+	for _, n := range []int{24, 25, 26, 27, 28, 29} {
+		if d := (p.DelayUnits(n) - band) / band; d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("  pitch band 4.5-5.5nm: worst delay penalty %.2f%% (paper: 1%%)\n", 100*worst)
+	fmt.Printf("  max EDP gain over sweep: %s (paper: >10x)\n", report.Gain(maxEDP(p, *maxN)))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.CSV(f, []string{"n", "pitch_nm", "delay_gain", "energy_gain", "edp_gain"}, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *doSpice {
+		fmt.Println("\nTransient cross-check (5-stage FO4 chain, 3rd stage):")
+		for _, n := range []int{1, 8, opt} {
+			g, err := spiceGain(n, p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  N=%-3d analytic %.2fx  spice %.2fx\n", n, p.DelayGain(n), g)
+		}
+	}
+}
+
+func maxEDP(p device.FO4Params, maxN int) float64 {
+	best := 0.0
+	for n := 1; n <= maxN; n++ {
+		if g := p.EDPGain(n); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// spiceGain measures the FO4 chain at the transistor level for both
+// technologies and returns the delay gain.
+func spiceGain(n int, p device.FO4Params) (float64, error) {
+	cn, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
+		np := device.CNFET(name+".n", device.NType, n, device.GateWidthNM, p)
+		pp := device.CNFET(name+".p", device.PType, n, device.GateWidthNM, p)
+		c.AddFET(name+".p", out, in, "vdd", pp)
+		c.AddFET(name+".n", out, in, "0", np)
+	})
+	if err != nil {
+		return 0, err
+	}
+	cm, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
+		c.AddFET(name+".p", out, in, "vdd", device.CMOSFET(name+".p", device.PType, 1.4))
+		c.AddFET(name+".n", out, in, "0", device.CMOSFET(name+".n", device.NType, 1))
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cm / cn, nil
+}
+
+func measureFO4(addInv func(name, in, out string, c *spice.Circuit)) (float64, error) {
+	c := spice.New()
+	c.AddV("vdd", "vdd", "0", spice.DC(device.Vdd))
+	c.AddV("vin", "n0", "0", spice.Pulse{
+		V0: 0, V1: device.Vdd, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12,
+		W: 500e-12, Period: 1000e-12,
+	})
+	for st := 1; st <= 5; st++ {
+		in := fmt.Sprintf("n%d", st-1)
+		out := fmt.Sprintf("n%d", st)
+		addInv(fmt.Sprintf("s%d", st), in, out, c)
+		if st < 5 {
+			for k := 0; k < 3; k++ {
+				addInv(fmt.Sprintf("l%d_%d", st, k), out, fmt.Sprintf("%sd%d", out, k), c)
+			}
+		}
+	}
+	res, err := c.Transient(1000e-12, 4000, spice.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	return res.PropDelay("n2", "n3", device.Vdd)
+}

@@ -1,0 +1,77 @@
+// Command immunecheck verifies the misaligned-CNT immunity of CNFET cell
+// layouts (the Fig 2 experiment): a deterministic critical-line
+// certificate plus Monte Carlo sampling, and a functional-yield comparison
+// of the vulnerable, etched [6], and compact (this paper) styles.
+//
+// Usage:
+//
+//	immunecheck                     # run the Fig 2 comparison on NAND2
+//	immunecheck -cell "AB+C"        # any pull-down expression
+//	immunecheck -tubes 20000 -angle 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/immunity"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/report"
+	"cnfetdk/internal/rules"
+)
+
+func main() {
+	cell := flag.String("cell", "AB", "pull-down function of the cell under test")
+	tubes := flag.Int("tubes", 10000, "Monte Carlo tube count per network")
+	angle := flag.Float64("angle", 15, "maximum misalignment angle (degrees)")
+	trials := flag.Int("trials", 200, "functional-yield population trials")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g, err := network.NewGate(*cell, logic.MustParse(*cell), 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "immunecheck:", err)
+		os.Exit(1)
+	}
+	rs := rules.Default65nm(rules.CNFET)
+
+	tab := &report.Table{
+		Title: fmt.Sprintf("Misaligned-CNT immunity of %q layouts (%d tubes, ±%.0f°)",
+			*cell, *tubes, *angle),
+		Headers: []string{"style", "critical-lines", "MC fail rate", "functional yield"},
+	}
+	params := cnt.DefaultParams()
+	params.MisalignedFrac = 0.25
+	params.MaxAngleDeg = *angle
+	params.PitchNM = 20
+
+	for _, style := range []layout.Style{layout.StyleVulnerable, layout.StyleEtched, layout.StyleCompact} {
+		c, err := layout.Generate(*cell, g, style, geom.Lambda(4), rs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immunecheck:", err)
+			os.Exit(1)
+		}
+		punRep, pdnRep := immunity.VerifyImmunity(c)
+		verdict := "IMMUNE"
+		if !punRep.Immune() || !pdnRep.Immune() {
+			verdict = fmt.Sprintf("%d violations", punRep.BadTubes+pdnRep.BadTubes)
+		}
+		cc := immunity.NewCellChecker(c)
+		rng := rand.New(rand.NewSource(*seed))
+		mc := cc.PUN().MonteCarlo(*tubes, *angle, rng)
+		mcd := cc.PDN().MonteCarlo(*tubes, *angle, rng)
+		failRate := (mc.FailureRate() + mcd.FailureRate()) / 2
+		yield := cc.FunctionalYield(*trials, params, rand.New(rand.NewSource(*seed+1)))
+		tab.AddRow(style.String(), verdict, report.Pct(failRate), report.Pct(yield))
+	}
+	tab.Format(os.Stdout)
+	fmt.Println("\nThe compact layout (this paper) and the etched layout [6] certify as")
+	fmt.Println("100% immune; the vulnerable layout (Fig 2b) shorts VDD to OUT under")
+	fmt.Println("skewed tubes and loses functional yield.")
+}

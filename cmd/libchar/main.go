@@ -1,0 +1,119 @@
+// Command libchar characterizes the standard-cell library through the
+// transistor-level simulator and emits the design-kit hand-off artifacts:
+// a Liberty timing library (.lib), a structural Verilog netlist of a
+// benchmark design, and a SPICE netlist of its testbench — the pieces that
+// plug the CNFET kit into a conventional synthesis flow (Section IV).
+//
+// Usage:
+//
+//	libchar -lib out.lib                  # characterize CNFET library
+//	libchar -tech cmos -lib cmos.lib      # the CMOS twin
+//	libchar -cells INV_1X,NAND2_2X        # subset
+//	libchar -verilog fa.v -spice fa.sp    # benchmark artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/liberty"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+	"cnfetdk/internal/synth"
+)
+
+func main() {
+	techName := flag.String("tech", "cnfet", "technology: cnfet or cmos")
+	libPath := flag.String("lib", "", "write Liberty timing library here")
+	cellList := flag.String("cells", "", "comma-separated cell subset (default: all)")
+	verilogPath := flag.String("verilog", "", "write the full-adder benchmark as Verilog")
+	spicePath := flag.String("spice", "", "write the full-adder testbench as SPICE")
+	flag.Parse()
+
+	tech := rules.CNFET
+	if strings.EqualFold(*techName, "cmos") {
+		tech = rules.CMOS
+	}
+	lib, err := cells.NewLibrary(tech)
+	if err != nil {
+		fail(err)
+	}
+
+	if *libPath != "" {
+		var filter func(string) bool
+		if *cellList != "" {
+			keep := map[string]bool{}
+			for _, n := range strings.Split(*cellList, ",") {
+				keep[strings.TrimSpace(n)] = true
+			}
+			filter = func(n string) bool { return keep[n] }
+		}
+		fmt.Printf("characterizing %s library (this sweeps every arc through the simulator)...\n", tech)
+		m, err := liberty.Characterize(lib, nil, filter)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*libPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := m.Write(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d cells, loads %d points)\n", *libPath, len(m.Cells), len(m.LoadsF))
+	}
+
+	if *verilogPath != "" {
+		f, err := os.Create(*verilogPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := synth.FullAdder().WriteVerilog(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *verilogPath)
+	}
+
+	if *spicePath != "" {
+		kit, err := flow.NewKit()
+		if err != nil {
+			fail(err)
+		}
+		nl := synth.FullAdder()
+		ckt, _, err := kit.BuildCircuit(kit.Lib(tech), nl, nil)
+		if err != nil {
+			fail(err)
+		}
+		ckt.AddV("va", "A", "0", spice.DC(device.Vdd))
+		ckt.AddV("vb", "B", "0", spice.DC(0))
+		ckt.AddV("vcin", "Cin", "0", spice.Pulse{
+			V0: 0, V1: device.Vdd, Delay: 1e-9, Rise: 5e-12, Fall: 5e-12, W: 2e-9, Period: 4e-9,
+		})
+		f, err := os.Create(*spicePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := ckt.Export(f, fmt.Sprintf("full adder testbench (%s)", tech)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *spicePath)
+	}
+
+	if *libPath == "" && *verilogPath == "" && *spicePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "libchar:", err)
+	os.Exit(1)
+}

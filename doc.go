@@ -1,0 +1,19 @@
+// Package cnfetdk is an open reimplementation of "Design of Compact
+// Imperfection-Immune CNFET Layouts for Standard-Cell-Based Logic
+// Synthesis" (Bobba, Zhang, Pullini, Atienza, De Micheli — DATE 2009).
+//
+// The library generates carbon-nanotube-FET standard cells whose layouts
+// are immune to mispositioned CNTs by construction (Euler-trail rows with
+// redundant contacts), verifies that immunity geometrically, and ships the
+// full design kit the paper describes: lambda design rules shared with a
+// 65nm CMOS reference, calibrated CNFET/CMOS electrical models, a SPICE
+// engine, a standard-cell library with characterization, logic synthesis,
+// placement in the paper's two cell schemes, parasitic extraction, and a
+// GDSII writer — a complete logic-to-GDSII flow.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure. The benchmark
+// harness in bench_test.go regenerates each experiment:
+//
+//	go test -bench=. -benchmem .
+package cnfetdk

@@ -1,0 +1,66 @@
+// Example fo4sweep reproduces the Fig 7 experiment programmatically: sweep
+// the CNT count of a fixed-width CNFET inverter, find the optimal pitch,
+// and validate one point against the transistor-level simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/spice"
+)
+
+func main() {
+	p := device.DefaultFO4()
+
+	fmt.Println("N tubes  pitch(nm)  delay gain  energy gain  EDP gain")
+	for _, n := range []int{1, 2, 4, 8, 13, 20, 26, 29, 33, 40} {
+		fmt.Printf("%7d  %9.2f  %10.2f  %11.2f  %8.2f\n",
+			n, device.Pitch(n), p.DelayGain(n), p.EnergyGain(n), p.EDPGain(n))
+	}
+	opt := p.OptimalN(60)
+	fmt.Printf("\noptimal: %d tubes (pitch %.2fnm) -> %.2fx delay, %.2fx energy (paper: 5nm, 4.2x, 2x)\n",
+		opt, device.Pitch(opt), p.DelayGain(opt), p.EnergyGain(26))
+
+	// Cross-check the optimum against a transient simulation of a
+	// 5-stage FO4 chain.
+	chain := func(mk func(name, in, out string, c *spice.Circuit)) float64 {
+		c := spice.New()
+		c.AddV("vdd", "vdd", "0", spice.DC(device.Vdd))
+		c.AddV("vin", "n0", "0", spice.Pulse{
+			V0: 0, V1: device.Vdd, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12,
+			W: 500e-12, Period: 1000e-12,
+		})
+		for st := 1; st <= 5; st++ {
+			in, out := fmt.Sprintf("n%d", st-1), fmt.Sprintf("n%d", st)
+			mk(fmt.Sprintf("s%d", st), in, out, c)
+			if st < 5 {
+				for k := 0; k < 3; k++ {
+					mk(fmt.Sprintf("l%d_%d", st, k), out, fmt.Sprintf("%sd%d", out, k), c)
+				}
+			}
+		}
+		res, err := c.Transient(1000e-12, 4000, spice.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := res.PropDelay("n2", "n3", device.Vdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+	dCN := chain(func(name, in, out string, c *spice.Circuit) {
+		c.AddFET(name+".p", out, in, "vdd",
+			device.CNFET(name+".p", device.PType, opt, device.GateWidthNM, p))
+		c.AddFET(name+".n", out, in, "0",
+			device.CNFET(name+".n", device.NType, opt, device.GateWidthNM, p))
+	})
+	dCM := chain(func(name, in, out string, c *spice.Circuit) {
+		c.AddFET(name+".p", out, in, "vdd", device.CMOSFET(name+".p", device.PType, 1.4))
+		c.AddFET(name+".n", out, in, "0", device.CMOSFET(name+".n", device.NType, 1))
+	})
+	fmt.Printf("\ntransient cross-check at the optimum: CNFET %.2fps, CMOS %.2fps -> %.2fx\n",
+		dCN*1e12, dCM*1e12, dCM/dCN)
+}

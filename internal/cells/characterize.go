@@ -1,0 +1,118 @@
+package cells
+
+import (
+	"fmt"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/spice"
+)
+
+// Timing is one characterization row of the library datasheet.
+type Timing struct {
+	Cell    string
+	Input   string
+	LoadF   float64 // load capacitance (F)
+	DelayS  float64 // propagation delay (s), average of rise/fall
+	EnergyJ float64 // supply energy per full output cycle (J)
+}
+
+// sensitizingVector finds values for the side inputs such that toggling
+// the probed input toggles the cell output, and returns the per-input
+// levels plus the output value when the probed input is low.
+func sensitizingVector(g *logic.Expr, inputs []string, probe string) (map[string]bool, error) {
+	tab := logic.TableOf(g, inputs)
+	k := -1
+	for i, n := range inputs {
+		if n == probe {
+			k = i
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("cells: input %q not found", probe)
+	}
+	for v := 0; v < tab.Rows(); v++ {
+		if v>>uint(k)&1 == 1 {
+			continue
+		}
+		if tab.Get(v) != tab.Get(v|1<<uint(k)) {
+			env := map[string]bool{}
+			for i, n := range inputs {
+				env[n] = v>>uint(i)&1 == 1
+			}
+			return env, nil
+		}
+	}
+	return nil, fmt.Errorf("cells: input %q cannot be sensitized", probe)
+}
+
+// Characterize measures the cell's propagation delay from the given input
+// to OUT with a fixed capacitive load, and the supply energy per output
+// cycle, via a transient simulation.
+func (l *Library) Characterize(c *Cell, input string, loadF float64) (Timing, error) {
+	env, err := sensitizingVector(c.Gate.PullDown, c.Gate.Inputs, input)
+	if err != nil {
+		return Timing{}, err
+	}
+	ckt := spice.New()
+	vddIdx := ckt.AddV("vdd", "VDD", "0", spice.DC(device.Vdd))
+	period := 2000e-12
+	ckt.AddV("vin", "in", "0", spice.Pulse{
+		V0: 0, V1: device.Vdd, Delay: period / 4,
+		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
+	})
+	conns := map[string]string{"OUT": "out"}
+	for _, n := range c.Gate.Inputs {
+		if n == input {
+			conns[n] = "in"
+			continue
+		}
+		level := "0"
+		if env[n] {
+			level = "VDD"
+		}
+		conns[n] = level
+	}
+	if err := l.Instantiate(ckt, "x1", c, conns); err != nil {
+		return Timing{}, err
+	}
+	if loadF > 0 {
+		ckt.AddC("cload", "out", "0", loadF)
+	}
+	res, err := ckt.Transient(period, 4000, spice.DefaultOptions())
+	if err != nil {
+		return Timing{}, fmt.Errorf("cells: %s transient: %w", c.FullName(), err)
+	}
+	d, err := res.PropDelay("in", "out", device.Vdd)
+	if err != nil {
+		return Timing{}, fmt.Errorf("cells: %s delay: %w", c.FullName(), err)
+	}
+	e := res.SupplyEnergy(vddIdx, 0, period)
+	return Timing{
+		Cell: c.FullName(), Input: input, LoadF: loadF,
+		DelayS: d, EnergyJ: e,
+	}, nil
+}
+
+// ReferenceLoad returns the library's characterization load: four times
+// the input capacitance of the 1X inverter (an FO4-equivalent load).
+func (l *Library) ReferenceLoad() float64 {
+	inv := l.MustGet("INV_1X")
+	return 4 * l.InputCap(inv, "A")
+}
+
+// Datasheet characterizes every cell at the reference load (probing input
+// "A") and returns the rows sorted by cell name.
+func (l *Library) Datasheet() ([]Timing, error) {
+	load := l.ReferenceLoad()
+	var rows []Timing
+	for _, name := range l.Names() {
+		c := l.MustGet(name)
+		t, err := l.Characterize(c, "A", load)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, t)
+	}
+	return rows, nil
+}

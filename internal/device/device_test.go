@@ -1,0 +1,188 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's case-study-1 anchors. These are the headline numbers of
+// Section V.A and the abstract.
+func TestSingleTubeAnchors(t *testing.T) {
+	p := DefaultFO4()
+	if g := p.DelayGain(1); math.Abs(g-2.75) > 0.01 {
+		t.Fatalf("delay gain at 1 tube = %.3f, want 2.75", g)
+	}
+	if g := p.EnergyGain(1); math.Abs(g-6.3) > 0.01 {
+		t.Fatalf("energy gain at 1 tube = %.3f, want 6.3", g)
+	}
+}
+
+func TestOptimalPitchAnchors(t *testing.T) {
+	p := DefaultFO4()
+	opt := p.OptimalN(60)
+	pitch := Pitch(opt)
+	if pitch < 4.5 || pitch > 5.5 {
+		t.Fatalf("optimal pitch = %.2fnm, want ~5nm", pitch)
+	}
+	if g := p.DelayGain(opt); math.Abs(g-4.2) > 0.05 {
+		t.Fatalf("delay gain at optimum = %.3f, want ~4.2", g)
+	}
+	// Energy gain at the dense optimum: ~2x.
+	n5 := 26 // pitch exactly 5nm
+	if g := p.EnergyGain(n5); math.Abs(g-2.0) > 0.05 {
+		t.Fatalf("energy gain at 5nm pitch = %.3f, want ~2.0", g)
+	}
+}
+
+func TestPitchBandWithinOnePercent(t *testing.T) {
+	// "optimal range of CNT pitch from 4.5nm - 5.5nm, leading to 1% FO4
+	// delay variation".
+	p := DefaultFO4()
+	opt := p.DelayUnits(p.OptimalN(60))
+	for _, n := range []int{24, 25, 26, 27, 28, 29} { // pitches 5.42..4.48nm
+		d := p.DelayUnits(n)
+		if (d-opt)/opt > 0.01 {
+			t.Fatalf("N=%d (pitch %.2fnm): delay %.2f%% above optimum",
+				n, Pitch(n), 100*(d-opt)/opt)
+		}
+	}
+}
+
+func TestDelayGainMonotoneToPeak(t *testing.T) {
+	p := DefaultFO4()
+	opt := p.OptimalN(60)
+	prev := 0.0
+	for n := 1; n <= opt; n++ {
+		g := p.DelayGain(n)
+		if g < prev-1e-9 {
+			t.Fatalf("delay gain not monotone at N=%d: %.4f < %.4f", n, g, prev)
+		}
+		prev = g
+	}
+	// And declines past the optimum.
+	if p.DelayGain(60) >= p.DelayGain(opt) {
+		t.Fatal("delay gain should decline beyond the optimum")
+	}
+}
+
+func TestEnergyGainMonotoneDecline(t *testing.T) {
+	// More tubes switch more charge: energy gain falls monotonically.
+	p := DefaultFO4()
+	prev := math.Inf(1)
+	for n := 1; n <= 40; n++ {
+		g := p.EnergyGain(n)
+		if g > prev+1e-9 {
+			t.Fatalf("energy gain rising at N=%d", n)
+		}
+		prev = g
+	}
+}
+
+func TestEDPGainHeadline(t *testing.T) {
+	// Conclusions: "CNFET inverters can achieve more than 10× EDP
+	// improvement" — 4.2 × 2.0 = 8.4 at the delay optimum and higher at
+	// sparser pitches; the maximum exceeds 10.
+	p := DefaultFO4()
+	best := 0.0
+	for n := 1; n <= 60; n++ {
+		if g := p.EDPGain(n); g > best {
+			best = g
+		}
+	}
+	if best < 10 {
+		t.Fatalf("max EDP gain = %.1f, want > 10", best)
+	}
+	// And at the delay-optimal pitch it is still > 8.
+	if g := p.EDPGain(p.OptimalN(60)); g < 8 {
+		t.Fatalf("EDP gain at optimum = %.1f, want > 8", g)
+	}
+}
+
+func TestScreeningLimits(t *testing.T) {
+	s := DefaultFO4().Screen
+	if got := s.CapScreen(1000); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("isolated tube screening = %v, want 1", got)
+	}
+	if s.CapScreen(2) >= s.CapScreen(5) {
+		t.Fatal("screening must reduce capacitance at tighter pitch")
+	}
+	if s.DriveScreen(5) >= s.CapScreen(5) {
+		t.Fatal("drive must degrade faster than capacitance (DriveExp > 1)")
+	}
+}
+
+func TestOptimalPitchIsTechnologyParameter(t *testing.T) {
+	// The paper: the optimum depends on the process (their low-k/poly
+	// 65nm gives 5nm; Deng et al. report 4nm for a 32nm high-k process).
+	// Strengthening the screening shifts the optimum to sparser pitch.
+	weak := DefaultFO4()
+	strong := DefaultFO4()
+	strong.Screen.PitchScaleNM *= 2
+	if strong.OptimalPitchNM(60) <= weak.OptimalPitchNM(60) {
+		t.Fatalf("stronger screening should move the optimum to larger pitch: %v vs %v",
+			strong.OptimalPitchNM(60), weak.OptimalPitchNM(60))
+	}
+}
+
+func TestCNFETDeviceParams(t *testing.T) {
+	p := DefaultFO4()
+	single := CNFET("m1", NType, 1, GateWidthNM, p)
+	dense := CNFET("m2", NType, 26, GateWidthNM, p)
+	if dense.ISat <= single.ISat {
+		t.Fatal("26 tubes must out-drive 1 tube")
+	}
+	// Drive is sub-linear in tube count because of screening + contact R.
+	if dense.ISat >= 26*single.ISat {
+		t.Fatal("screening must keep drive sub-linear in tube count")
+	}
+	if dense.CGate <= single.CGate {
+		t.Fatal("gate capacitance grows with tube count")
+	}
+	if got := CNFET("m", PType, 0, GateWidthNM, p); got.ISat <= 0 {
+		t.Fatal("zero-tube clamp failed")
+	}
+}
+
+func TestCNFETAtOptimalPitch(t *testing.T) {
+	p := DefaultFO4()
+	d1 := CNFETAtOptimalPitch("a", NType, 1, p)
+	d2 := CNFETAtOptimalPitch("b", NType, 2, p)
+	// Doubling width doubles tubes at fixed pitch: drive roughly doubles
+	// (contact resistance is per-device in this model).
+	if d2.ISat < d1.ISat*1.3 || d2.ISat > d1.ISat*2.2 {
+		t.Fatalf("2x width drive ratio = %.2f, want ~2", d2.ISat/d1.ISat)
+	}
+}
+
+func TestCMOSReference(t *testing.T) {
+	r := CMOSREff()
+	if r < 10e3 || r > 40e3 {
+		t.Fatalf("CMOS effective resistance = %.0fΩ, implausible", r)
+	}
+	w1 := CMOSFET("m", NType, 1)
+	w4 := CMOSFET("m", NType, 4)
+	if math.Abs(w4.ISat/w1.ISat-4) > 1e-9 {
+		t.Fatal("CMOS drive must scale linearly with width")
+	}
+	if math.Abs(w4.CGate/w1.CGate-4) > 1e-9 {
+		t.Fatal("CMOS gate cap must scale linearly with width")
+	}
+	// Energy anchor: total switched cap of the FO4 node = 1.75fF.
+	total := w1.CDrain + 4*w1.CGate
+	if math.Abs(total-1.75e-15) > 1e-20 {
+		t.Fatalf("CMOS FO4 node cap = %v, want 1.75fF", total)
+	}
+}
+
+func TestAbsoluteScales(t *testing.T) {
+	p := DefaultFO4()
+	// CNFET FO4 at the optimum ≈ 25ps / 4.2 ≈ 6ps.
+	d := p.DelayPS(p.OptimalN(60))
+	if d < 5 || d > 7 {
+		t.Fatalf("optimal CNFET FO4 = %.2fps, want ~6", d)
+	}
+	e := p.EnergyFJ(26)
+	if e < 0.7 || e > 1.0 {
+		t.Fatalf("CNFET energy at 5nm pitch = %.3ffJ, want ~0.875", e)
+	}
+}

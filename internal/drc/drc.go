@@ -1,0 +1,128 @@
+// Package drc checks generated layouts against the lambda design rules:
+// minimum widths, spacings, overlap and enclosure invariants. The compact
+// layouts must come out clean by construction; DRC guards the generators
+// against regressions.
+package drc
+
+import (
+	"fmt"
+
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/rules"
+)
+
+// Violation is one design-rule failure.
+type Violation struct {
+	Rule string
+	At   geom.Rect
+	Msg  string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %v: %s", v.Rule, v.At, v.Msg)
+}
+
+// CheckNetwork verifies one pull network's geometry.
+func CheckNetwork(g *layout.NetGeom, rs rules.Rules) []Violation {
+	var out []Violation
+	bad := func(rule string, at geom.Rect, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, At: at, Msg: fmt.Sprintf(format, args...)})
+	}
+	var gates, contacts, etches []geom.Rect
+	for _, e := range g.Elements {
+		switch e.Kind {
+		case layout.ElemGate:
+			gates = append(gates, e.Rect)
+			if e.Rect.W() != rs.GateLen {
+				bad("gate.length", e.Rect, "gate length %vλ != Lg %vλ",
+					e.Rect.W().Lambdas(), rs.GateLen.Lambdas())
+			}
+			if e.Rect.H() < rs.MinTransW {
+				bad("gate.width", e.Rect, "device width %vλ below minimum %vλ",
+					e.Rect.H().Lambdas(), rs.MinTransW.Lambdas())
+			}
+		case layout.ElemContact:
+			contacts = append(contacts, e.Rect)
+			if e.Rect.W() < rs.ContactW {
+				bad("contact.width", e.Rect, "contact width %vλ below %vλ",
+					e.Rect.W().Lambdas(), rs.ContactW.Lambdas())
+			}
+		case layout.ElemEtch:
+			etches = append(etches, e.Rect)
+			if e.Rect.W() < rs.EtchW && e.Rect.H() < rs.EtchW {
+				bad("etch.width", e.Rect, "etch region below lithography minimum %vλ",
+					rs.EtchW.Lambdas())
+			}
+		}
+	}
+	// Gates must not overlap contacts and must keep Lgs/Lgd spacing.
+	for _, gr := range gates {
+		for _, cr := range contacts {
+			if gr.Overlaps(cr) {
+				bad("gate.contact.overlap", gr, "gate overlaps contact %v", cr)
+				continue
+			}
+			if dx := hGap(gr, cr); dx >= 0 && dx < int64(rs.GateContactGap) && vOverlap(gr, cr) {
+				bad("gate.contact.space", gr, "gate-contact gap %.2fλ below %vλ",
+					geom.Coord(dx).Lambdas(), rs.GateContactGap.Lambdas())
+			}
+		}
+	}
+	// Gate-to-gate spacing along the row.
+	for i := range gates {
+		for j := i + 1; j < len(gates); j++ {
+			a, b := gates[i], gates[j]
+			if a.Overlaps(b) {
+				bad("gate.overlap", a, "gates overlap")
+				continue
+			}
+			if dx := hGap(a, b); dx >= 0 && dx < int64(rs.GateGateGap) && vOverlap(a, b) {
+				bad("gate.space", a, "gate-gate gap %.2fλ below %vλ",
+					geom.Coord(dx).Lambdas(), rs.GateGateGap.Lambdas())
+			}
+		}
+	}
+	// Contacts of different nets must not touch.
+	for i, a := range g.Elements {
+		if a.Kind != layout.ElemContact {
+			continue
+		}
+		for j := i + 1; j < len(g.Elements); j++ {
+			b := g.Elements[j]
+			if b.Kind != layout.ElemContact || a.Net == b.Net {
+				continue
+			}
+			if a.Rect.Overlaps(b.Rect) {
+				bad("contact.short", a.Rect, "contacts %s and %s overlap", a.Net, b.Net)
+			}
+		}
+	}
+	return out
+}
+
+// hGap returns the horizontal clearance between two rects (-1 if they
+// overlap horizontally).
+func hGap(a, b geom.Rect) int64 {
+	switch {
+	case a.Max.X <= b.Min.X:
+		return int64(b.Min.X - a.Max.X)
+	case b.Max.X <= a.Min.X:
+		return int64(a.Min.X - b.Max.X)
+	default:
+		return -1
+	}
+}
+
+// vOverlap reports whether two rects share any vertical extent.
+func vOverlap(a, b geom.Rect) bool {
+	return a.Min.Y < b.Max.Y && b.Min.Y < a.Max.Y
+}
+
+// CheckCell verifies both networks of a cell.
+func CheckCell(c *layout.Cell) []Violation {
+	out := CheckNetwork(c.PUN, c.Rules)
+	out = append(out, CheckNetwork(c.PDN, c.Rules)...)
+	return out
+}

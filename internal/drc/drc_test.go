@@ -1,0 +1,102 @@
+package drc
+
+import (
+	"testing"
+
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/rules"
+)
+
+func TestGeneratedCellsAreClean(t *testing.T) {
+	rs := rules.Default65nm(rules.CNFET)
+	for _, f := range []string{"A", "AB", "ABC", "A+B+C", "AB+C", "AB+CD", "ABC+D", "(A+B)(C+D)"} {
+		g, err := network.NewGate(f, logic.MustParse(f), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, style := range []layout.Style{layout.StyleCompact, layout.StyleEtched} {
+			c, err := layout.Generate(f, g, style, geom.Lambda(4), rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs := CheckCell(c); len(vs) > 0 {
+				t.Errorf("%s %v: %d DRC violations, first: %v", f, style, len(vs), vs[0])
+			}
+		}
+	}
+}
+
+func TestCMOSCellsAreClean(t *testing.T) {
+	rs := rules.Default65nm(rules.CMOS)
+	g, err := network.NewGate("NAND2", logic.MustParse("AB"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := layout.Generate("NAND2", g, layout.StyleCompact, geom.Lambda(4), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckCell(c); len(vs) > 0 {
+		t.Fatalf("CMOS NAND2: %v", vs[0])
+	}
+}
+
+func TestDetectsNarrowGate(t *testing.T) {
+	rs := rules.Default65nm(rules.CNFET)
+	g := &layout.NetGeom{
+		Type: network.NFET,
+		Elements: []layout.Element{
+			{Kind: layout.ElemGate, Rect: geom.R(0, 0, geom.Lambda(1), geom.Lambda(4)), Input: "A"},
+		},
+	}
+	vs := CheckNetwork(g, rs)
+	if len(vs) == 0 {
+		t.Fatal("narrow gate should violate")
+	}
+	if vs[0].Rule != "gate.length" {
+		t.Fatalf("rule = %s", vs[0].Rule)
+	}
+}
+
+func TestDetectsTightSpacing(t *testing.T) {
+	rs := rules.Default65nm(rules.CNFET)
+	g := &layout.NetGeom{
+		Type: network.NFET,
+		Elements: []layout.Element{
+			{Kind: layout.ElemGate, Rect: geom.R(0, 0, geom.Lambda(2), geom.Lambda(4)), Input: "A"},
+			{Kind: layout.ElemGate, Rect: geom.R(geom.Lambda(3), 0, geom.Lambda(5), geom.Lambda(4)), Input: "B"},
+		},
+	}
+	found := false
+	for _, v := range CheckNetwork(g, rs) {
+		if v.Rule == "gate.space" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("1λ gate spacing should violate the 2λ rule")
+	}
+}
+
+func TestDetectsContactShort(t *testing.T) {
+	rs := rules.Default65nm(rules.CNFET)
+	g := &layout.NetGeom{
+		Type: network.NFET,
+		Elements: []layout.Element{
+			{Kind: layout.ElemContact, Rect: geom.R(0, 0, geom.Lambda(3), geom.Lambda(4)), Net: "VDD"},
+			{Kind: layout.ElemContact, Rect: geom.R(geom.Lambda(2), 0, geom.Lambda(5), geom.Lambda(4)), Net: "OUT"},
+		},
+	}
+	found := false
+	for _, v := range CheckNetwork(g, rs) {
+		if v.Rule == "contact.short" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("overlapping different-net contacts should violate")
+	}
+}

@@ -1,0 +1,191 @@
+// Package extract is the design kit's post-layout analysis kit (Fig 5):
+// it recovers the electrical view of a generated cell layout from its
+// geometry plus a concrete tube population (device extraction), verifies
+// it against the intended transistor network (LVS), and estimates lumped
+// interconnect parasitics from the drawn metal.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/immunity"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+)
+
+// Device is one extracted conduction element: a tube span between two
+// contacts controlled by a set of gates (series chain along the tube).
+type Device struct {
+	NetA, NetB string
+	Cube       logic.Cube
+	Tubes      int // parallel tubes realizing this span
+}
+
+// Extraction is the electrical view recovered from one network's layout.
+type Extraction struct {
+	Type    network.DeviceType
+	Devices []Device
+}
+
+// Network extracts the conduction elements of one pull network from its
+// geometry under the given tube population. Parallel tubes with identical
+// span signatures merge with a tube count (the drive strength the span
+// realizes).
+func Network(g *layout.NetGeom, nw *network.Network, inputs []string, tubes []cnt.Tube) *Extraction {
+	ch := immunity.NewChecker(g, nw, inputs)
+	merged := map[string]*Device{}
+	for _, t := range tubes {
+		for _, sp := range ch.CondSpans(t.Line, t.Metallic) {
+			a, b := sp.NetA, sp.NetB
+			if b < a {
+				a, b = b, a
+			}
+			key := a + "|" + b + "|" + sp.Cube.String()
+			if d, ok := merged[key]; ok {
+				d.Tubes++
+				continue
+			}
+			merged[key] = &Device{NetA: a, NetB: b, Cube: sp.Cube, Tubes: 1}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ex := &Extraction{Type: nw.Type}
+	for _, k := range keys {
+		ex.Devices = append(ex.Devices, *merged[k])
+	}
+	return ex
+}
+
+// Conduct computes the extracted conduction function between two nets:
+// per input vector, union-find over spans whose cubes are satisfied.
+func (e *Extraction) Conduct(u, v string, inputs []string) *logic.Table {
+	t := logic.NewTable(inputs)
+	// Collect net universe.
+	netSet := map[string]bool{u: true, v: true}
+	for _, d := range e.Devices {
+		netSet[d.NetA] = true
+		netSet[d.NetB] = true
+	}
+	nets := make([]string, 0, len(netSet))
+	for n := range netSet {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	id := map[string]int{}
+	for i, n := range nets {
+		id[n] = i
+	}
+	cubeTabs := make([]*logic.Table, len(e.Devices))
+	for i, d := range e.Devices {
+		cubeTabs[i] = logic.TableOfCube(d.Cube, inputs)
+	}
+	parent := make([]int, len(nets))
+	for vec := 0; vec < t.Rows(); vec++ {
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for i, d := range e.Devices {
+			if cubeTabs[i].Get(vec) {
+				a, b := find(id[d.NetA]), find(id[d.NetB])
+				if a != b {
+					parent[a] = b
+				}
+			}
+		}
+		t.Set(vec, find(id[u]) == find(id[v]))
+	}
+	return t
+}
+
+// LVSReport is the outcome of comparing an extracted network against the
+// intended one.
+type LVSReport struct {
+	Match    bool
+	Mismatch []string
+}
+
+// LVS verifies that the extracted conduction between the network terminals
+// equals the intended conduction for every input vector.
+func LVS(ex *Extraction, nw *network.Network, inputs []string) LVSReport {
+	rep := LVSReport{Match: true}
+	pairs := [][2]string{{nw.Top, nw.Bottom}}
+	for _, p := range pairs {
+		want := nw.Conduct(p[0], p[1], inputs)
+		got := ex.Conduct(p[0], p[1], inputs)
+		if !got.Equal(want) {
+			rep.Match = false
+			rep.Mismatch = append(rep.Mismatch,
+				fmt.Sprintf("%s-%s conduction differs", p[0], p[1]))
+		}
+	}
+	return rep
+}
+
+// Parasitics are lumped per-net interconnect estimates from drawn layout.
+type Parasitics struct {
+	// CapF is the net's metal capacitance (contacts + straps) in farads.
+	CapF map[string]float64
+	// ResOhm is a series resistance estimate per net in ohms.
+	ResOhm map[string]float64
+}
+
+// Parasitic extraction unit constants for the 65nm back-end: plate
+// capacitance of contact/strap metal over the substrate and sheet
+// resistance of level-1 metal.
+const (
+	// CapPerNM2 is metal capacitance per nm² (0.04 fF/µm² for M1 over
+	// field at 65nm-class dielectrics).
+	CapPerNM2 = 4e-23
+	// SheetOhm is the metal sheet resistance (Ω/sq).
+	SheetOhm = 0.1
+	// ContactOhm is the via/contact resistance.
+	ContactOhm = 10.0
+)
+
+// CellParasitics extracts lumped parasitics of a cell's nets from its
+// contact and strap geometry (λ converted through the technology pitch).
+func CellParasitics(c *layout.Cell) Parasitics {
+	p := Parasitics{CapF: map[string]float64{}, ResOhm: map[string]float64{}}
+	nm := c.Rules.LambdaNM
+	addRect := func(net string, r geom.Rect) {
+		areaNM2 := r.AreaLambda2() * nm * nm
+		p.CapF[net] += areaNM2 * CapPerNM2
+		// Series resistance: length/width squares along the long axis.
+		w, h := r.W().Lambdas(), r.H().Lambdas()
+		if w > 0 && h > 0 {
+			sq := w / h
+			if h > w {
+				sq = h / w
+			}
+			p.ResOhm[net] += sq * SheetOhm
+		}
+	}
+	for _, ng := range []*layout.NetGeom{c.PUN, c.PDN} {
+		for _, e := range ng.Elements {
+			switch e.Kind {
+			case layout.ElemContact:
+				addRect(e.Net, e.Rect)
+				p.ResOhm[e.Net] += ContactOhm
+			case layout.ElemStrap:
+				addRect(e.Net, e.Rect)
+			}
+		}
+	}
+	return p
+}

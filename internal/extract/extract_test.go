@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/rules"
+)
+
+func buildCell(t *testing.T, f string, style layout.Style) *layout.Cell {
+	t.Helper()
+	g, err := network.NewGate(f, logic.MustParse(f), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := layout.Generate(f, g, style, geom.Lambda(4), rules.Default65nm(rules.CNFET))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func alignedTubes(g *layout.NetGeom) []cnt.Tube {
+	params := cnt.DefaultParams()
+	params.MisalignedFrac = 0
+	return cnt.Generate(g.BBox, params, rand.New(rand.NewSource(3)))
+}
+
+func TestExtractInverter(t *testing.T) {
+	c := buildCell(t, "A", layout.StyleCompact)
+	ex := Network(c.PUN, c.Gate.PUN, c.Gate.Inputs, alignedTubes(c.PUN))
+	if len(ex.Devices) != 1 {
+		t.Fatalf("devices = %d, want 1 merged span", len(ex.Devices))
+	}
+	d := ex.Devices[0]
+	if d.Tubes < 10 {
+		t.Fatalf("tube count = %d, want a dense array at 5nm pitch", d.Tubes)
+	}
+	if len(d.Cube.Lits) != 1 || d.Cube.Lits[0].Input != "A" {
+		t.Fatalf("cube = %v", d.Cube)
+	}
+}
+
+// LVS must pass for every library cell in both immune styles under an
+// aligned population — the generated layouts implement their networks.
+func TestLVSCleanOnGeneratedLayouts(t *testing.T) {
+	for _, f := range []string{"A", "AB", "A+B", "ABC", "AB+C", "AB+CD", "ABC+D", "(A+B)C"} {
+		for _, style := range []layout.Style{layout.StyleCompact, layout.StyleEtched} {
+			c := buildCell(t, f, style)
+			for _, side := range []struct {
+				g  *layout.NetGeom
+				nw *network.Network
+			}{{c.PUN, c.Gate.PUN}, {c.PDN, c.Gate.PDN}} {
+				ex := Network(side.g, side.nw, c.Gate.Inputs, alignedTubes(side.g))
+				rep := LVS(ex, side.nw, c.Gate.Inputs)
+				if !rep.Match {
+					t.Errorf("%s %v: LVS mismatch: %v", f, style, rep.Mismatch)
+				}
+			}
+		}
+	}
+}
+
+// A sparse population that misses a series gate entirely must fail LVS —
+// extraction is sensitive to missing drive.
+func TestLVSDetectsMissingTubes(t *testing.T) {
+	c := buildCell(t, "AB", layout.StyleCompact)
+	ex := Network(c.PDN, c.Gate.PDN, c.Gate.Inputs, nil)
+	rep := LVS(ex, c.Gate.PDN, c.Gate.Inputs)
+	if rep.Match {
+		t.Fatal("LVS should fail with no tubes")
+	}
+}
+
+// A metallic tube in the population creates a short: extracted conduction
+// becomes constant-true and LVS flags it.
+func TestLVSDetectsMetallicShort(t *testing.T) {
+	c := buildCell(t, "A", layout.StyleCompact)
+	tubes := alignedTubes(c.PUN)
+	tubes[len(tubes)/2].Metallic = true
+	ex := Network(c.PUN, c.Gate.PUN, c.Gate.Inputs, tubes)
+	rep := LVS(ex, c.Gate.PUN, c.Gate.Inputs)
+	if rep.Match {
+		t.Fatal("metallic short must fail LVS")
+	}
+}
+
+func TestExtractedConductMatchesNetworkProperty(t *testing.T) {
+	// For a handful of cells, the extracted conduction table from an
+	// aligned population equals the network's between the terminals.
+	for _, f := range []string{"AB+C", "(A+B)(C+D)"} {
+		c := buildCell(t, f, layout.StyleCompact)
+		ex := Network(c.PDN, c.Gate.PDN, c.Gate.Inputs, alignedTubes(c.PDN))
+		got := ex.Conduct("OUT", "GND", c.Gate.Inputs)
+		want := c.Gate.PDN.Conduct("OUT", "GND", c.Gate.Inputs)
+		if !got.Equal(want) {
+			t.Errorf("%s: extracted conduction differs", f)
+		}
+	}
+}
+
+func TestCellParasitics(t *testing.T) {
+	c := buildCell(t, "ABC", layout.StyleCompact)
+	p := CellParasitics(c)
+	if p.CapF["OUT"] <= 0 {
+		t.Fatal("OUT net must have metal capacitance")
+	}
+	if p.CapF["VDD"] <= 0 || p.CapF["GND"] <= 0 {
+		t.Fatal("rail contacts must have capacitance")
+	}
+	if p.ResOhm["OUT"] <= 0 {
+		t.Fatal("OUT net must have resistance")
+	}
+	// Sanity: single-digit to hundreds of aF, not pF.
+	if p.CapF["OUT"] > 1e-15 {
+		t.Fatalf("OUT cap = %v F, implausibly large", p.CapF["OUT"])
+	}
+}

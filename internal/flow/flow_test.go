@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+
+	"cnfetdk/internal/gdsii"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/synth"
+)
+
+var kitCache *Kit
+
+func kit(t *testing.T) *Kit {
+	t.Helper()
+	if kitCache == nil {
+		k, err := NewKit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kitCache = k
+	}
+	return kitCache
+}
+
+func TestCaseStudy2FullAdder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	k := kit(t)
+	res, err := k.RunFullAdder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FA delay: CNFET %.1fps CMOS %.1fps gain %.2fx (paper ~3.5x)",
+		res.DelayCNFET*1e12, res.DelayCMOS*1e12, res.DelayGain())
+	t.Logf("FA energy: CNFET %.3ffJ CMOS %.3ffJ gain %.2fx (paper ~1.5x)",
+		res.EnergyCNFET*1e15, res.EnergyCMOS*1e15, res.EnergyGain())
+	t.Logf("FA area: CMOS %.0f λ², scheme1 %.0f λ² (%.2fx), scheme2 %.0f λ² (%.2fx)",
+		res.AreaCMOS, res.AreaS1, res.AreaGainS1(), res.AreaS2, res.AreaGainS2())
+
+	if g := res.DelayGain(); g < 2.5 || g > 5 {
+		t.Fatalf("FA delay gain = %.2f, want ~3.5 (2.5..5)", g)
+	}
+	if g := res.EnergyGain(); g < 1.2 || g > 2.6 {
+		t.Fatalf("FA energy gain = %.2f, want >1 (paper 1.5)", g)
+	}
+	if g := res.AreaGainS1(); g < 1.15 {
+		t.Fatalf("scheme-1 area gain = %.2f, want ~1.4", g)
+	}
+	if res.AreaGainS2() <= res.AreaGainS1() {
+		t.Fatal("scheme 2 must beat scheme 1 on area")
+	}
+	if res.UtilS2 <= res.UtilS1 {
+		t.Fatal("scheme 2 must have better utilization")
+	}
+}
+
+func TestBuildCircuitUnknownCell(t *testing.T) {
+	k := kit(t)
+	nl := &synth.Netlist{
+		Name:      "bad",
+		Instances: []synth.Instance{{Name: "u1", Cell: "FOO_1X", Conns: map[string]string{}}},
+	}
+	if _, _, err := k.BuildCircuit(k.CNFET, nl, nil); err == nil {
+		t.Fatal("unknown cell must fail")
+	}
+}
+
+func TestCellAreaGainDeclines(t *testing.T) {
+	k := kit(t)
+	g1, err := k.CellAreaGain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g9, err := k.CellAreaGain(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 < 1.35 || g1 > 1.45 {
+		t.Fatalf("inverter area gain at 1X = %.3f, want ~1.4", g1)
+	}
+	if g9 >= g1 {
+		t.Fatalf("area gain should decline with width: %.3f at 9X vs %.3f at 1X", g9, g1)
+	}
+}
+
+func TestDriveOf(t *testing.T) {
+	cases := map[string]float64{
+		"NAND2_2X": 2, "INV_9X": 9, "INV": 1, "AOI21_1X": 1,
+	}
+	for in, want := range cases {
+		if got := driveOf(in); got != want {
+			t.Errorf("driveOf(%s) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestExportFullAdderGDS(t *testing.T) {
+	k := kit(t)
+	nl := synth.FullAdder()
+	p, err := place.Shelves(k.CNFET, nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlacementGDS(&buf, k.CNFET, p, "FULLADDER_S2"); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := gdsii.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := lib.Find("FULLADDER_S2")
+	if top == nil {
+		t.Fatal("missing top structure")
+	}
+	if len(top.SRefs) != len(nl.Instances) {
+		t.Fatalf("srefs = %d, want %d", len(top.SRefs), len(nl.Instances))
+	}
+	// Distinct cells present with geometry on the CNT and gate layers.
+	inv := lib.Find("NAND2_2X_scheme2")
+	if inv == nil {
+		var have []string
+		for _, s := range lib.Structures {
+			have = append(have, s.Name)
+		}
+		t.Fatalf("missing NAND2 structure; have %v", have)
+	}
+	layers := map[int16]bool{}
+	for _, b := range inv.Boundaries {
+		layers[b.Layer] = true
+	}
+	for _, want := range []int16{gdsii.LayerCNT, gdsii.LayerGate, gdsii.LayerContact, gdsii.LayerPDope, gdsii.LayerNDope} {
+		if !layers[want] {
+			t.Errorf("NAND2 structure missing layer %d", want)
+		}
+	}
+}
+
+func TestExportCellDeduplicates(t *testing.T) {
+	k := kit(t)
+	lib := gdsii.NewLibrary("X")
+	c := k.CNFET.MustGet("INV_1X")
+	n1 := ExportCell(lib, c, layout.Scheme1)
+	n2 := ExportCell(lib, c, layout.Scheme1)
+	if n1 != n2 {
+		t.Fatal("re-export should return the same structure")
+	}
+	if len(lib.Structures) != 1 {
+		t.Fatalf("structures = %d, want 1", len(lib.Structures))
+	}
+}

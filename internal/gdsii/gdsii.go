@@ -1,0 +1,455 @@
+// Package gdsii implements the GDSII stream format (the "GDSII" half of
+// the paper's logic-to-GDSII flow): a typed in-memory model of libraries,
+// structures, boundaries, structure references and text labels, with a
+// binary writer and reader sufficient for round-tripping the design kit's
+// cell layouts and placements into industry-standard streams.
+package gdsii
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record types used by this implementation.
+const (
+	recHeader   = 0x00
+	recBgnLib   = 0x01
+	recLibName  = 0x02
+	recUnits    = 0x03
+	recEndLib   = 0x04
+	recBgnStr   = 0x05
+	recStrName  = 0x06
+	recEndStr   = 0x07
+	recBoundary = 0x08
+	recSRef     = 0x0A
+	recText     = 0x0C
+	recLayer    = 0x0D
+	recDatatype = 0x0E
+	recXY       = 0x10
+	recEndEl    = 0x11
+	recSName    = 0x12
+	recTextType = 0x16
+	recString   = 0x19
+	recStrans   = 0x1A
+	recMag      = 0x1B
+	recAngle    = 0x1C
+)
+
+// Data type codes.
+const (
+	dtNone   = 0x00
+	dtBit    = 0x01
+	dtInt16  = 0x02
+	dtInt32  = 0x03
+	dtReal8  = 0x05
+	dtString = 0x06
+)
+
+// Point is a database-unit coordinate.
+type Point struct {
+	X, Y int32
+}
+
+// Boundary is a closed polygon on a layer.
+type Boundary struct {
+	Layer    int16
+	Datatype int16
+	// XY are the vertices; the closing vertex (repeat of the first) is
+	// added on write if missing.
+	XY []Point
+}
+
+// SRef is a structure reference (cell instance).
+type SRef struct {
+	Name string
+	At   Point
+	// Mag is the magnification (0 or 1 = none).
+	Mag float64
+	// AngleDeg is the CCW rotation (degrees).
+	AngleDeg float64
+	// Reflect mirrors about the X axis before rotation.
+	Reflect bool
+}
+
+// Text is a label.
+type Text struct {
+	Layer    int16
+	TextType int16
+	At       Point
+	S        string
+}
+
+// Structure is a named cell.
+type Structure struct {
+	Name       string
+	Boundaries []Boundary
+	SRefs      []SRef
+	Texts      []Text
+}
+
+// Library is a GDSII library.
+type Library struct {
+	Name string
+	// UserUnit is the size of a database unit in user units (e.g. 1e-3
+	// for 1 dbu = 1/1000 µm).
+	UserUnit float64
+	// MeterUnit is the size of a database unit in metres.
+	MeterUnit  float64
+	Structures []*Structure
+}
+
+// NewLibrary returns a library with 1 dbu = 1nm units.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, UserUnit: 1e-3, MeterUnit: 1e-9}
+}
+
+// Add appends a structure and returns it.
+func (l *Library) Add(name string) *Structure {
+	s := &Structure{Name: name}
+	l.Structures = append(l.Structures, s)
+	return s
+}
+
+// Find returns the named structure or nil.
+func (l *Library) Find(name string) *Structure {
+	for _, s := range l.Structures {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Rect adds a rectangle boundary to the structure.
+func (s *Structure) Rect(layer int16, x0, y0, x1, y1 int32) {
+	s.Boundaries = append(s.Boundaries, Boundary{
+		Layer: layer,
+		XY: []Point{
+			{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}, {x0, y0},
+		},
+	})
+}
+
+// Label adds a text label.
+func (s *Structure) Label(layer int16, x, y int32, text string) {
+	s.Texts = append(s.Texts, Text{Layer: layer, At: Point{x, y}, S: text})
+}
+
+// Ref adds a cell reference.
+func (s *Structure) Ref(name string, x, y int32) {
+	s.SRefs = append(s.SRefs, SRef{Name: name, At: Point{x, y}})
+}
+
+// --- writer ---
+
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (w *writer) record(rt, dt byte, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	n := len(payload) + 4
+	hdr := []byte{byte(n >> 8), byte(n), rt, dt}
+	if _, err := w.w.Write(hdr); err != nil {
+		w.err = err
+		return
+	}
+	if len(payload) > 0 {
+		_, w.err = w.w.Write(payload)
+	}
+}
+
+func (w *writer) int16s(rt byte, vs ...int16) {
+	buf := make([]byte, 2*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	w.record(rt, dtInt16, buf)
+}
+
+func (w *writer) int32s(rt byte, vs ...int32) {
+	buf := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	w.record(rt, dtInt32, buf)
+}
+
+func (w *writer) str(rt byte, s string) {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0) // pad to even length
+	}
+	w.record(rt, dtString, b)
+}
+
+func (w *writer) real8s(rt byte, vs ...float64) {
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(buf[8*i:], toReal8(v))
+	}
+	w.record(rt, dtReal8, buf)
+}
+
+// toReal8 converts a float64 to GDSII excess-64 base-16 REAL8.
+func toReal8(v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	var sign uint64
+	if v < 0 {
+		sign = 1 << 63
+		v = -v
+	}
+	// v = mantissa * 16^(exp-64), mantissa in [1/16, 1).
+	exp := 64
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * math.Pow(2, 56))
+	return sign | uint64(exp)<<56 | (mant & ((1 << 56) - 1))
+}
+
+// fromReal8 converts a GDSII REAL8 to float64.
+func fromReal8(bits uint64) float64 {
+	if bits == 0 {
+		return 0
+	}
+	sign := 1.0
+	if bits>>63 == 1 {
+		sign = -1
+	}
+	exp := int((bits >> 56) & 0x7F)
+	mant := float64(bits&((1<<56)-1)) / math.Pow(2, 56)
+	return sign * mant * math.Pow(16, float64(exp-64))
+}
+
+// dummy timestamp fields (year, month, day, hour, minute, second ×2).
+var timestamp = []int16{1970, 1, 1, 0, 0, 0, 1970, 1, 1, 0, 0, 0}
+
+// Write streams the library in GDSII binary format.
+func (l *Library) Write(out io.Writer) error {
+	w := &writer{w: out}
+	w.int16s(recHeader, 600) // stream version 6
+	w.int16s(recBgnLib, timestamp...)
+	w.str(recLibName, l.Name)
+	w.real8s(recUnits, l.UserUnit, l.MeterUnit)
+	for _, s := range l.Structures {
+		w.int16s(recBgnStr, timestamp...)
+		w.str(recStrName, s.Name)
+		for _, b := range s.Boundaries {
+			w.record(recBoundary, dtNone, nil)
+			w.int16s(recLayer, b.Layer)
+			w.int16s(recDatatype, b.Datatype)
+			xy := closePolygon(b.XY)
+			coords := make([]int32, 0, 2*len(xy))
+			for _, p := range xy {
+				coords = append(coords, p.X, p.Y)
+			}
+			w.int32s(recXY, coords...)
+			w.record(recEndEl, dtNone, nil)
+		}
+		for _, r := range s.SRefs {
+			w.record(recSRef, dtNone, nil)
+			w.str(recSName, r.Name)
+			if r.Reflect || (r.Mag != 0 && r.Mag != 1) || r.AngleDeg != 0 {
+				var bits uint16
+				if r.Reflect {
+					bits |= 0x8000
+				}
+				w.record(recStrans, dtBit, []byte{byte(bits >> 8), byte(bits)})
+				if r.Mag != 0 && r.Mag != 1 {
+					w.real8s(recMag, r.Mag)
+				}
+				if r.AngleDeg != 0 {
+					w.real8s(recAngle, r.AngleDeg)
+				}
+			}
+			w.int32s(recXY, r.At.X, r.At.Y)
+			w.record(recEndEl, dtNone, nil)
+		}
+		for _, t := range s.Texts {
+			w.record(recText, dtNone, nil)
+			w.int16s(recLayer, t.Layer)
+			w.int16s(recTextType, t.TextType)
+			w.int32s(recXY, t.At.X, t.At.Y)
+			w.str(recString, t.S)
+			w.record(recEndEl, dtNone, nil)
+		}
+		w.record(recEndStr, dtNone, nil)
+	}
+	w.record(recEndLib, dtNone, nil)
+	return w.err
+}
+
+func closePolygon(xy []Point) []Point {
+	if len(xy) == 0 || xy[0] == xy[len(xy)-1] {
+		return xy
+	}
+	return append(append([]Point(nil), xy...), xy[0])
+}
+
+// --- reader ---
+
+// Read parses a GDSII stream into a Library. It understands the records
+// this package writes; unknown records are skipped.
+func Read(in io.Reader) (*Library, error) {
+	lib := &Library{}
+	var cur *Structure
+	var elem *elemState
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(in, hdr[:]); err != nil {
+			if err == io.EOF {
+				return lib, nil
+			}
+			return nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[:2]))
+		if n < 4 {
+			return nil, fmt.Errorf("gdsii: bad record length %d", n)
+		}
+		payload := make([]byte, n-4)
+		if _, err := io.ReadFull(in, payload); err != nil {
+			return nil, err
+		}
+		rt := hdr[2]
+		switch rt {
+		case recLibName:
+			lib.Name = cstr(payload)
+		case recUnits:
+			if len(payload) >= 16 {
+				lib.UserUnit = fromReal8(binary.BigEndian.Uint64(payload[:8]))
+				lib.MeterUnit = fromReal8(binary.BigEndian.Uint64(payload[8:16]))
+			}
+		case recBgnStr:
+			cur = &Structure{}
+			lib.Structures = append(lib.Structures, cur)
+		case recStrName:
+			if cur != nil {
+				cur.Name = cstr(payload)
+			}
+		case recEndStr:
+			cur = nil
+		case recBoundary:
+			elem = &elemState{kind: recBoundary}
+		case recSRef:
+			elem = &elemState{kind: recSRef, mag: 1}
+		case recText:
+			elem = &elemState{kind: recText}
+		case recLayer:
+			if elem != nil {
+				elem.layer = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recDatatype:
+			if elem != nil {
+				elem.datatype = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recTextType:
+			if elem != nil {
+				elem.texttype = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recSName:
+			if elem != nil {
+				elem.sname = cstr(payload)
+			}
+		case recString:
+			if elem != nil {
+				elem.text = cstr(payload)
+			}
+		case recStrans:
+			if elem != nil && len(payload) >= 2 {
+				elem.reflect = payload[0]&0x80 != 0
+			}
+		case recMag:
+			if elem != nil && len(payload) >= 8 {
+				elem.mag = fromReal8(binary.BigEndian.Uint64(payload))
+			}
+		case recAngle:
+			if elem != nil && len(payload) >= 8 {
+				elem.angle = fromReal8(binary.BigEndian.Uint64(payload))
+			}
+		case recXY:
+			if elem != nil {
+				for i := 0; i+8 <= len(payload); i += 8 {
+					elem.xy = append(elem.xy, Point{
+						X: int32(binary.BigEndian.Uint32(payload[i:])),
+						Y: int32(binary.BigEndian.Uint32(payload[i+4:])),
+					})
+				}
+			}
+		case recEndEl:
+			if elem != nil && cur != nil {
+				elem.commit(cur)
+			}
+			elem = nil
+		case recEndLib:
+			return lib, nil
+		}
+	}
+}
+
+type elemState struct {
+	kind     byte
+	layer    int16
+	datatype int16
+	texttype int16
+	sname    string
+	text     string
+	mag      float64
+	angle    float64
+	reflect  bool
+	xy       []Point
+}
+
+func (e *elemState) commit(s *Structure) {
+	switch e.kind {
+	case recBoundary:
+		s.Boundaries = append(s.Boundaries, Boundary{
+			Layer: e.layer, Datatype: e.datatype, XY: e.xy,
+		})
+	case recSRef:
+		r := SRef{Name: e.sname, Mag: e.mag, AngleDeg: e.angle, Reflect: e.reflect}
+		if len(e.xy) > 0 {
+			r.At = e.xy[0]
+		}
+		s.SRefs = append(s.SRefs, r)
+	case recText:
+		t := Text{Layer: e.layer, TextType: e.texttype, S: e.text}
+		if len(e.xy) > 0 {
+			t.At = e.xy[0]
+		}
+		s.Texts = append(s.Texts, t)
+	}
+}
+
+func cstr(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// Design-kit layer assignments (GDS layer numbers).
+const (
+	LayerBoundary int16 = 0
+	LayerCNT      int16 = 1
+	LayerGate     int16 = 10
+	LayerContact  int16 = 11
+	LayerMetal1   int16 = 12
+	LayerVia1     int16 = 13
+	LayerEtch     int16 = 20
+	LayerPin      int16 = 30
+	LayerPDope    int16 = 40
+	LayerNDope    int16 = 41
+)

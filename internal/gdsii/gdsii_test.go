@@ -1,0 +1,180 @@
+package gdsii
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReal8RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e-9, 1e-3, 0.5, 2, 1024, -3.14159, 6.25e-10} {
+		got := fromReal8(toReal8(v))
+		if v == 0 {
+			if got != 0 {
+				t.Fatalf("real8(0) = %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-12 {
+			t.Fatalf("real8 round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestReal8RandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(20)-10))
+		got := fromReal8(toReal8(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v) <= math.Abs(v)*1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownReal8Encoding(t *testing.T) {
+	// The canonical GDSII example: 1.0 encodes as 0x4110000000000000.
+	if got := toReal8(1.0); got != 0x4110000000000000 {
+		t.Fatalf("toReal8(1.0) = %#x", got)
+	}
+	// And the standard unit 1e-9.
+	if got := fromReal8(toReal8(1e-9)); math.Abs(got-1e-9) > 1e-21 {
+		t.Fatalf("1e-9 round trip = %v", got)
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib := NewLibrary("CNFETDK")
+	inv := lib.Add("INV1X")
+	inv.Rect(LayerCNT, 0, 0, 130, 520)
+	inv.Rect(LayerGate, 52, 0, 78, 520)
+	inv.Label(LayerPin, 65, 260, "A")
+	top := lib.Add("TOP")
+	top.Ref("INV1X", 100, 200)
+	top.SRefs = append(top.SRefs, SRef{Name: "INV1X", At: Point{500, 0}, AngleDeg: 90, Mag: 2, Reflect: true})
+
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "CNFETDK" {
+		t.Fatalf("lib name = %q", got.Name)
+	}
+	if math.Abs(got.MeterUnit-1e-9) > 1e-21 {
+		t.Fatalf("meter unit = %v", got.MeterUnit)
+	}
+	if len(got.Structures) != 2 {
+		t.Fatalf("structures = %d", len(got.Structures))
+	}
+	gi := got.Find("INV1X")
+	if gi == nil {
+		t.Fatal("INV1X missing")
+	}
+	if len(gi.Boundaries) != 2 {
+		t.Fatalf("boundaries = %d", len(gi.Boundaries))
+	}
+	b := gi.Boundaries[0]
+	if b.Layer != LayerCNT || len(b.XY) != 5 {
+		t.Fatalf("boundary = %+v", b)
+	}
+	if b.XY[2] != (Point{130, 520}) {
+		t.Fatalf("vertex = %+v", b.XY[2])
+	}
+	if len(gi.Texts) != 1 || gi.Texts[0].S != "A" {
+		t.Fatalf("texts = %+v", gi.Texts)
+	}
+	gt := got.Find("TOP")
+	if len(gt.SRefs) != 2 {
+		t.Fatalf("srefs = %d", len(gt.SRefs))
+	}
+	if gt.SRefs[0].At != (Point{100, 200}) {
+		t.Fatalf("sref at = %+v", gt.SRefs[0].At)
+	}
+	r := gt.SRefs[1]
+	if !r.Reflect || math.Abs(r.AngleDeg-90) > 1e-9 || math.Abs(r.Mag-2) > 1e-12 {
+		t.Fatalf("sref transform = %+v", r)
+	}
+}
+
+func TestPolygonClosing(t *testing.T) {
+	lib := NewLibrary("L")
+	s := lib.Add("S")
+	s.Boundaries = append(s.Boundaries, Boundary{
+		Layer: 1,
+		XY:    []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}, // not closed
+	})
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := got.Structures[0].Boundaries[0].XY
+	if len(xy) != 5 || xy[0] != xy[4] {
+		t.Fatalf("polygon not closed on write: %+v", xy)
+	}
+}
+
+func TestOddLengthStringPadding(t *testing.T) {
+	lib := NewLibrary("ODD") // 3 chars: needs padding
+	lib.Add("ABC")
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()%2 != 0 {
+		t.Fatal("stream length must be even")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ODD" || got.Structures[0].Name != "ABC" {
+		t.Fatalf("padded strings corrupted: %q %q", got.Name, got.Structures[0].Name)
+	}
+}
+
+func TestEmptyLibrary(t *testing.T) {
+	lib := NewLibrary("EMPTY")
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "EMPTY" || len(got.Structures) != 0 {
+		t.Fatalf("empty library round trip failed: %+v", got)
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	lib := NewLibrary("NEG")
+	s := lib.Add("S")
+	s.Rect(1, -100, -200, 50, 75)
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := got.Structures[0].Boundaries[0].XY
+	if xy[0] != (Point{-100, -200}) {
+		t.Fatalf("negative coords corrupted: %+v", xy[0])
+	}
+}

@@ -1,0 +1,392 @@
+// Package immunity verifies that CNFET layouts stay functional under
+// mispositioned carbon nanotubes — the property the paper's compact layout
+// technique guarantees by construction (Section III).
+//
+// Model: a tube is a straight line. Walking it left to right within the
+// layout's active region yields an ordered crossing sequence of metal
+// contacts (net-labelled), gate stripes (input-labelled) and cuts (etched
+// regions or leaving the active region). Between two consecutively touched
+// contacts with no intervening cut, the tube conducts exactly when every
+// crossed gate is ON — a product term (cube). The span is benign iff that
+// cube implies the network's intended conduction function between the two
+// nets (same-net spans are trivially benign). A layout is immune iff every
+// realizable tube yields only benign spans.
+//
+// Two verdict engines are provided: Monte Carlo sampling, and a
+// deterministic critical-line enumeration over pairs of geometry corners
+// (if any violating line exists, a violating line exists arbitrarily close
+// to one through two corners of the arrangement, so perturbed corner pairs
+// are a complete certificate for open violation sets).
+package immunity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/network"
+)
+
+// Checker verifies one pull network's geometry against its intended
+// conduction behaviour.
+type Checker struct {
+	Geom   *layout.NetGeom
+	Net    *network.Network
+	Inputs []string
+
+	conduct map[[2]string]*logic.Table
+	cubeTab map[string]*logic.Table
+}
+
+// NewChecker builds a checker for one network. inputs orders the truth
+// tables and must cover every gate input.
+func NewChecker(g *layout.NetGeom, nw *network.Network, inputs []string) *Checker {
+	return &Checker{
+		Geom:    g,
+		Net:     nw,
+		Inputs:  inputs,
+		conduct: map[[2]string]*logic.Table{},
+		cubeTab: map[string]*logic.Table{},
+	}
+}
+
+// Violation describes a tube span that conducts when the network must not.
+type Violation struct {
+	Tube   geom.Line
+	NetA   string
+	NetB   string
+	Cube   logic.Cube
+	Reason string
+}
+
+// String renders a violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("tube %.1f° %s-%s conducts under %s: %s",
+		v.Tube.AngleDeg(), v.NetA, v.NetB, v.Cube, v.Reason)
+}
+
+// crossing is one geometry crossing along a tube.
+type crossing struct {
+	t    float64 // parameter midpoint along the tube
+	t0   float64 // span start
+	t1   float64 // span end
+	kind layout.ElemKind
+	net  string
+	in   string
+	neg  bool
+}
+
+// trace computes the ordered crossing sequence of a tube, plus the maximal
+// intervals of the tube covered by active material.
+func (c *Checker) trace(line geom.Line) (seq []crossing, covered []geom.Span) {
+	for _, e := range c.Geom.Elements {
+		switch e.Kind {
+		case layout.ElemContact, layout.ElemGate, layout.ElemEtch:
+		default:
+			continue
+		}
+		sp, ok := line.ClipToRect(e.Rect)
+		if !ok {
+			continue
+		}
+		seq = append(seq, crossing{
+			t: sp.Mid(), t0: sp.T0, t1: sp.T1,
+			kind: e.Kind, net: e.Net, in: e.Input, neg: e.Neg,
+		})
+	}
+	sort.Slice(seq, func(i, j int) bool { return seq[i].t < seq[j].t })
+
+	var spans []geom.Span
+	for _, r := range c.Geom.Active {
+		if sp, ok := line.ClipToRect(r); ok {
+			spans = append(spans, sp)
+		}
+	}
+	covered = mergeSpans(spans)
+	return seq, covered
+}
+
+// mergeSpans merges overlapping/abutting parameter intervals.
+func mergeSpans(spans []geom.Span) []geom.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].T0 < spans[j].T0 })
+	const eps = 1e-9
+	out := []geom.Span{spans[0]}
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s.T0 <= last.T1+eps {
+			if s.T1 > last.T1 {
+				last.T1 = s.T1
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// inCovered reports whether [a,b] lies inside one covered interval.
+func inCovered(covered []geom.Span, a, b float64) bool {
+	const eps = 1e-9
+	for _, s := range covered {
+		if a >= s.T0-eps && b <= s.T1+eps {
+			return true
+		}
+	}
+	return false
+}
+
+// conductTable returns (caching) the intended conduction function between
+// two nets of the network. A net the network does not know (e.g. a
+// mislabelled contact) can never legitimately conduct to anything, so the
+// intended function is constant false.
+func (c *Checker) conductTable(u, v string) *logic.Table {
+	key := [2]string{u, v}
+	if u > v {
+		key = [2]string{v, u}
+	}
+	if t, ok := c.conduct[key]; ok {
+		return t
+	}
+	known := map[string]bool{}
+	for _, n := range c.Net.Nets() {
+		known[n] = true
+	}
+	var t *logic.Table
+	if known[u] && known[v] {
+		t = c.Net.Conduct(key[0], key[1], c.Inputs)
+	} else {
+		t = logic.NewTable(c.Inputs)
+	}
+	c.conduct[key] = t
+	return t
+}
+
+// cubeTable returns (caching) the truth table of a conduction cube.
+func (c *Checker) cubeTable(cu logic.Cube) *logic.Table {
+	key := cu.String()
+	if t, ok := c.cubeTab[key]; ok {
+		return t
+	}
+	t := logic.TableOfCube(cu, c.Inputs)
+	c.cubeTab[key] = t
+	return t
+}
+
+// CondSpan is one conductive tube span between two touched contacts: it
+// conducts exactly when its cube is satisfied (always, for metallic tubes
+// or bare doped spans — the empty cube).
+type CondSpan struct {
+	NetA, NetB string
+	Cube       logic.Cube
+	Metallic   bool
+}
+
+// CondSpans extracts every conductive span of a tube: consecutive contact
+// touches with continuous active coverage and no etch crossing in between.
+// The cube collects the crossed gates with device polarity applied
+// (p-FETs conduct on 0, n-FETs on 1, complemented inputs flipped);
+// metallic tubes ignore gates entirely.
+func (c *Checker) CondSpans(line geom.Line, metallic bool) []CondSpan {
+	seq, covered := c.trace(line)
+	var out []CondSpan
+	lastContact := -1
+	var gates []crossing
+	for i, cr := range seq {
+		switch cr.kind {
+		case layout.ElemEtch:
+			lastContact = -1
+			gates = gates[:0]
+		case layout.ElemGate:
+			gates = append(gates, cr)
+		case layout.ElemContact:
+			if lastContact >= 0 {
+				prev := seq[lastContact]
+				// The span counts only if fully on active material.
+				if inCovered(covered, prev.t1, cr.t0) {
+					out = append(out, CondSpan{
+						NetA:     prev.net,
+						NetB:     cr.net,
+						Cube:     c.buildCube(gates, metallic),
+						Metallic: metallic,
+					})
+				}
+			}
+			lastContact = i
+			gates = gates[:0]
+		}
+	}
+	return out
+}
+
+func (c *Checker) buildCube(gates []crossing, metallic bool) logic.Cube {
+	var cube logic.Cube
+	if metallic {
+		return cube
+	}
+	seen := map[string]bool{}
+	for _, g := range gates {
+		neg := c.Net.Type == network.PFET
+		if g.neg {
+			neg = !neg
+		}
+		key := fmt.Sprintf("%s/%v", g.in, neg)
+		if !seen[key] {
+			seen[key] = true
+			cube.Lits = append(cube.Lits, logic.Literal{Input: g.in, Neg: neg})
+		}
+	}
+	return cube
+}
+
+// CheckTube analyses one tube (semiconducting unless metallic) and returns
+// any violating spans.
+func (c *Checker) CheckTube(line geom.Line, metallic bool) []Violation {
+	var out []Violation
+	for _, sp := range c.CondSpans(line, metallic) {
+		if sp.NetA == sp.NetB {
+			continue
+		}
+		cubeT := c.cubeTable(sp.Cube)
+		want := c.conductTable(sp.NetA, sp.NetB)
+		if cubeT.Implies(want) {
+			continue
+		}
+		reason := "conduction not implied by intended network function"
+		if len(sp.Cube.Lits) == 0 {
+			reason = "unconditional doped path (short)"
+			if sp.Metallic {
+				reason = "metallic tube short"
+			}
+		}
+		out = append(out, Violation{Tube: line, NetA: sp.NetA, NetB: sp.NetB, Cube: sp.Cube, Reason: reason})
+	}
+	return out
+}
+
+// Report summarizes a verification run.
+type Report struct {
+	TubesChecked int
+	BadTubes     int
+	Violations   []Violation
+}
+
+// Immune reports whether no violations were found.
+func (r Report) Immune() bool { return r.BadTubes == 0 }
+
+// FailureRate returns the fraction of checked tubes that violate.
+func (r Report) FailureRate() float64 {
+	if r.TubesChecked == 0 {
+		return 0
+	}
+	return float64(r.BadTubes) / float64(r.TubesChecked)
+}
+
+// MonteCarlo samples n random tubes crossing the layout with angles up to
+// maxAngleDeg (uniform) and uniform vertical offsets, and checks each.
+func (c *Checker) MonteCarlo(n int, maxAngleDeg float64, rng *rand.Rand) Report {
+	rep := Report{}
+	bb := c.Geom.BBox
+	w, h := float64(bb.W()), float64(bb.H())
+	for i := 0; i < n; i++ {
+		y := float64(bb.Min.Y) - h*0.25 + rng.Float64()*h*1.5
+		ang := (2*rng.Float64() - 1) * maxAngleDeg * math.Pi / 180
+		dx := w * 1.5
+		dy := math.Tan(ang) * dx
+		line := geom.Ln(float64(bb.Min.X)-w*0.25, y, float64(bb.Min.X)-w*0.25+dx, y+dy)
+		vs := c.CheckTube(line, false)
+		rep.TubesChecked++
+		if len(vs) > 0 {
+			rep.BadTubes++
+			if len(rep.Violations) < 32 {
+				rep.Violations = append(rep.Violations, vs...)
+			}
+		}
+	}
+	return rep
+}
+
+// CheckPopulation verifies a synthesized tube population.
+func (c *Checker) CheckPopulation(tubes []cnt.Tube) Report {
+	rep := Report{}
+	for _, t := range tubes {
+		vs := c.CheckTube(t.Line, t.Metallic)
+		rep.TubesChecked++
+		if len(vs) > 0 {
+			rep.BadTubes++
+			if len(rep.Violations) < 32 {
+				rep.Violations = append(rep.Violations, vs...)
+			}
+		}
+	}
+	return rep
+}
+
+// CriticalLines deterministically enumerates candidate violating lines:
+// all lines through pairs of element/active corners, each perturbed by ±ε
+// in both endpoints' y (violating line sets are open, so a violation
+// implies a violating line near a corner-pair line). Returns the combined
+// report; an Immune() result is a strong certificate for straight tubes of
+// any angle.
+func (c *Checker) CriticalLines() Report {
+	var pts []geom.FPoint
+	add := func(r geom.Rect) {
+		for _, p := range r.Corners() {
+			pts = append(pts, p.ToF())
+		}
+	}
+	for _, e := range c.Geom.Elements {
+		switch e.Kind {
+		case layout.ElemContact, layout.ElemGate, layout.ElemEtch:
+			add(e.Rect)
+		}
+	}
+	for _, r := range c.Geom.Active {
+		add(r)
+	}
+	rep := Report{}
+	const eps = 1e-4
+	offs := []float64{-eps, eps}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			a, b := pts[i], pts[j]
+			if math.Abs(a.X-b.X) < 1e-12 {
+				continue // vertical line cannot cross contact columns in sequence
+			}
+			for _, da := range offs {
+				for _, db := range offs {
+					line := extendLine(geom.Ln(a.X, a.Y+da, b.X, b.Y+db), c.Geom.BBox)
+					vs := c.CheckTube(line, false)
+					rep.TubesChecked++
+					if len(vs) > 0 {
+						rep.BadTubes++
+						if len(rep.Violations) < 32 {
+							rep.Violations = append(rep.Violations, vs...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// extendLine stretches a segment so it spans well beyond the bounding box.
+func extendLine(l geom.Line, bb geom.Rect) geom.Line {
+	dx := l.B.X - l.A.X
+	dy := l.B.Y - l.A.Y
+	n := math.Hypot(dx, dy)
+	if n == 0 {
+		return l
+	}
+	reach := (float64(bb.W()) + float64(bb.H())) * 2
+	ux, uy := dx/n, dy/n
+	return geom.Ln(l.A.X-ux*reach, l.A.Y-uy*reach, l.B.X+ux*reach, l.B.Y+uy*reach)
+}

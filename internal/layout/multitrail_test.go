@@ -1,0 +1,95 @@
+package layout
+
+import (
+	"testing"
+
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/rules"
+)
+
+// Series-parallel pull networks always have at most two odd-degree nets,
+// so they lower to a single Euler row. The generator also supports
+// arbitrary (non-SP) networks — e.g. bridge-style structures — by
+// decomposing into multiple trails separated by etched cuts. This test
+// builds a K4-like network with four odd nets and checks the row
+// structure.
+func TestMultiTrailNonSPNetwork(t *testing.T) {
+	nw := &network.Network{
+		Type: network.NFET,
+		Top:  "OUT", Bottom: "GND",
+		Devices: []network.Device{
+			{Gate: "A", Type: network.NFET, From: "OUT", To: "a", Width: 1},
+			{Gate: "B", Type: network.NFET, From: "OUT", To: "b", Width: 1},
+			{Gate: "C", Type: network.NFET, From: "a", To: "b", Width: 1},
+			{Gate: "D", Type: network.NFET, From: "a", To: "GND", Width: 1},
+			{Gate: "E", Type: network.NFET, From: "b", To: "GND", Width: 1},
+			{Gate: "F", Type: network.NFET, From: "OUT", To: "GND", Width: 1},
+		},
+	}
+	g, err := compactNetwork(nw, geom.Lambda(4), rules.Default65nm(rules.CNFET))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four odd nets (OUT, GND, a, b all have odd degree 3) -> two trails
+	// -> exactly one etched separator in the row.
+	if got := len(g.Etches()); got != 1 {
+		t.Fatalf("etch separators = %d, want 1", got)
+	}
+	// All six gates present.
+	if got := len(g.Gates()); got != 6 {
+		t.Fatalf("gates = %d, want 6", got)
+	}
+	// Odd-degree internal nets a and b must always be contacted (no
+	// pass-through for degree != 2).
+	seen := map[string]int{}
+	for _, c := range g.Contacts() {
+		seen[c.Net]++
+	}
+	if seen["a"] == 0 || seen["b"] == 0 {
+		t.Fatalf("internal nets not contacted: %v", seen)
+	}
+	// The etch must sit between two contacts (not adjacent to a gate), so
+	// the two row segments stay electrically well-formed.
+	etch := g.Etches()[0]
+	leftContact, rightContact := false, false
+	for _, e := range g.Elements {
+		if e.Kind != ElemContact {
+			continue
+		}
+		if e.Rect.Max.X == etch.Min.X {
+			leftContact = true
+		}
+		if e.Rect.Min.X == etch.Max.X {
+			rightContact = true
+		}
+	}
+	if !leftContact || !rightContact {
+		t.Fatal("etch separator must abut contacts on both sides")
+	}
+}
+
+func TestMultiTrailActiveExcludesEtch(t *testing.T) {
+	nw := &network.Network{
+		Type: network.NFET,
+		Top:  "OUT", Bottom: "GND",
+		Devices: []network.Device{
+			{Gate: "A", Type: network.NFET, From: "OUT", To: "a", Width: 1},
+			{Gate: "B", Type: network.NFET, From: "OUT", To: "b", Width: 1},
+			{Gate: "C", Type: network.NFET, From: "a", To: "b", Width: 1},
+			{Gate: "D", Type: network.NFET, From: "a", To: "GND", Width: 1},
+			{Gate: "E", Type: network.NFET, From: "b", To: "GND", Width: 1},
+			{Gate: "F", Type: network.NFET, From: "OUT", To: "GND", Width: 1},
+		},
+	}
+	g, err := compactNetwork(nw, geom.Lambda(4), rules.Default65nm(rules.CNFET))
+	if err != nil {
+		t.Fatal(err)
+	}
+	etch := g.Etches()[0]
+	for _, a := range g.Active {
+		if a.Overlaps(etch) {
+			t.Fatalf("active %v overlaps etch %v", a, etch)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package layout
+
+import (
+	"fmt"
+
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/network"
+	"cnfetdk/internal/rules"
+)
+
+// stackedNetwork builds the etched-region layout style of ref [6] (Patil,
+// DAC'07): series compositions concatenate horizontally as separate
+// contact-bounded islands, parallel compositions stack vertically between
+// shared full-height contact columns. Strips of a stack are separated by
+// ≥2λ etched regions; passing withEtch=false omits them, yielding the
+// misaligned-CNT-vulnerable geometry of Fig 2(b) in which the doped
+// inter-strip region lets a skewed tube short the shared contacts.
+//
+// Gates buried inside a stack (every strip except the topmost) cannot
+// escape sideways past the shared contact columns and are marked with
+// vertical-gating vias — the manufacturability cost the paper's compact
+// layouts avoid.
+func stackedNetwork(sp *network.SPNode, nw *network.Network, unit geom.Coord, rs rules.Rules, withEtch bool) (*NetGeom, error) {
+	counter := 0
+	blk, err := buildBlock(sp, nw.Top, nw.Bottom, &counter, unit, rs, withEtch)
+	if err != nil {
+		return nil, err
+	}
+	out := &NetGeom{Type: nw.Type, Elements: blk.elems, Active: blk.active}
+	out.BBox = geom.R(0, 0, blk.w, blk.h)
+	for _, e := range blk.elems {
+		if e.Kind == ElemVia {
+			out.ViasOnGate++
+		}
+	}
+	return out, nil
+}
+
+// block is an intermediate rectangular layout region whose left and right
+// edges are contact columns.
+type block struct {
+	w, h   geom.Coord
+	rightH geom.Coord // active height at the right boundary contact
+	elems  []Element
+	active []geom.Rect
+}
+
+func (b *block) translate(dx, dy geom.Coord) {
+	for i := range b.elems {
+		b.elems[i].Rect = b.elems[i].Rect.Translate(dx, dy)
+	}
+	for i := range b.active {
+		b.active[i] = b.active[i].Translate(dx, dy)
+	}
+}
+
+// buildBlock recurses over the SP tree. Internal series junction nets are
+// named x1, x2, ... in the same emission order as network.Elaborate so the
+// geometry and the electrical network agree on net names.
+func buildBlock(n *network.SPNode, a, b string, counter *int, unit geom.Coord, rs rules.Rules, withEtch bool) (*block, error) {
+	switch n.Kind {
+	case network.SPLeaf:
+		return leafBlock(n, a, b, unit, rs), nil
+	case network.SPSeries:
+		return seriesBlock(n, a, b, counter, unit, rs, withEtch)
+	case network.SPParallel:
+		return parallelBlock(n, a, b, counter, unit, rs, withEtch)
+	}
+	return nil, fmt.Errorf("layout: bad SP node kind %d", n.Kind)
+}
+
+func leafBlock(n *network.SPNode, a, b string, unit geom.Coord, rs rules.Rules) *block {
+	h := quantize(n.Width, unit)
+	c, g, s := rs.ContactW, rs.GateLen, rs.GateContactGap
+	w := 2*c + g + 2*s
+	blk := &block{w: w, h: h, rightH: h}
+	blk.elems = append(blk.elems,
+		Element{Kind: ElemContact, Rect: geom.R(0, 0, c, h), Net: a},
+		Element{Kind: ElemGate, Rect: geom.R(c+s, 0, c+s+g, h), Input: n.Input, Neg: n.Neg},
+		Element{Kind: ElemContact, Rect: geom.R(w-c, 0, w, h), Net: b},
+	)
+	blk.active = append(blk.active, geom.R(0, 0, w, h))
+	return blk
+}
+
+func seriesBlock(n *network.SPNode, a, b string, counter *int, unit geom.Coord, rs rules.Rules, withEtch bool) (*block, error) {
+	// Maximal runs of consecutive leaves share diffusion in a single
+	// contact-bounded island (the conventional series row [6] also uses);
+	// parallel sub-blocks become their own islands.
+	prev := a
+	var kids []*block
+	i := 0
+	for i < len(n.Kids) {
+		last := i == len(n.Kids)-1
+		if n.Kids[i].Kind == network.SPLeaf {
+			j := i
+			for j+1 < len(n.Kids) && n.Kids[j+1].Kind == network.SPLeaf {
+				j++
+			}
+			// Junction nets inside the run are consumed silently (shared
+			// diffusion); the run's right boundary net comes after it.
+			runLeaves := n.Kids[i : j+1]
+			for k := i; k < j; k++ {
+				*counter++
+			}
+			next := b
+			if j < len(n.Kids)-1 {
+				*counter++
+				next = fmt.Sprintf("x%d", *counter)
+			}
+			kids = append(kids, leafChainBlock(runLeaves, prev, next, unit, rs))
+			prev = next
+			i = j + 1
+			continue
+		}
+		next := b
+		if !last {
+			*counter++
+			next = fmt.Sprintf("x%d", *counter)
+		}
+		kb, err := buildBlock(n.Kids[i], prev, next, counter, unit, rs, withEtch)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, kb)
+		prev = next
+		i++
+	}
+	out := &block{}
+	x := geom.Coord(0)
+	for i, kb := range kids {
+		if i > 0 {
+			// Inter-island spacing; the junction net is carried by the
+			// abutting contacts of both islands, joined with a strap.
+			strapH := kb.h
+			if kids[i-1].h < strapH {
+				strapH = kids[i-1].h
+			}
+			out.elems = append(out.elems, Element{
+				Kind: ElemStrap,
+				Rect: geom.R(x-rs.ContactW, 0, x+rs.GateGateGap+rs.ContactW, strapH),
+				Net:  prevNetAt(kb),
+			})
+			x += rs.GateGateGap
+		}
+		kb.translate(x, 0)
+		out.elems = append(out.elems, kb.elems...)
+		out.active = append(out.active, kb.active...)
+		x += kb.w
+		if kb.h > out.h {
+			out.h = kb.h
+		}
+	}
+	out.w = x
+	out.rightH = kids[len(kids)-1].rightH
+	return out, nil
+}
+
+// leafChainBlock lays out a run of series leaves as one shared-diffusion
+// island: contact | gate gate ... gate | contact.
+func leafChainBlock(leaves []*network.SPNode, a, b string, unit geom.Coord, rs rules.Rules) *block {
+	h := quantize(leaves[0].Width, unit)
+	for _, l := range leaves {
+		if lh := quantize(l.Width, unit); lh > h {
+			h = lh
+		}
+	}
+	c, g, s, gg := rs.ContactW, rs.GateLen, rs.GateContactGap, rs.GateGateGap
+	blk := &block{h: h, rightH: h}
+	x := geom.Coord(0)
+	blk.elems = append(blk.elems, Element{Kind: ElemContact, Rect: geom.R(0, 0, c, h), Net: a})
+	x += c + s
+	for i, l := range leaves {
+		if i > 0 {
+			x += gg
+		}
+		blk.elems = append(blk.elems, Element{
+			Kind: ElemGate, Rect: geom.R(x, 0, x+g, h), Input: l.Input, Neg: l.Neg,
+		})
+		x += g
+	}
+	x += s
+	blk.elems = append(blk.elems, Element{Kind: ElemContact, Rect: geom.R(x, 0, x+c, h), Net: b})
+	x += c
+	blk.w = x
+	blk.active = append(blk.active, geom.R(0, 0, x, h))
+	return blk
+}
+
+// prevNetAt returns the net of the block's leftmost contact, used to label
+// the strap joining two series islands.
+func prevNetAt(b *block) string {
+	for _, e := range b.elems {
+		if e.Kind == ElemContact && e.Rect.Min.X == 0 {
+			return e.Net
+		}
+	}
+	return ""
+}
+
+func parallelBlock(n *network.SPNode, a, b string, counter *int, unit geom.Coord, rs rules.Rules, withEtch bool) (*block, error) {
+	kids := make([]*block, len(n.Kids))
+	maxW := geom.Coord(0)
+	for i, k := range n.Kids {
+		kb, err := buildBlock(k, a, b, counter, unit, rs, withEtch)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = kb
+		if kb.w > maxW {
+			maxW = kb.w
+		}
+	}
+	c := rs.ContactW
+	out := &block{w: maxW}
+	totalH := geom.Coord(0)
+	for i, kb := range kids {
+		if i > 0 {
+			totalH += rs.EtchW
+		}
+		totalH += kb.h
+	}
+	out.h = totalH
+	y := geom.Coord(0)
+	for i, kb := range kids {
+		if i > 0 {
+			// Separator region between strips, spanning the interior
+			// between the shared contact columns.
+			sep := geom.R(c, y, maxW-c, y+rs.EtchW)
+			if withEtch {
+				out.elems = append(out.elems, Element{Kind: ElemEtch, Rect: sep})
+			} else {
+				// Vulnerable variant: the region keeps its doped CNTs.
+				out.active = append(out.active, sep)
+			}
+			y += rs.EtchW
+		}
+		stretchBlock(kb, maxW, rs)
+		stripBoundaryContacts(kb)
+		kb.translate(0, y)
+		// Gates buried under an upper strip need vertical gating.
+		if i < len(kids)-1 {
+			buryGates(kb, rs)
+		}
+		out.elems = append(out.elems, kb.elems...)
+		out.active = append(out.active, kb.active...)
+		y += kb.h
+	}
+	// Shared full-height contact columns.
+	out.elems = append(out.elems,
+		Element{Kind: ElemContact, Rect: geom.R(0, 0, c, totalH), Net: a},
+		Element{Kind: ElemContact, Rect: geom.R(maxW-c, 0, maxW, totalH), Net: b},
+	)
+	out.active = append(out.active,
+		geom.R(0, 0, c, totalH),
+		geom.R(maxW-c, 0, maxW, totalH),
+	)
+	out.rightH = totalH
+	return out, nil
+}
+
+// stretchBlock widens a block to width w by moving its right boundary
+// contact column outward and filling the inserted span with doped active at
+// the boundary strip height, so a narrow strip lines up with the shared
+// contact columns of a wider stack.
+func stretchBlock(b *block, w geom.Coord, rs rules.Rules) {
+	if b.w >= w {
+		return
+	}
+	dx := w - b.w
+	edge := b.w - rs.ContactW // start of the right boundary contact
+	for i := range b.elems {
+		if b.elems[i].Rect.Min.X >= edge {
+			b.elems[i].Rect = b.elems[i].Rect.Translate(dx, 0)
+		}
+	}
+	grown := false
+	for i := range b.active {
+		r := b.active[i]
+		switch {
+		case r.Min.X >= edge:
+			// The boundary contact's own active rect moves with it.
+			b.active[i] = r.Translate(dx, 0)
+		case r.Max.X > edge:
+			// A rect spanning the boundary (e.g. a leaf's full-strip
+			// active) simply grows across the inserted span.
+			b.active[i] = geom.Rect{Min: r.Min, Max: geom.Pt(r.Max.X+dx, r.Max.Y)}
+			grown = true
+		}
+	}
+	if !grown {
+		// Doped filler joining the interior to the displaced contact.
+		b.active = append(b.active, geom.R(edge, 0, edge+dx, b.rightH))
+	}
+	b.w = w
+}
+
+// stripBoundaryContacts removes the block's left and right contact columns
+// (both elements and their active rects) so a parallel stack can replace
+// them with shared full-height columns.
+func stripBoundaryContacts(b *block) {
+	keepE := b.elems[:0]
+	var left, right geom.Rect
+	for _, e := range b.elems {
+		if e.Kind == ElemContact && e.Rect.Min.X == 0 {
+			left = e.Rect
+			continue
+		}
+		if e.Kind == ElemContact && e.Rect.Max.X == b.w {
+			right = e.Rect
+			continue
+		}
+		keepE = append(keepE, e)
+	}
+	b.elems = keepE
+	keepA := b.active[:0]
+	for _, r := range b.active {
+		if r == left || r == right {
+			continue
+		}
+		keepA = append(keepA, r)
+	}
+	b.active = keepA
+}
+
+// buryGates marks every gate in the block as needing a vertical-gating via
+// (a ~3λ via on top of the 2λ gate, which conventional lithography rules
+// disallow — the cost the paper's Section III calls out).
+func buryGates(b *block, rs rules.Rules) {
+	var vias []Element
+	for _, e := range b.elems {
+		if e.Kind != ElemGate {
+			continue
+		}
+		cx := (e.Rect.Min.X + e.Rect.Max.X) / 2
+		top := e.Rect.Max.Y
+		vias = append(vias, Element{
+			Kind:  ElemVia,
+			Rect:  geom.R(cx-rs.ViaW/2, top-rs.ViaW, cx+rs.ViaW/2, top),
+			Input: e.Input,
+		})
+	}
+	b.elems = append(b.elems, vias...)
+}

@@ -1,0 +1,229 @@
+// Package liberty characterizes the standard-cell library into NLDM-style
+// lookup tables and writes industry-standard Liberty (.lib) files — the
+// artifact that lets the CNFET library drop into the conventional
+// synthesis flow, which is the point of the paper's Section IV
+// ("incorporate minimal changes to the conventional design flow").
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/logic"
+)
+
+// LUT is a one-dimensional NLDM table: delay (s) vs output load (F).
+type LUT struct {
+	LoadsF  []float64
+	DelaysS []float64
+}
+
+// Interp evaluates the table at a load with linear interpolation and flat
+// extrapolation.
+func (l LUT) Interp(loadF float64) float64 {
+	if len(l.LoadsF) == 0 {
+		return 0
+	}
+	if loadF <= l.LoadsF[0] {
+		return l.DelaysS[0]
+	}
+	for i := 1; i < len(l.LoadsF); i++ {
+		if loadF <= l.LoadsF[i] {
+			f := (loadF - l.LoadsF[i-1]) / (l.LoadsF[i] - l.LoadsF[i-1])
+			return l.DelaysS[i-1] + f*(l.DelaysS[i]-l.DelaysS[i-1])
+		}
+	}
+	// Linear extrapolation from the last segment (loads beyond the
+	// characterized range are common at high fanout).
+	n := len(l.LoadsF)
+	slope := (l.DelaysS[n-1] - l.DelaysS[n-2]) / (l.LoadsF[n-1] - l.LoadsF[n-2])
+	return l.DelaysS[n-1] + slope*(loadF-l.LoadsF[n-1])
+}
+
+// Arc is one characterized timing arc (input pin -> OUT).
+type Arc struct {
+	Input string
+	Table LUT
+}
+
+// CellModel is one library cell's characterization.
+type CellModel struct {
+	Name      string
+	AreaLam2  float64
+	Function  string // Liberty boolean function of OUT
+	InputCapF map[string]float64
+	Arcs      []Arc
+	EnergyJ   float64 // per-cycle switching energy at the reference load
+}
+
+// Model is the characterized library.
+type Model struct {
+	Name     string
+	Tech     string
+	Cells    map[string]*CellModel
+	LoadsF   []float64
+	RefLoadF float64
+}
+
+// DefaultLoads returns the characterization load sweep: multiples of the
+// library's reference (FO4-equivalent) load.
+func DefaultLoads(ref float64) []float64 {
+	return []float64{ref * 0.25, ref * 0.5, ref, ref * 2, ref * 4}
+}
+
+// Characterize sweeps every cell and timing arc of the library across the
+// load points using the transistor-level simulator. cellFilter restricts
+// which cells to characterize (nil = all).
+func Characterize(lib *cells.Library, loads []float64, cellFilter func(string) bool) (*Model, error) {
+	ref := lib.ReferenceLoad()
+	if loads == nil {
+		loads = DefaultLoads(ref)
+	}
+	m := &Model{
+		Name:     "cnfetdk_" + strings.ToLower(lib.Tech.String()) + "_65nm",
+		Tech:     lib.Tech.String(),
+		Cells:    map[string]*CellModel{},
+		LoadsF:   loads,
+		RefLoadF: ref,
+	}
+	for _, name := range lib.Names() {
+		if cellFilter != nil && !cellFilter(name) {
+			continue
+		}
+		c := lib.MustGet(name)
+		cm := &CellModel{
+			Name:      name,
+			AreaLam2:  lib.Area(c, layout.Scheme1),
+			Function:  libertyFunction(c.Gate.PullDown),
+			InputCapF: map[string]float64{},
+		}
+		for _, in := range c.Inputs() {
+			cm.InputCapF[in] = lib.InputCap(c, in)
+			arc := Arc{Input: in}
+			for _, load := range loads {
+				t, err := lib.Characterize(c, in, load)
+				if err != nil {
+					return nil, fmt.Errorf("liberty: %s/%s: %w", name, in, err)
+				}
+				arc.Table.LoadsF = append(arc.Table.LoadsF, load)
+				arc.Table.DelaysS = append(arc.Table.DelaysS, t.DelayS)
+				if load == ref && in == c.Inputs()[0] {
+					cm.EnergyJ = t.EnergyJ
+				}
+			}
+			cm.Arcs = append(cm.Arcs, arc)
+		}
+		m.Cells[name] = cm
+	}
+	return m, nil
+}
+
+// libertyFunction renders the cell output function (the complement of the
+// pull-down expression) in Liberty syntax: out = !(f) with & | !.
+func libertyFunction(f *logic.Expr) string {
+	return "!(" + libertyExpr(f) + ")"
+}
+
+func libertyExpr(e *logic.Expr) string {
+	switch e.Op {
+	case logic.OpVar:
+		return e.Name
+	case logic.OpNot:
+		return "!" + libertyExpr(e.Kids[0])
+	case logic.OpAnd:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			s := libertyExpr(k)
+			if k.Op == logic.OpOr {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, "&")
+	case logic.OpOr:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = libertyExpr(k)
+		}
+		return strings.Join(parts, "|")
+	}
+	return "?"
+}
+
+// Arc returns the timing arc for an input pin (nil if absent).
+func (c *CellModel) Arc(input string) *Arc {
+	for i := range c.Arcs {
+		if c.Arcs[i].Input == input {
+			return &c.Arcs[i]
+		}
+	}
+	return nil
+}
+
+// Write emits the model as a Liberty file. Units: 1ps time, 1fF load.
+func (m *Model) Write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library(%s) {\n", m.Name)
+	fmt.Fprintf(&b, "  comment : \"CNFET design kit, %s at the 65nm node\";\n", m.Tech)
+	fmt.Fprintf(&b, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(&b, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(&b, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(&b, "  nom_voltage : 1.0;\n")
+	fmt.Fprintf(&b, "  lu_table_template(delay_vs_load) {\n")
+	fmt.Fprintf(&b, "    variable_1 : total_output_net_capacitance;\n")
+	fmt.Fprintf(&b, "    index_1 (\"%s\");\n", joinF(m.LoadsF, 1e15))
+	fmt.Fprintf(&b, "  }\n")
+
+	names := make([]string, 0, len(m.Cells))
+	for n := range m.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := m.Cells[n]
+		fmt.Fprintf(&b, "  cell(%s) {\n", c.Name)
+		fmt.Fprintf(&b, "    area : %.2f;\n", c.AreaLam2)
+		ins := make([]string, 0, len(c.InputCapF))
+		for in := range c.InputCapF {
+			ins = append(ins, in)
+		}
+		sort.Strings(ins)
+		for _, in := range ins {
+			fmt.Fprintf(&b, "    pin(%s) {\n", in)
+			fmt.Fprintf(&b, "      direction : input;\n")
+			fmt.Fprintf(&b, "      capacitance : %.5f;\n", c.InputCapF[in]*1e15)
+			fmt.Fprintf(&b, "    }\n")
+		}
+		fmt.Fprintf(&b, "    pin(OUT) {\n")
+		fmt.Fprintf(&b, "      direction : output;\n")
+		fmt.Fprintf(&b, "      function : \"%s\";\n", c.Function)
+		for _, arc := range c.Arcs {
+			fmt.Fprintf(&b, "      timing() {\n")
+			fmt.Fprintf(&b, "        related_pin : \"%s\";\n", arc.Input)
+			fmt.Fprintf(&b, "        timing_sense : negative_unate;\n")
+			for _, kind := range []string{"cell_rise", "cell_fall"} {
+				fmt.Fprintf(&b, "        %s(delay_vs_load) {\n", kind)
+				fmt.Fprintf(&b, "          values (\"%s\");\n", joinF(arc.Table.DelaysS, 1e12))
+				fmt.Fprintf(&b, "        }\n")
+			}
+			fmt.Fprintf(&b, "      }\n")
+		}
+		fmt.Fprintf(&b, "    }\n")
+		fmt.Fprintf(&b, "  }\n")
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func joinF(vs []float64, scale float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.4f", v*scale)
+	}
+	return strings.Join(parts, ", ")
+}

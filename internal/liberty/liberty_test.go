@@ -1,0 +1,114 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/rules"
+)
+
+func TestLUTInterp(t *testing.T) {
+	l := LUT{LoadsF: []float64{1, 2, 4}, DelaysS: []float64{10, 14, 22}}
+	cases := []struct{ load, want float64 }{
+		{0.5, 10}, // clamp low
+		{1, 10},
+		{1.5, 12},
+		{3, 18},
+		{4, 22},
+		{6, 30}, // linear extrapolation: slope 4 per unit
+	}
+	for _, c := range cases {
+		if got := l.Interp(c.load); got != c.want {
+			t.Errorf("Interp(%v) = %v, want %v", c.load, got, c.want)
+		}
+	}
+	var empty LUT
+	if empty.Interp(5) != 0 {
+		t.Fatal("empty LUT should return 0")
+	}
+}
+
+func TestLibertyFunction(t *testing.T) {
+	cases := map[string]string{
+		"AB":         "!(A&B)",
+		"A+B":        "!(A|B)",
+		"AB+C":       "!(A&B|C)",
+		"(A+B)C":     "!((A|B)&C)",
+		"A'B":        "!(!A&B)",
+		"(A+B)(C+D)": "!((A|B)&(C|D))",
+	}
+	for in, want := range cases {
+		if got := libertyFunction(logic.MustParse(in)); got != want {
+			t.Errorf("libertyFunction(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestCharacterizeSubsetAndWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spice characterization")
+	}
+	lib, err := cells.NewLibrary(rules.CNFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := map[string]bool{"INV_1X": true, "NAND2_1X": true, "AOI21_1X": true}
+	m, err := Characterize(lib, nil, func(n string) bool { return keep[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(m.Cells))
+	}
+	inv := m.Cells["INV_1X"]
+	if inv == nil || len(inv.Arcs) != 1 {
+		t.Fatalf("INV model malformed: %+v", inv)
+	}
+	// Delay must grow monotonically with load.
+	tab := inv.Arcs[0].Table
+	for i := 1; i < len(tab.DelaysS); i++ {
+		if tab.DelaysS[i] <= tab.DelaysS[i-1] {
+			t.Fatalf("delay not monotone in load: %v", tab.DelaysS)
+		}
+	}
+	// AOI21 has three arcs (A, B, C).
+	if got := len(m.Cells["AOI21_1X"].Arcs); got != 3 {
+		t.Fatalf("AOI21 arcs = %d, want 3", got)
+	}
+	if m.Cells["AOI21_1X"].Function != "!(A&B|C)" {
+		t.Fatalf("AOI21 function = %s", m.Cells["AOI21_1X"].Function)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library(cnfetdk_cnfet_65nm)",
+		"lu_table_template(delay_vs_load)",
+		"cell(NAND2_1X)",
+		`function : "!(A&B)"`,
+		`related_pin : "A"`,
+		"cell_rise(delay_vs_load)",
+		"capacitance :",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("liberty output missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in liberty output")
+	}
+}
+
+func TestArcLookup(t *testing.T) {
+	c := &CellModel{Arcs: []Arc{{Input: "A"}, {Input: "B"}}}
+	if c.Arc("B") == nil || c.Arc("Z") != nil {
+		t.Fatal("Arc lookup broken")
+	}
+}

@@ -1,0 +1,217 @@
+// Package logic provides Boolean expressions, truth tables, and
+// series-parallel-friendly normal forms for the CNFET cell generators.
+//
+// Cells are specified by their pull-down function f (the positive-logic
+// function whose truth pulls the output low); the cell output is f'. The
+// layout generators lower AND to series and OR to parallel for the PDN, and
+// use the structural dual for the PUN, exactly as the paper builds its
+// SOP/POS layouts in Section III.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is the node kind of an expression tree.
+type Op int
+
+// Expression node kinds.
+const (
+	OpVar Op = iota
+	OpNot
+	OpAnd
+	OpOr
+)
+
+// Expr is an immutable Boolean expression tree.
+type Expr struct {
+	Op   Op
+	Name string  // for OpVar
+	Kids []*Expr // operands for OpNot (1), OpAnd/OpOr (>=2)
+}
+
+// Var returns a variable reference.
+func Var(name string) *Expr { return &Expr{Op: OpVar, Name: name} }
+
+// Not returns the negation of e.
+func Not(e *Expr) *Expr { return &Expr{Op: OpNot, Kids: []*Expr{e}} }
+
+// And returns the conjunction of the operands, flattening nested ANDs.
+func And(es ...*Expr) *Expr { return nary(OpAnd, es) }
+
+// Or returns the disjunction of the operands, flattening nested ORs.
+func Or(es ...*Expr) *Expr { return nary(OpOr, es) }
+
+func nary(op Op, es []*Expr) *Expr {
+	if len(es) == 0 {
+		panic("logic: empty n-ary operand list")
+	}
+	if len(es) == 1 {
+		return es[0]
+	}
+	var kids []*Expr
+	for _, e := range es {
+		if e.Op == op {
+			kids = append(kids, e.Kids...)
+		} else {
+			kids = append(kids, e)
+		}
+	}
+	return &Expr{Op: op, Kids: kids}
+}
+
+// Vars returns the distinct variable names in e, sorted.
+func (e *Expr) Vars() []string {
+	set := map[string]bool{}
+	e.walkVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) walkVars(set map[string]bool) {
+	if e.Op == OpVar {
+		set[e.Name] = true
+		return
+	}
+	for _, k := range e.Kids {
+		k.walkVars(set)
+	}
+}
+
+// Dual returns the structural dual of e: AND and OR are swapped, variables
+// and negations are untouched. The dual of a pull-down network expression
+// describes the pull-up network of a static gate.
+func (e *Expr) Dual() *Expr {
+	switch e.Op {
+	case OpVar:
+		return e
+	case OpNot:
+		return Not(e.Kids[0].Dual())
+	case OpAnd:
+		return &Expr{Op: OpOr, Kids: dualKids(e.Kids)}
+	case OpOr:
+		return &Expr{Op: OpAnd, Kids: dualKids(e.Kids)}
+	}
+	panic("logic: bad op")
+}
+
+func dualKids(kids []*Expr) []*Expr {
+	out := make([]*Expr, len(kids))
+	for i, k := range kids {
+		out[i] = k.Dual()
+	}
+	return out
+}
+
+// Eval evaluates the expression under the given assignment.
+func (e *Expr) Eval(env map[string]bool) bool {
+	switch e.Op {
+	case OpVar:
+		return env[e.Name]
+	case OpNot:
+		return !e.Kids[0].Eval(env)
+	case OpAnd:
+		for _, k := range e.Kids {
+			if !k.Eval(env) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.Kids {
+			if k.Eval(env) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("logic: bad op")
+}
+
+// String renders the expression with + for OR, implicit-style * for AND and
+// a postfix ' for NOT, matching the paper's notation (e.g. (ABC+D)').
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpVar:
+		return e.Name
+	case OpNot:
+		k := e.Kids[0]
+		if k.Op == OpVar {
+			return k.Name + "'"
+		}
+		return "(" + k.String() + ")'"
+	case OpAnd:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			s := k.String()
+			if k.Op == OpOr {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, "*")
+	case OpOr:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return strings.Join(parts, "+")
+	}
+	panic("logic: bad op")
+}
+
+// Depth returns the maximum series depth when the expression is lowered as
+// a transistor network with AND=series, OR=parallel. A single variable has
+// depth 1.
+func (e *Expr) Depth() int {
+	switch e.Op {
+	case OpVar:
+		return 1
+	case OpNot:
+		return e.Kids[0].Depth()
+	case OpAnd:
+		d := 0
+		for _, k := range e.Kids {
+			d += k.Depth()
+		}
+		return d
+	case OpOr:
+		d := 0
+		for _, k := range e.Kids {
+			if kd := k.Depth(); kd > d {
+				d = kd
+			}
+		}
+		return d
+	}
+	panic("logic: bad op")
+}
+
+// LeafCount returns the number of variable occurrences, i.e. the transistor
+// count of the lowered network.
+func (e *Expr) LeafCount() int {
+	if e.Op == OpVar {
+		return 1
+	}
+	n := 0
+	for _, k := range e.Kids {
+		n += k.LeafCount()
+	}
+	return n
+}
+
+// MustParse parses the expression or panics; intended for static cell
+// definitions.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(fmt.Sprintf("logic: parse %q: %v", s, err))
+	}
+	return e
+}

@@ -1,0 +1,191 @@
+package logic
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses a Boolean expression. Supported syntax:
+//
+//	OR:   a+b or a|b
+//	AND:  a*b, a&b, or juxtaposition (AB means A*B for single-letter names)
+//	NOT:  !a (prefix) or a' (postfix)
+//	parentheses, identifiers ([A-Za-z_][A-Za-z0-9_]*)
+//
+// Juxtaposition only applies between adjacent single-character variables
+// inside one identifier-looking token: "ABC" parses as A*B*C, matching the
+// paper's SOP notation, whereas "Cin" parses as one variable because of the
+// lower-case letters.
+func Parse(s string) (*Expr, error) {
+	p := &parser{src: []rune(s)}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", string(p.src[p.pos]), p.pos)
+	}
+	return e, nil
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() rune {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []*Expr{left}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '+' && c != '|' {
+			break
+		}
+		p.pos++
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return nary(OpOr, terms), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	factors := []*Expr{left}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == '*' || c == '&' {
+			p.pos++
+		} else if c == '(' || c == '!' || isIdentStart(c) {
+			// implicit AND by juxtaposition, e.g. "A(B+C)".
+		} else {
+			break
+		}
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	return nary(OpAnd, factors), nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	p.skipSpace()
+	c := p.peek()
+	if c == '!' {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '\'' {
+		p.pos++
+		e = Not(e)
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case isIdentStart(c):
+		return p.parseIdent(), nil
+	case c == 0:
+		return nil, fmt.Errorf("unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("unexpected %q at offset %d", string(c), p.pos)
+	}
+}
+
+// parseIdent consumes an identifier token. A token that is entirely
+// upper-case letters is split into single-letter variables joined by AND
+// (the paper's "ABC" product notation, with per-letter postfix ' applied);
+// any token containing lower-case letters, digits or underscores is a
+// single variable name.
+func (p *parser) parseIdent() *Expr {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+		p.pos++
+	}
+	tok := string(p.src[start:p.pos])
+	allUpper := true
+	for _, r := range tok {
+		if !unicode.IsUpper(r) {
+			allUpper = false
+			break
+		}
+	}
+	if !allUpper || len(tok) == 1 {
+		return Var(tok)
+	}
+	// Split "ABC" into A*B*C, honouring postfix quotes per letter:
+	// "AB'C" arrives as two tokens ("AB" then quote handled by postfix, so
+	// the quote binds to B as expected because parsePostfix wraps the whole
+	// product; to keep "AB'" meaning A*(B') we handle quotes inline here.
+	factors := make([]*Expr, 0, len(tok))
+	for _, r := range tok {
+		factors = append(factors, Var(string(r)))
+	}
+	// Inline postfix quotes bind to the final letter of the product.
+	for p.peek() == '\'' {
+		p.pos++
+		factors[len(factors)-1] = Not(factors[len(factors)-1])
+	}
+	return nary(OpAnd, factors)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

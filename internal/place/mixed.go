@@ -1,0 +1,82 @@
+package place
+
+import (
+	"sort"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/synth"
+)
+
+// Mixed implements the paper's concluding suggestion — "a combination of
+// scheme-1 and scheme-2 would lead to optimized layouts": each cell is
+// assembled in whichever scheme has the smaller footprint, then everything
+// is shelf-packed at natural heights. Tall high-drive cells prefer the
+// side-by-side scheme 2; small cells often prefer the narrow scheme 1.
+func Mixed(lib *cells.Library, nl *synth.Netlist, targetW geom.Coord) (*Placement, error) {
+	var pcs []PlacedCell
+	natural := 0.0
+	area := 0.0
+	for _, inst := range nl.Instances {
+		c, err := lib.Get(inst.Cell)
+		if err != nil {
+			return nil, err
+		}
+		a1 := c.Layout.Assemble(layout.Scheme1)
+		a2 := c.Layout.Assemble(layout.Scheme2)
+		best := a1
+		if a2.Area() < a1.Area() {
+			best = a2
+		}
+		pc := PlacedCell{Inst: inst, Cell: c, W: best.Width, H: best.Height}
+		pcs = append(pcs, pc)
+		aa := geom.R(0, 0, pc.W, pc.H).AreaLambda2()
+		natural += aa
+		area += aa
+	}
+	if targetW <= 0 {
+		targetW = geom.Coord(sqrtF(area) * float64(geom.QuarterLambda))
+	}
+	order := make([]int, len(pcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if pcs[order[a]].H != pcs[order[b]].H {
+			return pcs[order[a]].H > pcs[order[b]].H
+		}
+		return pcs[order[a]].W > pcs[order[b]].W
+	})
+	var shelfY, shelfH, x, maxW geom.Coord
+	for _, i := range order {
+		if x > 0 && x+pcs[i].W > targetW {
+			shelfY += shelfH
+			x, shelfH = 0, 0
+		}
+		if pcs[i].H > shelfH {
+			shelfH = pcs[i].H
+		}
+		pcs[i].X, pcs[i].Y = x, shelfY
+		x += pcs[i].W
+		if x > maxW {
+			maxW = x
+		}
+	}
+	return &Placement{
+		Name: nl.Name, Scheme: layout.Scheme2, Cells: pcs,
+		Width: maxW, Height: shelfY + shelfH,
+		NaturalArea: natural,
+	}, nil
+}
+
+func sqrtF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,241 @@
+// Package place implements the back half of the flow: standard-cell
+// placement in the three arrangements the paper compares in case study 2
+// (Fig 8) — CMOS rows, CNFET scheme-1 rows (cells normalized to a common
+// height), and CNFET scheme-2 packing (un-normalized cell heights packed
+// on shelves, the layout freedom the paper argues needs new P&R tools).
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/synth"
+)
+
+// PlacedCell is one cell instance with its location and footprint.
+type PlacedCell struct {
+	Inst synth.Instance
+	Cell *cells.Cell
+	X, Y geom.Coord
+	W, H geom.Coord
+}
+
+// Center returns the cell's center point.
+func (p PlacedCell) Center() geom.Point {
+	return geom.Pt(p.X+p.W/2, p.Y+p.H/2)
+}
+
+// Placement is a placed design.
+type Placement struct {
+	Name   string
+	Scheme layout.Scheme
+	Cells  []PlacedCell
+	Width  geom.Coord
+	Height geom.Coord
+	// NaturalArea is the sum of un-normalized cell areas in λ² (the
+	// numerator of the area-utilization factor).
+	NaturalArea float64
+}
+
+// Area returns the placement bounding-box area in λ².
+func (p *Placement) Area() float64 {
+	return geom.R(0, 0, p.Width, p.Height).AreaLambda2()
+}
+
+// Utilization is the paper's area-utilization factor: natural cell area
+// over placement area.
+func (p *Placement) Utilization() float64 {
+	a := p.Area()
+	if a == 0 {
+		return 0
+	}
+	return p.NaturalArea / a
+}
+
+// HPWL returns per-net half-perimeter wirelength in λ, using cell centers
+// as pin proxies; primary I/O contribute no span.
+func (p *Placement) HPWL(nl *synth.Netlist) map[string]float64 {
+	type bbox struct {
+		x0, y0, x1, y1 geom.Coord
+		any            bool
+	}
+	boxes := map[string]*bbox{}
+	touch := func(net string, pt geom.Point) {
+		b, ok := boxes[net]
+		if !ok {
+			b = &bbox{}
+			boxes[net] = b
+		}
+		if !b.any {
+			b.x0, b.y0, b.x1, b.y1 = pt.X, pt.Y, pt.X, pt.Y
+			b.any = true
+			return
+		}
+		if pt.X < b.x0 {
+			b.x0 = pt.X
+		}
+		if pt.X > b.x1 {
+			b.x1 = pt.X
+		}
+		if pt.Y < b.y0 {
+			b.y0 = pt.Y
+		}
+		if pt.Y > b.y1 {
+			b.y1 = pt.Y
+		}
+	}
+	for _, pc := range p.Cells {
+		for _, net := range pc.Inst.Conns {
+			touch(net, pc.Center())
+		}
+	}
+	out := map[string]float64{}
+	for net, b := range boxes {
+		out[net] = (b.x1 - b.x0).Lambdas() + (b.y1 - b.y0).Lambdas()
+	}
+	return out
+}
+
+// gather resolves netlist instances against the library and computes their
+// footprints for the given scheme (natural heights).
+func gather(lib *cells.Library, nl *synth.Netlist, scheme layout.Scheme) ([]PlacedCell, error) {
+	var out []PlacedCell
+	for _, inst := range nl.Instances {
+		c, err := lib.Get(inst.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("place: instance %s: %w", inst.Name, err)
+		}
+		a := c.Layout.Assemble(scheme)
+		out = append(out, PlacedCell{
+			Inst: inst, Cell: c, W: a.Width, H: a.Height,
+		})
+	}
+	return out, nil
+}
+
+// Rows places cells in normalized-height rows (CMOS and CNFET scheme 1,
+// Fig 8b): every cell is stretched to the tallest cell's height, rows are
+// filled greedily to balance width. rows <= 0 picks a near-square count.
+func Rows(lib *cells.Library, nl *synth.Netlist, rows int) (*Placement, error) {
+	pcs, err := gather(lib, nl, layout.Scheme1)
+	if err != nil {
+		return nil, err
+	}
+	rowH := geom.Coord(0)
+	totalW := geom.Coord(0)
+	natural := 0.0
+	for i := range pcs {
+		if pcs[i].H > rowH {
+			rowH = pcs[i].H
+		}
+		totalW += pcs[i].W
+		natural += geom.R(0, 0, pcs[i].W, pcs[i].H).AreaLambda2()
+	}
+	if rows <= 0 {
+		rows = int(math.Round(math.Sqrt(float64(totalW) / float64(rowH))))
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	// Standardize heights: re-assemble at the row height.
+	for i := range pcs {
+		a := pcs[i].Cell.Layout.AssembleToHeight(layout.Scheme1, rowH)
+		pcs[i].W, pcs[i].H = a.Width, rowH
+		_ = a
+	}
+	// Greedy longest-first row balancing.
+	order := make([]int, len(pcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pcs[order[a]].W > pcs[order[b]].W })
+	rowW := make([]geom.Coord, rows)
+	rowOf := make([]int, len(pcs))
+	for _, i := range order {
+		best := 0
+		for r := 1; r < rows; r++ {
+			if rowW[r] < rowW[best] {
+				best = r
+			}
+		}
+		rowOf[i] = best
+		rowW[best] += pcs[i].W
+	}
+	cursor := make([]geom.Coord, rows)
+	maxW := geom.Coord(0)
+	for i := range pcs {
+		r := rowOf[i]
+		pcs[i].X = cursor[r]
+		pcs[i].Y = geom.Coord(r) * rowH
+		cursor[r] += pcs[i].W
+		if cursor[r] > maxW {
+			maxW = cursor[r]
+		}
+	}
+	return &Placement{
+		Name: nl.Name, Scheme: layout.Scheme1, Cells: pcs,
+		Width: maxW, Height: geom.Coord(rows) * rowH,
+		NaturalArea: natural,
+	}, nil
+}
+
+// Shelves places scheme-2 cells with their natural heights using the
+// next-fit-decreasing-height shelf heuristic (Fig 8c): cells sorted by
+// height fill shelves of the target width; each shelf is as tall as its
+// tallest occupant only.
+func Shelves(lib *cells.Library, nl *synth.Netlist, targetW geom.Coord) (*Placement, error) {
+	pcs, err := gather(lib, nl, layout.Scheme2)
+	if err != nil {
+		return nil, err
+	}
+	natural := 0.0
+	area := 0.0
+	for i := range pcs {
+		a := geom.R(0, 0, pcs[i].W, pcs[i].H).AreaLambda2()
+		natural += a
+		area += a
+	}
+	if targetW <= 0 {
+		targetW = geom.Coord(math.Round(math.Sqrt(area))) * geom.QuarterLambda
+		// targetW is in quarter-lambda Coords already; the sqrt above is
+		// in λ so convert: area λ² -> width λ.
+		targetW = geom.Coord(math.Round(math.Sqrt(area) * float64(geom.QuarterLambda)))
+	}
+	order := make([]int, len(pcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if pcs[order[a]].H != pcs[order[b]].H {
+			return pcs[order[a]].H > pcs[order[b]].H
+		}
+		return pcs[order[a]].W > pcs[order[b]].W
+	})
+	var (
+		shelfY, shelfH, x geom.Coord
+		maxW              geom.Coord
+	)
+	for _, i := range order {
+		if x > 0 && x+pcs[i].W > targetW {
+			shelfY += shelfH
+			x, shelfH = 0, 0
+		}
+		if pcs[i].H > shelfH {
+			shelfH = pcs[i].H
+		}
+		pcs[i].X, pcs[i].Y = x, shelfY
+		x += pcs[i].W
+		if x > maxW {
+			maxW = x
+		}
+	}
+	return &Placement{
+		Name: nl.Name, Scheme: layout.Scheme2, Cells: pcs,
+		Width: maxW, Height: shelfY + shelfH,
+		NaturalArea: natural,
+	}, nil
+}

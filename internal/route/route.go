@@ -1,0 +1,349 @@
+// Package route is a two-layer Manhattan global router for placed designs:
+// nets are decomposed into pin chains and each segment is routed with BFS
+// over a capacitated λ-grid (horizontal tracks on one metal layer,
+// vertical on the next, vias at bends). It completes the kit's P&R story
+// and quantifies the routing-complexity question the paper raises for
+// scheme-2 layouts ("needs new placement tools taking into account IR
+// drops and routing complexity").
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/synth"
+)
+
+// Options configures the router.
+type Options struct {
+	// StepLambda is the routing-grid pitch in λ (track pitch).
+	StepLambda int
+	// Capacity is the number of nets one grid edge can carry.
+	Capacity int
+	// CongestionCost penalizes edges at or beyond capacity instead of
+	// forbidding them (keeps hard cases routable while counting
+	// overflows).
+	CongestionCost int
+}
+
+// DefaultOptions returns a 4λ-pitch grid with single-track edges.
+func DefaultOptions() Options {
+	return Options{StepLambda: 4, Capacity: 2, CongestionCost: 16}
+}
+
+// Segment is one routed Manhattan segment on a layer (0 = horizontal
+// metal, 1 = vertical metal).
+type Segment struct {
+	Layer    int
+	From, To geom.Point
+}
+
+// Net is one routed net.
+type Net struct {
+	Name     string
+	Pins     []geom.Point
+	Segments []Segment
+	// WirelenLambda is the total routed length in λ.
+	WirelenLambda float64
+}
+
+// Result is a routed design.
+type Result struct {
+	Nets []Net
+	// TotalWirelenLambda sums all net lengths.
+	TotalWirelenLambda float64
+	// OverflowEdges counts grid edges loaded beyond capacity.
+	OverflowEdges int
+	// MaxEdgeLoad is the worst single-edge utilization.
+	MaxEdgeLoad int
+	// Vias counts layer changes.
+	Vias int
+}
+
+// grid tracks per-edge usage. Edges are identified by their lower/left
+// node and direction.
+type grid struct {
+	w, h  int
+	useH  []int // (w-1)*h horizontal edges
+	useV  []int // w*(h-1) vertical edges
+	opt   Options
+	stepQ geom.Coord // grid pitch in Coord units
+}
+
+func (g *grid) hIdx(x, y int) int { return y*(g.w-1) + x }
+func (g *grid) vIdx(x, y int) int { return y*g.w + x }
+
+// cost returns the traversal cost of an edge given its current load.
+func (g *grid) cost(use int) int {
+	if use >= g.opt.Capacity {
+		return 1 + g.opt.CongestionCost*(use-g.opt.Capacity+1)
+	}
+	return 1
+}
+
+// Route routes every multi-pin net of the netlist over the placement.
+// Pin positions are the placed cells' pin markers (cell centers when a
+// pin marker is missing). Primary I/O pins are not routed to the
+// boundary; nets with fewer than two pins are skipped.
+func Route(p *place.Placement, nl *synth.Netlist, opt Options) (*Result, error) {
+	if opt.StepLambda <= 0 {
+		opt = DefaultOptions()
+	}
+	stepQ := geom.Lambda(opt.StepLambda)
+	// Grid covers the placement bounding box with one cell of margin.
+	w := int(p.Width/stepQ) + 3
+	h := int(p.Height/stepQ) + 3
+	g := &grid{w: w, h: h, opt: opt, stepQ: stepQ,
+		useH: make([]int, (w-1)*h), useV: make([]int, w*(h-1))}
+
+	pins := collectPins(p)
+	res := &Result{}
+	// Deterministic net order: by name.
+	names := make([]string, 0, len(pins))
+	for n := range pins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := pins[name]
+		if len(pts) < 2 {
+			continue
+		}
+		net, err := g.routeNet(name, pts)
+		if err != nil {
+			return nil, fmt.Errorf("route: net %s: %w", name, err)
+		}
+		res.Nets = append(res.Nets, net)
+		res.TotalWirelenLambda += net.WirelenLambda
+	}
+	// Congestion accounting.
+	for _, u := range g.useH {
+		if u > res.MaxEdgeLoad {
+			res.MaxEdgeLoad = u
+		}
+		if u > opt.Capacity {
+			res.OverflowEdges++
+		}
+	}
+	for _, u := range g.useV {
+		if u > res.MaxEdgeLoad {
+			res.MaxEdgeLoad = u
+		}
+		if u > opt.Capacity {
+			res.OverflowEdges++
+		}
+	}
+	for _, n := range res.Nets {
+		for i := 1; i < len(n.Segments); i++ {
+			if n.Segments[i].Layer != n.Segments[i-1].Layer {
+				res.Vias++
+			}
+		}
+	}
+	return res, nil
+}
+
+// collectPins gathers per-net pin locations from the placement: each
+// instance contributes its cell center for every connected net (a robust
+// proxy; exact pin offsets shift results by under a grid step).
+func collectPins(p *place.Placement) map[string][]geom.Point {
+	pins := map[string][]geom.Point{}
+	for _, pc := range p.Cells {
+		for _, net := range pc.Inst.Conns {
+			pins[net] = append(pins[net], pc.Center())
+		}
+	}
+	return pins
+}
+
+// routeNet chains the pins in x order and BFS-routes each consecutive
+// pair, accumulating segments and reserving grid capacity.
+func (g *grid) routeNet(name string, pts []geom.Point) (Net, error) {
+	net := Net{Name: name, Pins: pts}
+	nodes := make([][2]int, len(pts))
+	for i, pt := range pts {
+		nodes[i] = g.snap(pt)
+	}
+	sort.Slice(nodes, func(a, b int) bool {
+		if nodes[a][0] != nodes[b][0] {
+			return nodes[a][0] < nodes[b][0]
+		}
+		return nodes[a][1] < nodes[b][1]
+	})
+	for i := 1; i < len(nodes); i++ {
+		segs, err := g.path(nodes[i-1], nodes[i])
+		if err != nil {
+			return net, err
+		}
+		net.Segments = append(net.Segments, segs...)
+	}
+	for _, s := range net.Segments {
+		dx := s.To.X - s.From.X
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := s.To.Y - s.From.Y
+		if dy < 0 {
+			dy = -dy
+		}
+		net.WirelenLambda += (dx + dy).Lambdas()
+	}
+	return net, nil
+}
+
+func (g *grid) snap(pt geom.Point) [2]int {
+	x := int((pt.X + g.stepQ/2) / g.stepQ)
+	y := int((pt.Y + g.stepQ/2) / g.stepQ)
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= g.w {
+		x = g.w - 1
+	}
+	if y >= g.h {
+		y = g.h - 1
+	}
+	return [2]int{x, y}
+}
+
+// path runs Dijkstra (uniform costs + congestion penalties) from a to b
+// and reserves the edges of the found path.
+func (g *grid) path(a, b [2]int) ([]Segment, error) {
+	if a == b {
+		return nil, nil
+	}
+	n := g.w * g.h
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	id := func(x, y int) int { return y*g.w + x }
+	start, goal := id(a[0], a[1]), id(b[0], b[1])
+	dist[start] = 0
+	pq := &nodeHeap{{start, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(heapNode)
+		if cur.dist > dist[cur.id] {
+			continue
+		}
+		if cur.id == goal {
+			break
+		}
+		x, y := cur.id%g.w, cur.id/g.w
+		try := func(nx, ny, edgeCost int) {
+			ni := id(nx, ny)
+			if d := cur.dist + edgeCost; d < dist[ni] {
+				dist[ni] = d
+				prev[ni] = cur.id
+				heap.Push(pq, heapNode{ni, d})
+			}
+		}
+		if x > 0 {
+			try(x-1, y, g.cost(g.useH[g.hIdx(x-1, y)]))
+		}
+		if x < g.w-1 {
+			try(x+1, y, g.cost(g.useH[g.hIdx(x, y)]))
+		}
+		if y > 0 {
+			try(x, y-1, g.cost(g.useV[g.vIdx(x, y-1)]))
+		}
+		if y < g.h-1 {
+			try(x, y+1, g.cost(g.useV[g.vIdx(x, y)]))
+		}
+	}
+	if prev[goal] == -1 && goal != start {
+		return nil, fmt.Errorf("unroutable (grid %dx%d)", g.w, g.h)
+	}
+	// Walk back, reserve edges, and merge runs into segments.
+	var cells [][2]int
+	for i := goal; i != -1; i = prev[i] {
+		cells = append(cells, [2]int{i % g.w, i / g.w})
+		if i == start {
+			break
+		}
+	}
+	// Reverse to a->b.
+	for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
+		cells[i], cells[j] = cells[j], cells[i]
+	}
+	for i := 1; i < len(cells); i++ {
+		x0, y0 := cells[i-1][0], cells[i-1][1]
+		x1, y1 := cells[i][0], cells[i][1]
+		if y0 == y1 {
+			if x1 < x0 {
+				x0, x1 = x1, x0
+			}
+			g.useH[g.hIdx(x0, y0)]++
+		} else {
+			if y1 < y0 {
+				y0, y1 = y1, y0
+			}
+			g.useV[g.vIdx(x0, y0)]++
+		}
+	}
+	return mergeSegments(cells, g.stepQ), nil
+}
+
+// mergeSegments converts a grid-cell path into maximal straight segments,
+// horizontal runs on layer 0 and vertical runs on layer 1.
+func mergeSegments(cells [][2]int, step geom.Coord) []Segment {
+	if len(cells) < 2 {
+		return nil
+	}
+	toPt := func(c [2]int) geom.Point {
+		return geom.Pt(geom.Coord(c[0])*step, geom.Coord(c[1])*step)
+	}
+	var out []Segment
+	runStart := 0
+	dirOf := func(i int) int { // 0 horizontal, 1 vertical
+		if cells[i][1] == cells[i+1][1] {
+			return 0
+		}
+		return 1
+	}
+	cur := dirOf(0)
+	for i := 1; i < len(cells); i++ {
+		if i == len(cells)-1 || dirOf(i) != cur {
+			out = append(out, Segment{
+				Layer: cur,
+				From:  toPt(cells[runStart]),
+				To:    toPt(cells[i]),
+			})
+			runStart = i
+			if i < len(cells)-1 {
+				cur = dirOf(i)
+			}
+		}
+	}
+	return out
+}
+
+// --- priority queue ---
+
+type heapNode struct {
+	id   int
+	dist int
+}
+
+type nodeHeap []heapNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

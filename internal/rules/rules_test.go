@@ -1,0 +1,66 @@
+package rules
+
+import (
+	"testing"
+
+	"cnfetdk/internal/geom"
+)
+
+func TestDefault65nmCMOS(t *testing.T) {
+	r := Default65nm(CMOS)
+	if r.NetworkGap != geom.Lambda(10) {
+		t.Fatalf("CMOS NetworkGap = %v λ, want 10", r.NetworkGap.Lambdas())
+	}
+	if r.PToNRatio != 1.4 {
+		t.Fatalf("CMOS PToNRatio = %v, want 1.4", r.PToNRatio)
+	}
+	// 2λ must be 65nm at this node.
+	if got := r.GateLen.Nanometers(r.LambdaNM); got != 65 {
+		t.Fatalf("GateLen = %vnm, want 65", got)
+	}
+}
+
+func TestDefault65nmCNFET(t *testing.T) {
+	r := Default65nm(CNFET)
+	if r.NetworkGap != geom.Lambda(6) {
+		t.Fatalf("CNFET NetworkGap = %v λ, want 6", r.NetworkGap.Lambdas())
+	}
+	if r.PToNRatio != 1.0 {
+		t.Fatalf("CNFET PToNRatio = %v, want 1.0", r.PToNRatio)
+	}
+	if r.EtchW != geom.Lambda(2) {
+		t.Fatalf("EtchW = %v λ, want 2", r.EtchW.Lambdas())
+	}
+	if r.ViaW <= r.GateLen {
+		t.Fatal("via must be wider than the gate (the vertical-gating cost)")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	r := Default65nm(CNFET)
+	// Inverter row: contact | gap | gate | gap | contact.
+	w := r.RowWidth(2, 1, 2, 0)
+	want := geom.Lambda(3 + 1 + 2 + 1 + 3)
+	if w != want {
+		t.Fatalf("inverter row width = %vλ, want %vλ", w.Lambdas(), want.Lambdas())
+	}
+	// NAND3 PDN: contact | A | B | C | contact with shared-diffusion gaps.
+	w = r.RowWidth(2, 3, 2, 2)
+	want = geom.Lambda(3+3) + geom.Lambda(3*2) + geom.Lambda(2*1) + geom.Lambda(2*2)
+	if w != want {
+		t.Fatalf("NAND3 PDN row width = %vλ, want %vλ", w.Lambdas(), want.Lambdas())
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if CMOS.String() != "CMOS" || CNFET.String() != "CNFET" {
+		t.Fatal("Tech.String mismatch")
+	}
+}
+
+func TestPitchContactGate(t *testing.T) {
+	r := Default65nm(CNFET)
+	if got := r.PitchContactGate(); got != geom.Lambda(6) {
+		t.Fatalf("PitchContactGate = %vλ, want 6λ", got.Lambdas())
+	}
+}

@@ -1,0 +1,342 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"cnfetdk/internal/device"
+)
+
+// Options tunes the analyses.
+type Options struct {
+	// MaxNewton is the Newton-Raphson iteration cap per solve.
+	MaxNewton int
+	// VTol is the voltage convergence tolerance.
+	VTol float64
+	// Gmin is the minimum conductance tied from every FET terminal to
+	// ground for convergence robustness.
+	Gmin float64
+	// MaxStep clamps Newton voltage updates (damping).
+	MaxStep float64
+}
+
+// DefaultOptions returns robust defaults.
+func DefaultOptions() Options {
+	return Options{MaxNewton: 100, VTol: 1e-6, Gmin: 1e-12, MaxStep: 0.5}
+}
+
+// state is a scratch MNA system.
+type state struct {
+	c      *Circuit
+	opt    Options
+	n      int // node unknowns excluding ground
+	m      int // voltage-source branch currents
+	dim    int
+	a      []float64
+	b      []float64
+	x      []float64 // current solution estimate (node voltages + branch currents)
+	deltaT float64   // 0 for DC
+	xPrev  []float64 // previous timestep solution
+	iPrev  []float64 // previous capacitor currents (trapezoidal)
+	t      float64
+}
+
+func newState(c *Circuit, opt Options) *state {
+	n := c.NodeCount() - 1
+	m := len(c.VSources)
+	s := &state{
+		c: c, opt: opt, n: n, m: m, dim: n + m,
+		a:     make([]float64, (n+m)*(n+m)),
+		b:     make([]float64, n+m),
+		x:     make([]float64, n+m),
+		xPrev: make([]float64, n+m),
+		iPrev: make([]float64, len(c.Capacitors)),
+	}
+	return s
+}
+
+// idx maps a node index to a matrix row (-1 for ground).
+func (s *state) idx(node int) int { return node - 1 }
+
+// v returns the node voltage of the current estimate.
+func (s *state) v(node int) float64 {
+	if node == 0 {
+		return 0
+	}
+	return s.x[node-1]
+}
+
+func (s *state) stampG(a, b int, g float64) {
+	ia, ib := s.idx(a), s.idx(b)
+	if ia >= 0 {
+		s.a[ia*s.dim+ia] += g
+	}
+	if ib >= 0 {
+		s.a[ib*s.dim+ib] += g
+	}
+	if ia >= 0 && ib >= 0 {
+		s.a[ia*s.dim+ib] -= g
+		s.a[ib*s.dim+ia] -= g
+	}
+}
+
+func (s *state) stampI(a, b int, i float64) {
+	// Current i flows from a to b externally (injected into b).
+	if ia := s.idx(a); ia >= 0 {
+		s.b[ia] -= i
+	}
+	if ib := s.idx(b); ib >= 0 {
+		s.b[ib] += i
+	}
+}
+
+// assemble builds the linearized MNA system around the current estimate.
+func (s *state) assemble() {
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	for i := range s.b {
+		s.b[i] = 0
+	}
+	c := s.c
+	for _, r := range c.Resistors {
+		s.stampG(r.A, r.B, 1/r.R)
+	}
+	for ci, cap := range c.Capacitors {
+		if s.deltaT > 0 {
+			// Trapezoidal companion: geq = 2C/dt, Ieq accounts history.
+			geq := 2 * cap.C / s.deltaT
+			vPrev := s.prevV(cap.A) - s.prevV(cap.B)
+			ieq := geq*vPrev + s.iPrev[ci]
+			s.stampG(cap.A, cap.B, geq)
+			s.stampI(cap.B, cap.A, ieq) // inject ieq from B to A
+		}
+		// DC: open circuit.
+	}
+	for vi, vs := range c.VSources {
+		row := s.n + vi
+		ip, in := s.idx(vs.P), s.idx(vs.N)
+		if ip >= 0 {
+			s.a[ip*s.dim+row] += 1
+			s.a[row*s.dim+ip] += 1
+		}
+		if in >= 0 {
+			s.a[in*s.dim+row] -= 1
+			s.a[row*s.dim+in] -= 1
+		}
+		s.b[row] += vs.W.At(s.t)
+	}
+	for _, is := range c.ISources {
+		s.stampI(is.P, is.N, is.W.At(s.t))
+	}
+	for _, f := range c.FETs {
+		s.stampFET(f)
+	}
+}
+
+func (s *state) prevV(node int) float64 {
+	if node == 0 {
+		return 0
+	}
+	return s.xPrev[node-1]
+}
+
+// stampFET linearizes the FET around the present estimate:
+// I(v) ≈ I0 + gG·(vg-vg0) + gD·(vd-vd0) + gS·(vs-vs0).
+func (s *state) stampFET(f FET) {
+	vg, vd, vs := s.v(f.G), s.v(f.D), s.v(f.S)
+	id, dIg, dId, dIs := fetEvalNumeric(f.P, vg, vd, vs)
+	// Norton equivalent: current source + conductances.
+	ieq := id - dIg*vg - dId*vd - dIs*vs
+	// Current id flows D -> S (leaves D node).
+	addA := func(r, c int, v float64) {
+		ri, ci := s.idx(r), s.idx(c)
+		if ri >= 0 && ci >= 0 {
+			s.a[ri*s.dim+ci] += v
+		}
+	}
+	// KCL at D: +id; at S: -id.
+	if di := s.idx(f.D); di >= 0 {
+		s.b[di] -= ieq
+	}
+	if si := s.idx(f.S); si >= 0 {
+		s.b[si] += ieq
+	}
+	addA(f.D, f.G, dIg)
+	addA(f.D, f.D, dId)
+	addA(f.D, f.S, dIs)
+	addA(f.S, f.G, -dIg)
+	addA(f.S, f.D, -dId)
+	addA(f.S, f.S, -dIs)
+	// Gmin for robustness.
+	s.stampG(f.D, 0, s.opt.Gmin)
+	s.stampG(f.S, 0, s.opt.Gmin)
+}
+
+// fetEvalNumeric computes the drain current and numerically differentiated
+// terminal derivatives. The analytic derivation with source/drain swap and
+// polarity mirroring is error-prone; central differences on the smooth
+// model are exact enough for Newton and unconditionally consistent with
+// the current evaluation.
+func fetEvalNumeric(p device.FETParams, vg, vd, vs float64) (id, dIg, dId, dIs float64) {
+	id = fetCurrent(p, vg, vd, vs)
+	const h = 1e-6
+	dIg = (fetCurrent(p, vg+h, vd, vs) - fetCurrent(p, vg-h, vd, vs)) / (2 * h)
+	dId = (fetCurrent(p, vg, vd+h, vs) - fetCurrent(p, vg, vd-h, vs)) / (2 * h)
+	dIs = (fetCurrent(p, vg, vd, vs+h) - fetCurrent(p, vg, vd, vs-h)) / (2 * h)
+	return id, dIg, dId, dIs
+}
+
+// fetCurrent returns the drain-to-source current of the smooth FET model.
+func fetCurrent(p device.FETParams, vg, vd, vs float64) float64 {
+	vgs := vg - vs
+	vds := vd - vs
+	if p.Polarity == device.PType {
+		vgs = vs - vg
+		vds = vs - vd
+	}
+	sign := 1.0
+	if vds < 0 {
+		// Symmetric device: treat the lower terminal as the source. The
+		// effective gate drive is measured from the new source (the old
+		// drain): vgs' = vg - vd = vgs - vds.
+		vgs -= vds
+		vds = -vds
+		sign = -1
+	}
+	u := (vgs - p.Vt) / p.SS
+	var g float64
+	switch {
+	case u > 40:
+		g = 1
+	case u < -40:
+		g = 0
+	default:
+		g = 1 / (1 + math.Exp(-u))
+	}
+	i := sign * p.ISat * g * math.Tanh(vds/p.VSat)
+	if p.Polarity == device.PType {
+		i = -i
+	}
+	return i
+}
+
+// newton iterates the nonlinear solve at the present time point.
+func (s *state) newton() error {
+	for it := 0; it < s.opt.MaxNewton; it++ {
+		s.assemble()
+		// Solve A dx = b with x embedded: we assemble full equations in
+		// terms of absolute unknowns, so solve directly for x_new.
+		a := append([]float64(nil), s.a...)
+		b := append([]float64(nil), s.b...)
+		if err := lu(a, b, s.dim); err != nil {
+			return err
+		}
+		// Damped update and convergence check on node voltages.
+		conv := true
+		for i := 0; i < s.dim; i++ {
+			d := b[i] - s.x[i]
+			if i < s.n {
+				if math.Abs(d) > s.opt.VTol {
+					conv = false
+				}
+				if d > s.opt.MaxStep {
+					d = s.opt.MaxStep
+				} else if d < -s.opt.MaxStep {
+					d = -s.opt.MaxStep
+				}
+			}
+			s.x[i] += d
+		}
+		if conv {
+			return nil
+		}
+	}
+	return fmt.Errorf("spice: Newton did not converge at t=%.3e", s.t)
+}
+
+// OP computes the DC operating point. It first tries a direct solve, then
+// falls back to gmin stepping.
+func (c *Circuit) OP(opt Options) ([]float64, error) {
+	s := newState(c, opt)
+	s.deltaT = 0
+	if err := s.newton(); err == nil {
+		return s.x, nil
+	}
+	// Gmin stepping: start heavily damped and relax.
+	for _, g := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, opt.Gmin} {
+		s.opt.Gmin = g
+		if err := s.newton(); err != nil {
+			return nil, fmt.Errorf("gmin step %g: %w", g, err)
+		}
+	}
+	return s.x, nil
+}
+
+// Result holds a transient waveform set.
+type Result struct {
+	Circuit *Circuit
+	Times   []float64
+	// V[node][k] is the voltage of node at Times[k] (node 0 omitted).
+	V [][]float64
+	// IV[src][k] is the branch current of voltage source src at Times[k];
+	// positive current flows from P to N inside the source.
+	IV [][]float64
+}
+
+// Transient runs a fixed-step trapezoidal transient from 0 to tstop with
+// the given number of steps. The DC operating point at t=0 initializes
+// state.
+func (c *Circuit) Transient(tstop float64, steps int, opt Options) (*Result, error) {
+	s := newState(c, opt)
+	s.t = 0
+	s.deltaT = 0
+	if err := s.newton(); err != nil {
+		// Retry via gmin ramp.
+		for _, g := range []float64{1e-3, 1e-5, 1e-7, 1e-9, opt.Gmin} {
+			s.opt.Gmin = g
+			if err2 := s.newton(); err2 != nil {
+				return nil, fmt.Errorf("spice: OP for transient: %w", err2)
+			}
+		}
+		s.opt.Gmin = opt.Gmin
+	}
+	dt := tstop / float64(steps)
+	res := &Result{Circuit: c}
+	nNodes := c.NodeCount() - 1
+	res.V = make([][]float64, nNodes)
+	res.IV = make([][]float64, len(c.VSources))
+	record := func() {
+		res.Times = append(res.Times, s.t)
+		for i := 0; i < nNodes; i++ {
+			res.V[i] = append(res.V[i], s.x[i])
+		}
+		for i := range c.VSources {
+			res.IV[i] = append(res.IV[i], s.x[s.n+i])
+		}
+	}
+	record()
+	copy(s.xPrev, s.x)
+	// Initialize capacitor currents at 0 (consistent DC).
+	for i := range s.iPrev {
+		s.iPrev[i] = 0
+	}
+	s.deltaT = dt
+	for k := 1; k <= steps; k++ {
+		s.t = float64(k) * dt
+		if err := s.newton(); err != nil {
+			return nil, err
+		}
+		// Update capacitor branch currents for the trapezoidal history:
+		// i_new = geq*(v_new - v_prev) - i_prev.
+		for ci, cap := range c.Capacitors {
+			geq := 2 * cap.C / dt
+			vNew := s.v(cap.A) - s.v(cap.B)
+			vPrev := s.prevV(cap.A) - s.prevV(cap.B)
+			s.iPrev[ci] = geq*(vNew-vPrev) - s.iPrev[ci]
+		}
+		copy(s.xPrev, s.x)
+		record()
+	}
+	return res, nil
+}

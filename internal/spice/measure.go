@@ -1,0 +1,132 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wave extracts one node's waveform from a result.
+func (r *Result) Wave(node string) ([]float64, error) {
+	if !r.Circuit.HasNode(node) {
+		return nil, fmt.Errorf("spice: unknown node %q", node)
+	}
+	i := r.Circuit.Node(node)
+	if i == 0 {
+		z := make([]float64, len(r.Times))
+		return z, nil
+	}
+	return r.V[i-1], nil
+}
+
+// CrossTime returns the first time after tMin at which the node crosses
+// level in the given direction, linearly interpolated.
+func (r *Result) CrossTime(node string, level float64, rising bool, tMin float64) (float64, error) {
+	w, err := r.Wave(node)
+	if err != nil {
+		return 0, err
+	}
+	for k := 1; k < len(w); k++ {
+		if r.Times[k] < tMin {
+			continue
+		}
+		a, b := w[k-1], w[k]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if hit {
+			f := (level - a) / (b - a)
+			return r.Times[k-1] + f*(r.Times[k]-r.Times[k-1]), nil
+		}
+	}
+	dir := "rising"
+	if !rising {
+		dir = "falling"
+	}
+	return 0, fmt.Errorf("spice: no %s crossing of %s through %.3f after %.3e", dir, node, level, tMin)
+}
+
+// PropDelay measures the propagation delay between the in and out nodes at
+// the 50% level: the average of the out-falling (after in-rising) and
+// out-rising (after in-falling) delays, the usual FO4 definition.
+func (r *Result) PropDelay(in, out string, vdd float64) (float64, error) {
+	mid := vdd / 2
+	tInRise, err := r.CrossTime(in, mid, true, 0)
+	if err != nil {
+		return 0, err
+	}
+	tOutFall, err := r.CrossTime(out, mid, false, tInRise)
+	if err != nil {
+		return 0, err
+	}
+	tInFall, err := r.CrossTime(in, mid, false, tInRise)
+	if err != nil {
+		return 0, err
+	}
+	tOutRise, err := r.CrossTime(out, mid, true, tInFall)
+	if err != nil {
+		return 0, err
+	}
+	return ((tOutFall - tInRise) + (tOutRise - tInFall)) / 2, nil
+}
+
+// DelayPair measures the inverting propagation delay between two nodes
+// that switch in the same direction (e.g. through two inverting stages).
+func (r *Result) DelayPair(in, out string, vdd float64, rising bool) (float64, error) {
+	mid := vdd / 2
+	tIn, err := r.CrossTime(in, mid, rising, 0)
+	if err != nil {
+		return 0, err
+	}
+	tOut, err := r.CrossTime(out, mid, rising, tIn)
+	if err != nil {
+		return 0, err
+	}
+	return tOut - tIn, nil
+}
+
+// SupplyEnergy integrates the energy delivered by voltage source vsrc over
+// [t0, t1] (trapezoidal): E = ∫ V·(-I) dt with the MNA branch-current
+// convention (positive branch current flows P→N inside the source, so a
+// supply delivering power has negative branch current).
+func (r *Result) SupplyEnergy(vsrc int, t0, t1 float64) float64 {
+	if vsrc < 0 || vsrc >= len(r.IV) {
+		return 0
+	}
+	src := r.Circuit.VSources[vsrc]
+	e := 0.0
+	for k := 1; k < len(r.Times); k++ {
+		ta, tb := r.Times[k-1], r.Times[k]
+		if tb <= t0 || ta >= t1 {
+			continue
+		}
+		va, vb := src.W.At(ta), src.W.At(tb)
+		pa := va * -r.IV[vsrc][k-1]
+		pb := vb * -r.IV[vsrc][k]
+		e += (pa + pb) / 2 * (tb - ta)
+	}
+	return e
+}
+
+// Final returns the last value of a node's waveform.
+func (r *Result) Final(node string) (float64, error) {
+	w, err := r.Wave(node)
+	if err != nil {
+		return 0, err
+	}
+	if len(w) == 0 {
+		return 0, fmt.Errorf("spice: empty waveform")
+	}
+	return w[len(w)-1], nil
+}
+
+// Settles reports whether the node ends within tol of the target level.
+func (r *Result) Settles(node string, target, tol float64) bool {
+	v, err := r.Final(node)
+	if err != nil {
+		return false
+	}
+	return math.Abs(v-target) <= tol
+}

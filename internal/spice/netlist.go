@@ -1,0 +1,196 @@
+// Package spice is a compact circuit simulator: modified nodal analysis
+// with Newton-Raphson for the nonlinear FET models, dense LU solves, DC
+// operating point with gmin stepping, and fixed-step trapezoidal transient
+// analysis with delay/energy measurement helpers.
+//
+// It plays the role of the paper's HSPICE + post-layout analysis kit
+// (Fig 5): cell characterization, FO4 chain simulation and the full-adder
+// case study all run on this engine.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"cnfetdk/internal/device"
+)
+
+// Waveform is a time-dependent source value.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Pulse is a SPICE-style periodic pulse.
+type Pulse struct {
+	V0, V1                       float64
+	Delay, Rise, Fall, W, Period float64
+}
+
+// At evaluates the pulse at time t.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V0
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	switch {
+	case tt < p.Rise:
+		return p.V0 + (p.V1-p.V0)*tt/p.Rise
+	case tt < p.Rise+p.W:
+		return p.V1
+	case tt < p.Rise+p.W+p.Fall:
+		return p.V1 - (p.V1-p.V0)*(tt-p.Rise-p.W)/p.Fall
+	default:
+		return p.V0
+	}
+}
+
+// PWL is a piecewise-linear waveform.
+type PWL struct {
+	T, V []float64
+}
+
+// At evaluates the PWL at time t with flat extrapolation.
+func (p PWL) At(t float64) float64 {
+	if len(p.T) == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	for i := 1; i < len(p.T); i++ {
+		if t <= p.T[i] {
+			f := (t - p.T[i-1]) / (p.T[i] - p.T[i-1])
+			return p.V[i-1] + f*(p.V[i]-p.V[i-1])
+		}
+	}
+	return p.V[len(p.V)-1]
+}
+
+// Circuit is a flat netlist. Node "0" (alias "GND") is ground.
+type Circuit struct {
+	nodeIndex map[string]int
+	nodeNames []string
+
+	Resistors  []Resistor
+	Capacitors []Capacitor
+	VSources   []VSource
+	ISources   []ISource
+	FETs       []FET
+}
+
+// Resistor is a two-terminal linear resistor.
+type Resistor struct {
+	Name string
+	A, B int
+	R    float64
+}
+
+// Capacitor is a two-terminal linear capacitor.
+type Capacitor struct {
+	Name string
+	A, B int
+	C    float64
+}
+
+// VSource is an independent voltage source; its branch current is a
+// solution variable.
+type VSource struct {
+	Name string
+	P, N int
+	W    Waveform
+}
+
+// ISource is an independent current source (flows P -> N through source).
+type ISource struct {
+	Name string
+	P, N int
+	W    Waveform
+}
+
+// FET is a three-terminal transistor using a device.FETParams model. Gate
+// capacitance stamps gate-to-ground; drain capacitance drain-to-ground.
+type FET struct {
+	Name    string
+	D, G, S int
+	P       device.FETParams
+}
+
+// New creates an empty circuit.
+func New() *Circuit {
+	c := &Circuit{nodeIndex: map[string]int{}}
+	c.nodeIndex["0"] = 0
+	c.nodeIndex["GND"] = 0
+	c.nodeNames = []string{"0"}
+	return c
+}
+
+// Node interns a node name and returns its index.
+func (c *Circuit) Node(name string) int {
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	i := len(c.nodeNames)
+	c.nodeIndex[name] = i
+	c.nodeNames = append(c.nodeNames, name)
+	return i
+}
+
+// NodeCount returns the number of nodes including ground.
+func (c *Circuit) NodeCount() int { return len(c.nodeNames) }
+
+// NodeName returns the interned name of node i.
+func (c *Circuit) NodeName(i int) string { return c.nodeNames[i] }
+
+// HasNode reports whether the node name exists.
+func (c *Circuit) HasNode(name string) bool {
+	_, ok := c.nodeIndex[name]
+	return ok
+}
+
+// AddR adds a resistor.
+func (c *Circuit) AddR(name, a, b string, r float64) {
+	c.Resistors = append(c.Resistors, Resistor{Name: name, A: c.Node(a), B: c.Node(b), R: r})
+}
+
+// AddC adds a capacitor.
+func (c *Circuit) AddC(name, a, b string, f float64) {
+	c.Capacitors = append(c.Capacitors, Capacitor{Name: name, A: c.Node(a), B: c.Node(b), C: f})
+}
+
+// AddV adds a voltage source and returns its index (for current probing).
+func (c *Circuit) AddV(name, p, n string, w Waveform) int {
+	c.VSources = append(c.VSources, VSource{Name: name, P: c.Node(p), N: c.Node(n), W: w})
+	return len(c.VSources) - 1
+}
+
+// AddI adds a current source.
+func (c *Circuit) AddI(name, p, n string, w Waveform) {
+	c.ISources = append(c.ISources, ISource{Name: name, P: c.Node(p), N: c.Node(n), W: w})
+}
+
+// AddFET adds a transistor and its model capacitances.
+func (c *Circuit) AddFET(name, d, g, s string, p device.FETParams) {
+	c.FETs = append(c.FETs, FET{Name: name, D: c.Node(d), G: c.Node(g), S: c.Node(s), P: p})
+	if p.CGate > 0 {
+		c.AddC(name+".cg", g, "0", p.CGate)
+	}
+	if p.CDrain > 0 {
+		c.AddC(name+".cd", d, "0", p.CDrain)
+	}
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit{%d nodes, %dR %dC %dV %dI %dFET}",
+		c.NodeCount(), len(c.Resistors), len(c.Capacitors),
+		len(c.VSources), len(c.ISources), len(c.FETs))
+}

@@ -1,0 +1,55 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// lu performs in-place dense LU factorization with partial pivoting and
+// solves A·x = b. A is row-major n×n and is destroyed; b is overwritten
+// with the solution.
+func lu(a []float64, b []float64, n int) error {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot.
+		p, best := k, math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return errors.New("spice: singular matrix")
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		inv := 1 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k] * inv
+			if f == 0 {
+				continue
+			}
+			a[i*n+k] = f
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= f * a[k*n+j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * b[j]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	return nil
+}

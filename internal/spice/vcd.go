@@ -1,0 +1,80 @@
+package spice
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVCD dumps selected node waveforms as a Value Change Dump file with
+// real-valued variables, viewable in standard waveform viewers. nodes
+// selects which signals to dump (nil = all non-ground nodes). timescale
+// is fixed at 1fs to preserve picosecond-scale edges.
+func (r *Result) WriteVCD(w io.Writer, design string, nodes []string) error {
+	if nodes == nil {
+		for i := 1; i < r.Circuit.NodeCount(); i++ {
+			nodes = append(nodes, r.Circuit.NodeName(i))
+		}
+		sort.Strings(nodes)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "$date\n  (cnfetdk)\n$end\n")
+	fmt.Fprintf(&b, "$version\n  cnfetdk spice\n$end\n")
+	fmt.Fprintf(&b, "$timescale 1fs $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", design)
+	ids := map[string]string{}
+	waves := map[string][]float64{}
+	for i, n := range nodes {
+		wave, err := r.Wave(n)
+		if err != nil {
+			return err
+		}
+		id := vcdID(i)
+		ids[n] = id
+		waves[n] = wave
+		fmt.Fprintf(&b, "$var real 64 %s %s $end\n", id, sanitizeVCD(n))
+	}
+	fmt.Fprintf(&b, "$upscope $end\n$enddefinitions $end\n")
+	// Dump changes; emit a value only when it moved more than 1mV to keep
+	// files compact.
+	last := map[string]float64{}
+	const tol = 1e-3
+	for k, t := range r.Times {
+		emitted := false
+		header := fmt.Sprintf("#%d\n", int64(t*1e15))
+		for _, n := range nodes {
+			v := waves[n][k]
+			if k == 0 || absF(v-last[n]) > tol {
+				if !emitted {
+					b.WriteString(header)
+					emitted = true
+				}
+				fmt.Fprintf(&b, "r%.6g %s\n", v, ids[n])
+				last[n] = v
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// vcdID yields compact printable identifiers (!, ", #, ...).
+func vcdID(i int) string {
+	const first, span = 33, 94 // printable ASCII
+	if i < span {
+		return string(rune(first + i))
+	}
+	return string(rune(first+i/span)) + string(rune(first+i%span))
+}
+
+func sanitizeVCD(n string) string {
+	return strings.NewReplacer(" ", "_", "$", "_").Replace(n)
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,131 @@
+// Package sta performs static timing analysis of mapped netlists against
+// the characterized (Liberty) cell models: per-instance delays are looked
+// up in the NLDM tables at the actual output load (receiver input pins
+// plus wire), arrival times propagate in topological order, and the
+// critical path is traced back — the fast companion to full transient
+// simulation in the design kit's analysis flow.
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"cnfetdk/internal/liberty"
+	"cnfetdk/internal/synth"
+)
+
+// Result is a full-design timing report.
+type Result struct {
+	// Arrival maps every net to its worst arrival time (s); primary
+	// inputs are 0.
+	Arrival map[string]float64
+	// WorstSlackNet is the latest net overall (usually a primary output).
+	WorstNet float64
+	// CriticalPath lists nets from a primary input to the latest output.
+	CriticalPath []string
+	// InstanceDelay records each instance's computed stage delay.
+	InstanceDelay map[string]float64
+}
+
+// MaxArrival returns the design's worst arrival time.
+func (r *Result) MaxArrival() float64 { return r.WorstNet }
+
+// Analyze runs STA over a combinational netlist. wireCapF adds per-net
+// wire load (may be nil). Cells missing from the model cause an error.
+func Analyze(nl *synth.Netlist, m *liberty.Model, wireCapF map[string]float64) (*Result, error) {
+	res := &Result{
+		Arrival:       map[string]float64{},
+		InstanceDelay: map[string]float64{},
+	}
+	for _, in := range nl.Inputs {
+		res.Arrival[in] = 0
+	}
+	// Net load = sum of receiver pin caps + wire.
+	load := map[string]float64{}
+	for net, c := range wireCapF {
+		load[net] += c
+	}
+	for _, inst := range nl.Instances {
+		cm, ok := m.Cells[inst.Cell]
+		if !ok {
+			return nil, fmt.Errorf("sta: cell %q not characterized", inst.Cell)
+		}
+		for pin, net := range inst.Conns {
+			if pin == "OUT" {
+				continue
+			}
+			load[net] += cm.InputCapF[pin]
+		}
+	}
+	// Iterate to a fixed point (topological relaxation; the netlist is
+	// combinational so |instances| passes suffice).
+	prev := map[string]string{} // net -> predecessor net on its worst path
+	for pass := 0; pass <= len(nl.Instances); pass++ {
+		done := true
+		progress := false
+		for _, inst := range nl.Instances {
+			out := inst.Conns["OUT"]
+			if _, ok := res.Arrival[out]; ok {
+				continue
+			}
+			cm := m.Cells[inst.Cell]
+			worst := -1.0
+			var worstIn string
+			ready := true
+			for pin, net := range inst.Conns {
+				if pin == "OUT" {
+					continue
+				}
+				at, ok := res.Arrival[net]
+				if !ok {
+					ready = false
+					break
+				}
+				arc := cm.Arc(pin)
+				if arc == nil {
+					return nil, fmt.Errorf("sta: %s has no arc for pin %s", inst.Cell, pin)
+				}
+				d := arc.Table.Interp(load[out])
+				if at+d > worst {
+					worst = at + d
+					worstIn = net
+				}
+				if d > res.InstanceDelay[inst.Name] {
+					res.InstanceDelay[inst.Name] = d
+				}
+			}
+			if !ready {
+				done = false
+				continue
+			}
+			res.Arrival[out] = worst
+			prev[out] = worstIn
+			progress = true
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("sta: netlist is cyclic or has undriven nets")
+		}
+	}
+	// Worst output and critical path.
+	outs := nl.Outputs
+	if len(outs) == 0 {
+		for net := range res.Arrival {
+			outs = append(outs, net)
+		}
+		sort.Strings(outs)
+	}
+	worstOut := ""
+	for _, o := range outs {
+		if at, ok := res.Arrival[o]; ok && at >= res.WorstNet {
+			res.WorstNet = at
+			worstOut = o
+		}
+	}
+	for n := worstOut; n != ""; n = prev[n] {
+		res.CriticalPath = append([]string{n}, res.CriticalPath...)
+	}
+	return res, nil
+}

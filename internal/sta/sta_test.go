@@ -1,0 +1,207 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/liberty"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+	"cnfetdk/internal/synth"
+)
+
+// fakeModel builds a hand-written liberty model for STA unit tests (no
+// spice characterization needed).
+func fakeModel() *liberty.Model {
+	mk := func(name string, inputs []string, d0 float64) *liberty.CellModel {
+		cm := &liberty.CellModel{
+			Name:      name,
+			InputCapF: map[string]float64{},
+		}
+		for _, in := range inputs {
+			cm.InputCapF[in] = 1e-15
+			cm.Arcs = append(cm.Arcs, liberty.Arc{
+				Input: in,
+				Table: liberty.LUT{
+					LoadsF:  []float64{1e-15, 4e-15},
+					DelaysS: []float64{d0, d0 * 2},
+				},
+			})
+		}
+		return cm
+	}
+	return &liberty.Model{
+		Cells: map[string]*liberty.CellModel{
+			"INV_1X":   mk("INV_1X", []string{"A"}, 10e-12),
+			"NAND2_1X": mk("NAND2_1X", []string{"A", "B"}, 15e-12),
+		},
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	nl := &synth.Netlist{
+		Name:    "chain",
+		Inputs:  []string{"A"},
+		Outputs: []string{"Y"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "n1"}},
+			{Name: "u2", Cell: "INV_1X", Conns: map[string]string{"A": "n1", "OUT": "Y"}},
+		},
+	}
+	res, err := Analyze(nl, fakeModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 drives one INV input (1fF): delay = 10ps; u2 drives nothing
+	// (load 0 -> clamp to first point): 10ps. Total 20ps.
+	if math.Abs(res.MaxArrival()-20e-12) > 1e-15 {
+		t.Fatalf("arrival = %v, want 20ps", res.MaxArrival())
+	}
+	wantPath := []string{"A", "n1", "Y"}
+	if len(res.CriticalPath) != 3 {
+		t.Fatalf("path = %v", res.CriticalPath)
+	}
+	for i, n := range wantPath {
+		if res.CriticalPath[i] != n {
+			t.Fatalf("path = %v, want %v", res.CriticalPath, wantPath)
+		}
+	}
+}
+
+func TestAnalyzePicksWorstArc(t *testing.T) {
+	// B arrives later through an inverter; the NAND's worst path is B.
+	nl := &synth.Netlist{
+		Name:    "conv",
+		Inputs:  []string{"A", "B"},
+		Outputs: []string{"Y"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "B", "OUT": "nb"}},
+			{Name: "u2", Cell: "NAND2_1X", Conns: map[string]string{"A": "A", "B": "nb", "OUT": "Y"}},
+		},
+	}
+	res, err := Analyze(nl, fakeModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path through nb: 10 + 15 = 25ps.
+	if math.Abs(res.MaxArrival()-25e-12) > 1e-15 {
+		t.Fatalf("arrival = %v, want 25ps", res.MaxArrival())
+	}
+	if res.CriticalPath[1] != "nb" {
+		t.Fatalf("critical path should go through nb: %v", res.CriticalPath)
+	}
+}
+
+func TestAnalyzeWireLoadRaisesDelay(t *testing.T) {
+	nl := &synth.Netlist{
+		Name:    "w",
+		Inputs:  []string{"A"},
+		Outputs: []string{"Y"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
+		},
+	}
+	dry, err := Analyze(nl, fakeModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wet, err := Analyze(nl, fakeModel(), map[string]float64{"Y": 4e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wet.MaxArrival() <= dry.MaxArrival() {
+		t.Fatal("wire load must increase delay")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	nl := &synth.Netlist{
+		Name:   "bad",
+		Inputs: []string{"A"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "XOR_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
+		},
+	}
+	if _, err := Analyze(nl, fakeModel(), nil); err == nil {
+		t.Fatal("uncharacterized cell must error")
+	}
+	cyc := &synth.Netlist{
+		Name:   "cyc",
+		Inputs: []string{"A"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "NAND2_1X", Conns: map[string]string{"A": "A", "B": "q", "OUT": "q"}},
+		},
+	}
+	if _, err := Analyze(cyc, fakeModel(), nil); err == nil {
+		t.Fatal("cyclic netlist must error")
+	}
+}
+
+// Integration: STA on the characterized CNFET library must track the
+// transistor-level full-adder delay within a factor of two (NLDM with a
+// single slew point is coarse, but the orders must agree).
+func TestSTATracksSpiceOnFullAdder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization + transient")
+	}
+	lib, err := cells.NewLibrary(rules.CNFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := synth.FullAdder()
+	used := map[string]bool{}
+	for _, inst := range nl.Instances {
+		used[inst.Cell] = true
+	}
+	m, err := liberty.Characterize(lib, nil, func(n string) bool { return used[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := flow.NewKit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := place.Shelves(k.CNFET, nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := flow.WireCaps(p2, nl, lib.Rules.LambdaNM)
+	res, err := Analyze(nl, m, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spice reference: Cin -> Sum arc delay with the same wire loading.
+	ckt, _, err := k.BuildCircuit(k.CNFET, nl, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 4000e-12
+	ckt.AddV("va", "A", "0", spice.DC(device.Vdd))
+	ckt.AddV("vb", "B", "0", spice.DC(0))
+	ckt.AddV("vcin", "Cin", "0", spice.Pulse{
+		V0: 0, V1: device.Vdd, Delay: period / 4,
+		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
+	})
+	r, err := ckt.Transient(period, 8000, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSpice, err := r.PropDelay("Cin", "Sum", device.Vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.MaxArrival() / dSpice
+	t.Logf("STA %.1fps vs spice %.1fps (ratio %.2f), critical path %v",
+		res.MaxArrival()*1e12, dSpice*1e12, ratio, res.CriticalPath)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Fatalf("STA/spice ratio %.2f out of range", ratio)
+	}
+	if len(res.CriticalPath) < 4 {
+		t.Fatalf("suspiciously short critical path: %v", res.CriticalPath)
+	}
+}

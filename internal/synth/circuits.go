@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+
+	"cnfetdk/internal/logic"
+)
+
+// This file provides benchmark-circuit generators used by the flow-level
+// experiments: structural ripple-carry adders built from the Fig 8a full
+// adder, plus synthesized multiplexers and decoders. They extend the
+// paper's single-full-adder case study to the "many logic gates of
+// minimum-to-medium sizes" regime where scheme 2's packing advantage is
+// supposed to shine.
+
+// RippleCarryAdder returns an n-bit ripple-carry adder composed of n
+// structural full adders (Fig 8a), inputs A0..  B0.. and C0, outputs
+// S0..S{n-1} and the final carry Cn.
+func RippleCarryAdder(bits int) *Netlist {
+	nl := &Netlist{Name: fmt.Sprintf("rca%d", bits)}
+	nl.Inputs = append(nl.Inputs, "C0")
+	for i := 0; i < bits; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i))
+	}
+	carry := "C0"
+	fa := FullAdder()
+	for i := 0; i < bits; i++ {
+		sum := fmt.Sprintf("S%d", i)
+		cout := fmt.Sprintf("C%d", i+1)
+		for _, inst := range fa.Instances {
+			clone := Instance{
+				Name:  fmt.Sprintf("b%d_%s", i, inst.Name),
+				Cell:  inst.Cell,
+				Conns: map[string]string{},
+			}
+			for pin, net := range inst.Conns {
+				switch net {
+				case "A":
+					net = fmt.Sprintf("A%d", i)
+				case "B":
+					net = fmt.Sprintf("B%d", i)
+				case "Cin":
+					net = carry
+				case "Sum":
+					net = sum
+				case "Carry":
+					net = cout
+				default:
+					net = fmt.Sprintf("b%d_%s", i, net)
+				}
+				clone.Conns[pin] = net
+			}
+			nl.Instances = append(nl.Instances, clone)
+		}
+		nl.Outputs = append(nl.Outputs, sum)
+		carry = cout
+	}
+	nl.Outputs = append(nl.Outputs, carry)
+	return nl
+}
+
+// RippleCarryAdderSpec returns the Boolean specification of the n-bit
+// adder over its primary inputs, for exhaustive verification.
+func RippleCarryAdderSpec(bits int) map[string]*logic.Expr {
+	spec := map[string]*logic.Expr{}
+	carry := logic.Var("C0")
+	for i := 0; i < bits; i++ {
+		a, b := logic.Var(fmt.Sprintf("A%d", i)), logic.Var(fmt.Sprintf("B%d", i))
+		// sum = a ⊕ b ⊕ carry, expressed via AND/OR/NOT.
+		x := xorE(a, b)
+		spec[fmt.Sprintf("S%d", i)] = xorE(x, carry)
+		carry = logic.Or(logic.And(a, b), logic.And(carry, x))
+	}
+	spec[fmt.Sprintf("C%d", bits)] = carry
+	return spec
+}
+
+func xorE(a, b *logic.Expr) *logic.Expr {
+	return logic.Or(logic.And(a, logic.Not(b)), logic.And(logic.Not(a), b))
+}
+
+// Mux4 synthesizes a 4:1 multiplexer (data D0..D3, selects S0 S1, output
+// Y) onto the NAND2/INV library.
+func Mux4() (*Netlist, error) {
+	y := logic.MustParse(
+		"D0*!S0*!S1 + D1*S0*!S1 + D2*!S0*S1 + D3*S0*S1")
+	return Synthesize("mux4", map[string]*logic.Expr{"Y": y})
+}
+
+// Decoder2 synthesizes a 2:4 decoder with enable.
+func Decoder2() (*Netlist, error) {
+	out := map[string]*logic.Expr{
+		"Y0": logic.MustParse("En*!A*!B"),
+		"Y1": logic.MustParse("En*A*!B"),
+		"Y2": logic.MustParse("En*!A*B"),
+		"Y3": logic.MustParse("En*A*B"),
+	}
+	return Synthesize("dec2", out)
+}

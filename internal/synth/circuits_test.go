@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRippleCarryAdder2Verifies(t *testing.T) {
+	nl := RippleCarryAdder(2)
+	if err := nl.Verify(RippleCarryAdderSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	// 2 bits x 15 instances.
+	if len(nl.Instances) != 30 {
+		t.Fatalf("instances = %d, want 30", len(nl.Instances))
+	}
+	if len(nl.Inputs) != 5 || len(nl.Outputs) != 3 {
+		t.Fatalf("ports = %d in / %d out", len(nl.Inputs), len(nl.Outputs))
+	}
+}
+
+func TestRippleCarryAdder3Verifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-vector exhaustive check")
+	}
+	nl := RippleCarryAdder(3)
+	if err := nl.Verify(RippleCarryAdderSpec(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMux4Verifies(t *testing.T) {
+	nl, err := Mux4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Instances) == 0 {
+		t.Fatal("empty mux")
+	}
+	// Verify() already ran inside Synthesize; sanity-check one vector.
+	vals, err := nl.Evaluate(map[string]bool{
+		"D0": false, "D1": true, "D2": false, "D3": false,
+		"S0": true, "S1": false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals["Y"] {
+		t.Fatal("mux4 should select D1")
+	}
+}
+
+func TestDecoder2Verifies(t *testing.T) {
+	nl, err := Decoder2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := nl.Evaluate(map[string]bool{"En": true, "A": true, "B": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Y0": false, "Y1": true, "Y2": false, "Y3": false}
+	for o, v := range want {
+		if vals[o] != v {
+			t.Fatalf("decoder %s = %v, want %v", o, vals[o], v)
+		}
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	nl := FullAdder()
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module fulladder (A, B, Cin, Sum, Carry);",
+		"input A, B, Cin;",
+		"output Sum, Carry;",
+		"NAND2_2X g1 (.A(A), .B(B), .OUT(n1));",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verilog missing %q\n%s", want, out)
+		}
+	}
+	// Wires declared exactly once and not duplicating ports.
+	if strings.Count(out, "wire ") != 1 {
+		t.Fatal("expected a single wire declaration line")
+	}
+	if strings.Contains(strings.SplitN(out, "wire ", 2)[1], " Sum") {
+		t.Fatal("output listed as wire")
+	}
+}

@@ -1,0 +1,56 @@
+package synth
+
+import "cnfetdk/internal/logic"
+
+// FullAdder returns the case-study-2 netlist (Fig 8a): a full adder built
+// from 2X NAND2 gates with inverter buffers at 4X/7X/9X drive on the XOR
+// node and the two outputs. The paper's figure labels nine 2X NAND2 gates
+// and inverter pairs at 4X-7X and 4X-9X strengths; this reconstruction
+// follows the classic nine-NAND full adder with those buffers.
+//
+//	half sum   Z = A ⊕ B            (n1..n4)
+//	sum        Sum = Z ⊕ Cin        (n5..n8)
+//	carry      Carry = (A·B + Cin·Z)'' = NAND(n1, n5)
+func FullAdder() *Netlist {
+	inst := func(name, cell string, conns map[string]string) Instance {
+		return Instance{Name: name, Cell: cell, Conns: conns}
+	}
+	return &Netlist{
+		Name:    "fulladder",
+		Inputs:  []string{"A", "B", "Cin"},
+		Outputs: []string{"Sum", "Carry"},
+		Instances: []Instance{
+			// First half-adder stage: Z = A xor B.
+			inst("g1", "NAND2_2X", map[string]string{"A": "A", "B": "B", "OUT": "n1"}),
+			inst("g2", "NAND2_2X", map[string]string{"A": "A", "B": "n1", "OUT": "n2"}),
+			inst("g3", "NAND2_2X", map[string]string{"A": "B", "B": "n1", "OUT": "n3"}),
+			inst("g4", "NAND2_2X", map[string]string{"A": "n2", "B": "n3", "OUT": "z0"}),
+			// Z buffer (the figure's 4X/7X inverter pair).
+			inst("b1", "INV_4X", map[string]string{"A": "z0", "OUT": "zb"}),
+			inst("b2", "INV_7X", map[string]string{"A": "zb", "OUT": "Z"}),
+			// Second stage: Sum = Z xor Cin.
+			inst("g5", "NAND2_2X", map[string]string{"A": "Z", "B": "Cin", "OUT": "n5"}),
+			inst("g6", "NAND2_2X", map[string]string{"A": "Z", "B": "n5", "OUT": "n6"}),
+			inst("g7", "NAND2_2X", map[string]string{"A": "Cin", "B": "n5", "OUT": "n7"}),
+			inst("g8", "NAND2_2X", map[string]string{"A": "n6", "B": "n7", "OUT": "s0"}),
+			// Sum output buffer (4X/9X).
+			inst("b3", "INV_4X", map[string]string{"A": "s0", "OUT": "sb"}),
+			inst("b4", "INV_9X", map[string]string{"A": "sb", "OUT": "Sum"}),
+			// Carry = NAND(n1, n5); buffered at 4X/9X.
+			inst("g9", "NAND2_2X", map[string]string{"A": "n1", "B": "n5", "OUT": "c0"}),
+			inst("b5", "INV_4X", map[string]string{"A": "c0", "OUT": "cb"}),
+			inst("b6", "INV_9X", map[string]string{"A": "cb", "OUT": "Carry"}),
+		},
+	}
+}
+
+// FullAdderSpec returns the functional specification of the full adder for
+// verification.
+func FullAdderSpec() map[string]*logic.Expr {
+	return map[string]*logic.Expr{
+		// Sum = A ⊕ B ⊕ Cin in SOP form.
+		"Sum": logic.MustParse("A*B'*Cin' + A'*B*Cin' + A'*B'*Cin + A*B*Cin"),
+		// Carry = AB + Cin(A ⊕ B) = AB + ACin + BCin.
+		"Carry": logic.MustParse("A*B + A*Cin + B*Cin"),
+	}
+}

@@ -1,0 +1,258 @@
+// Package synth provides the front of the logic-to-GDSII flow: a small
+// structural netlist model, a text netlist parser, a NAND/INV technology
+// mapper for combinational expressions, and logic-level verification of
+// mapped netlists against their specification.
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cnfetdk/internal/logic"
+)
+
+// Instance is one placed gate.
+type Instance struct {
+	Name string
+	Cell string // library full name, e.g. "NAND2_2X"
+	// Conns maps cell formal pins (A, B, ..., OUT) to net names.
+	Conns map[string]string
+}
+
+// Netlist is a flat gate-level design.
+type Netlist struct {
+	Name      string
+	Inputs    []string
+	Outputs   []string
+	Instances []Instance
+}
+
+// Nets returns all net names in deterministic order.
+func (n *Netlist) Nets() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, in := range n.Inputs {
+		add(in)
+	}
+	for _, inst := range n.Instances {
+		for _, net := range inst.Conns {
+			add(net)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FanoutCount returns how many instance inputs each net drives.
+func (n *Netlist) FanoutCount() map[string]int {
+	out := map[string]int{}
+	for _, inst := range n.Instances {
+		for pin, net := range inst.Conns {
+			if pin != "OUT" {
+				out[net]++
+			}
+		}
+	}
+	return out
+}
+
+// Parse reads the tiny structural format:
+//
+//	module NAME
+//	input A B Cin
+//	output Sum Carry
+//	u1 NAND2_2X A=A B=B OUT=n1
+//	...
+//	endmodule
+//
+// Lines starting with # are comments.
+func Parse(r io.Reader) (*Netlist, error) {
+	n := &Netlist{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "module":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("synth: line %d: module needs a name", lineNo)
+			}
+			n.Name = f[1]
+		case "endmodule":
+			if n.Name == "" {
+				return nil, fmt.Errorf("synth: line %d: endmodule without module", lineNo)
+			}
+			return n, sc.Err()
+		case "input":
+			n.Inputs = append(n.Inputs, f[1:]...)
+		case "output":
+			n.Outputs = append(n.Outputs, f[1:]...)
+		default:
+			if len(f) < 3 {
+				return nil, fmt.Errorf("synth: line %d: malformed instance", lineNo)
+			}
+			inst := Instance{Name: f[0], Cell: f[1], Conns: map[string]string{}}
+			for _, kv := range f[2:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("synth: line %d: bad pin binding %q", lineNo, kv)
+				}
+				inst.Conns[parts[0]] = parts[1]
+			}
+			n.Instances = append(n.Instances, inst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n.Name == "" {
+		return nil, fmt.Errorf("synth: missing module header")
+	}
+	return n, nil
+}
+
+// Format renders the netlist in the Parse format.
+func (n *Netlist) Format(w io.Writer) error {
+	fmt.Fprintf(w, "module %s\n", n.Name)
+	if len(n.Inputs) > 0 {
+		fmt.Fprintf(w, "input %s\n", strings.Join(n.Inputs, " "))
+	}
+	if len(n.Outputs) > 0 {
+		fmt.Fprintf(w, "output %s\n", strings.Join(n.Outputs, " "))
+	}
+	for _, inst := range n.Instances {
+		pins := make([]string, 0, len(inst.Conns))
+		for p := range inst.Conns {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		parts := []string{inst.Name, inst.Cell}
+		for _, p := range pins {
+			parts = append(parts, p+"="+inst.Conns[p])
+		}
+		fmt.Fprintln(w, strings.Join(parts, " "))
+	}
+	_, err := fmt.Fprintln(w, "endmodule")
+	return err
+}
+
+// CellFunctions maps library cell base names to their pull-down functions
+// for logic-level evaluation; the output is the complement.
+var CellFunctions = map[string]string{
+	"INV":   "A",
+	"NAND2": "AB",
+	"NAND3": "ABC",
+	"NOR2":  "A+B",
+	"NOR3":  "A+B+C",
+	"AOI21": "AB+C",
+	"AOI22": "AB+CD",
+	"AOI31": "ABC+D",
+	"OAI21": "(A+B)C",
+	"OAI22": "(A+B)(C+D)",
+}
+
+// baseName strips the drive suffix: "NAND2_2X" -> "NAND2".
+func baseName(cell string) string {
+	if i := strings.LastIndex(cell, "_"); i > 0 {
+		return cell[:i]
+	}
+	return cell
+}
+
+// Evaluate computes all net values for one input assignment by iterating
+// gate evaluation to a fixed point (the netlist must be combinational).
+func (n *Netlist) Evaluate(in map[string]bool) (map[string]bool, error) {
+	vals := map[string]bool{}
+	for _, i := range n.Inputs {
+		v, ok := in[i]
+		if !ok {
+			return nil, fmt.Errorf("synth: input %q not assigned", i)
+		}
+		vals[i] = v
+	}
+	exprs := map[string]*logic.Expr{}
+	for base, f := range CellFunctions {
+		exprs[base] = logic.MustParse(f)
+	}
+	for pass := 0; pass <= len(n.Instances); pass++ {
+		progress := false
+		done := true
+		for _, inst := range n.Instances {
+			out := inst.Conns["OUT"]
+			if _, ok := vals[out]; ok {
+				continue
+			}
+			e, ok := exprs[baseName(inst.Cell)]
+			if !ok {
+				return nil, fmt.Errorf("synth: unknown cell %q", inst.Cell)
+			}
+			env := map[string]bool{}
+			ready := true
+			for _, v := range e.Vars() {
+				net, ok := inst.Conns[v]
+				if !ok {
+					return nil, fmt.Errorf("synth: %s: pin %s unbound", inst.Name, v)
+				}
+				val, ok := vals[net]
+				if !ok {
+					ready = false
+					break
+				}
+				env[v] = val
+			}
+			if !ready {
+				done = false
+				continue
+			}
+			vals[out] = !e.Eval(env) // cells are inverting: out = f'
+			progress = true
+		}
+		if done {
+			return vals, nil
+		}
+		if !progress {
+			return nil, fmt.Errorf("synth: netlist is cyclic or has undriven nets")
+		}
+	}
+	return vals, nil
+}
+
+// Verify checks the netlist implements the given output functions over the
+// primary inputs (exhaustively).
+func (n *Netlist) Verify(spec map[string]*logic.Expr) error {
+	rows := 1 << len(n.Inputs)
+	for v := 0; v < rows; v++ {
+		in := map[string]bool{}
+		for k, name := range n.Inputs {
+			in[name] = v>>uint(k)&1 == 1
+		}
+		vals, err := n.Evaluate(in)
+		if err != nil {
+			return err
+		}
+		for out, e := range spec {
+			got, ok := vals[out]
+			if !ok {
+				return fmt.Errorf("synth: output %q undriven", out)
+			}
+			if want := e.Eval(in); got != want {
+				return fmt.Errorf("synth: output %q wrong on vector %b: got %v want %v", out, v, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the mapped netlist as structural Verilog, with each
+// library cell as a module instance — the conventional hand-off format out
+// of logic synthesis.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	var b strings.Builder
+	ports := append(append([]string{}, n.Inputs...), n.Outputs...)
+	fmt.Fprintf(&b, "module %s (%s);\n", n.Name, strings.Join(ports, ", "))
+	if len(n.Inputs) > 0 {
+		fmt.Fprintf(&b, "  input %s;\n", strings.Join(n.Inputs, ", "))
+	}
+	if len(n.Outputs) > 0 {
+		fmt.Fprintf(&b, "  output %s;\n", strings.Join(n.Outputs, ", "))
+	}
+	io_ := map[string]bool{}
+	for _, p := range ports {
+		io_[p] = true
+	}
+	var wires []string
+	for _, net := range n.Nets() {
+		if !io_[net] {
+			wires = append(wires, net)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(&b, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	for _, inst := range n.Instances {
+		pins := make([]string, 0, len(inst.Conns))
+		for p := range inst.Conns {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		conns := make([]string, len(pins))
+		for i, p := range pins {
+			conns[i] = fmt.Sprintf(".%s(%s)", p, inst.Conns[p])
+		}
+		fmt.Fprintf(&b, "  %s %s (%s);\n", inst.Cell, inst.Name, strings.Join(conns, ", "))
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
