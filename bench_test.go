@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"cnfetdk/internal/cells"
 	"cnfetdk/internal/cnt"
 	"cnfetdk/internal/device"
 	"cnfetdk/internal/flow"
@@ -383,6 +384,101 @@ func BenchmarkAblationVerticalGating(b *testing.B) {
 		}
 	}
 	b.ReportMetric(viasOld, "etched-vias")
+}
+
+// BenchmarkLibraryBuildSequential is the reference path of the staged
+// pipeline engine: the full CNFET library (gate synthesis, compact layout
+// generation, DRC) on a single worker.
+func BenchmarkLibraryBuildSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cells.NewLibraryOpts(rules.CNFET, cells.BuildOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLibraryBuildPipelined is the same build fanned out across one
+// worker per CPU; with GOMAXPROCS>1 it must beat the sequential path.
+func BenchmarkLibraryBuildPipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cells.NewLibraryOpts(rules.CNFET, cells.BuildOptions{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizationSequential sweeps the full CNFET datasheet
+// (one SPICE transient per cell) on a single worker.
+func BenchmarkCharacterizationSequential(b *testing.B) {
+	lib := kit(b).CNFET
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.DatasheetWorkers(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizationPipelined is the same datasheet sweep with the
+// per-cell SPICE jobs fanned out across the worker pool.
+func BenchmarkCharacterizationPipelined(b *testing.B) {
+	lib := kit(b).CNFET
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.DatasheetWorkers(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowCachedRerun measures a repeated full-adder flow run against
+// a warm kit cache: every stage (placement, SPICE, energy) is served from
+// the content-keyed memo cache.
+func BenchmarkFlowCachedRerun(b *testing.B) {
+	k, err := flow.NewKit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.RunFullAdder(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.RunFullAdder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k.CacheLen()), "cached-stages")
+}
+
+// BenchmarkMonteCarloSequential checks 4000 tubes on the NAND3 compact
+// cell on a single worker — the reference for the sharded path below.
+func BenchmarkMonteCarloSequential(b *testing.B) {
+	c := genCell(b, "ABC", layout.StyleCompact, 4)
+	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := ch.MonteCarloWorkers(4000, 15, rng, 1)
+		if !rep.Immune() {
+			b.Fatal("NAND3 compact must be immune")
+		}
+	}
+	b.ReportMetric(4000, "tubes/op")
+}
+
+// BenchmarkMonteCarloPipelined is the same batch sharded across one
+// worker per CPU; the report is bit-identical to the sequential run.
+func BenchmarkMonteCarloPipelined(b *testing.B) {
+	c := genCell(b, "ABC", layout.StyleCompact, 4)
+	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := ch.MonteCarloWorkers(4000, 15, rng, 0)
+		if !rep.Immune() {
+			b.Fatal("NAND3 compact must be immune")
+		}
+	}
+	b.ReportMetric(4000, "tubes/op")
 }
 
 // BenchmarkMonteCarloThroughput measures the immunity checker itself —

@@ -7,6 +7,8 @@
 //	fasynth                 # run the case study, print the comparison
 //	fasynth -gds fa.gds     # also export the scheme-2 placement
 //	fasynth -netlist        # dump the Fig 8a netlist
+//	fasynth -timing         # print per-stage pipeline timing
+//	fasynth -j 4            # bound the worker pool
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"cnfetdk/internal/flow"
+	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/report"
 	"cnfetdk/internal/synth"
 )
@@ -22,6 +25,8 @@ import (
 func main() {
 	gds := flag.String("gds", "", "write the scheme-2 full adder to this GDS file")
 	dumpNetlist := flag.Bool("netlist", false, "print the Fig 8a netlist and exit")
+	timing := flag.Bool("timing", false, "print per-stage pipeline timing on exit")
+	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *dumpNetlist {
@@ -32,7 +37,8 @@ func main() {
 		return
 	}
 
-	kit, err := flow.NewKit()
+	trace := &pipeline.Trace{}
+	kit, err := flow.NewKitOpts(flow.Options{Workers: *workers, Trace: trace})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fasynth:", err)
 		os.Exit(1)
@@ -68,16 +74,19 @@ func main() {
 	tab.Format(os.Stdout)
 
 	if *gds != "" {
-		f, err := os.Create(*gds)
+		stream, err := kit.FullAdderGDS()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fasynth:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := flow.WritePlacementGDS(f, kit.CNFET, res.Placements.S2, "FULLADDER_S2"); err != nil {
+		if err := os.WriteFile(*gds, stream, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fasynth:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (Fig 9: scheme-2 full adder)\n", *gds)
+	}
+
+	if *timing {
+		fmt.Printf("\npipeline stages (slowest first):\n%s", trace.String())
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strconv"
 
 	"cnfetdk/internal/device"
+	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/report"
 	"cnfetdk/internal/spice"
 )
@@ -80,13 +81,35 @@ func main() {
 
 	if *doSpice {
 		fmt.Println("\nTransient cross-check (5-stage FO4 chain, 3rd stage):")
-		for _, n := range []int{1, 8, opt} {
-			g, err := spiceGain(n, p)
+		// The CMOS reference chain is independent of N: simulate it once,
+		// then fan the CNFET points out across the worker pool.
+		cm, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
+			c.AddFET(name+".p", out, in, "vdd", device.CMOSFET(name+".p", device.PType, 1.4))
+			c.AddFET(name+".n", out, in, "0", device.CMOSFET(name+".n", device.NType, 1))
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+			os.Exit(1)
+		}
+		points := []int{1, 8, opt}
+		gains, err := pipeline.Map(0, points, func(_ int, n int) (float64, error) {
+			cn, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
+				np := device.CNFET(name+".n", device.NType, n, device.GateWidthNM, p)
+				pp := device.CNFET(name+".p", device.PType, n, device.GateWidthNM, p)
+				c.AddFET(name+".p", out, in, "vdd", pp)
+				c.AddFET(name+".n", out, in, "0", np)
+			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "fo4sweep:", err)
-				os.Exit(1)
+				return 0, err
 			}
-			fmt.Printf("  N=%-3d analytic %.2fx  spice %.2fx\n", n, p.DelayGain(n), g)
+			return cm / cn, nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+			os.Exit(1)
+		}
+		for i, n := range points {
+			fmt.Printf("  N=%-3d analytic %.2fx  spice %.2fx\n", n, p.DelayGain(n), gains[i])
 		}
 	}
 }
@@ -99,28 +122,6 @@ func maxEDP(p device.FO4Params, maxN int) float64 {
 		}
 	}
 	return best
-}
-
-// spiceGain measures the FO4 chain at the transistor level for both
-// technologies and returns the delay gain.
-func spiceGain(n int, p device.FO4Params) (float64, error) {
-	cn, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
-		np := device.CNFET(name+".n", device.NType, n, device.GateWidthNM, p)
-		pp := device.CNFET(name+".p", device.PType, n, device.GateWidthNM, p)
-		c.AddFET(name+".p", out, in, "vdd", pp)
-		c.AddFET(name+".n", out, in, "0", np)
-	})
-	if err != nil {
-		return 0, err
-	}
-	cm, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
-		c.AddFET(name+".p", out, in, "vdd", device.CMOSFET(name+".p", device.PType, 1.4))
-		c.AddFET(name+".n", out, in, "0", device.CMOSFET(name+".n", device.NType, 1))
-	})
-	if err != nil {
-		return 0, err
-	}
-	return cm / cn, nil
 }
 
 func measureFO4(addInv func(name, in, out string, c *spice.Circuit)) (float64, error) {

@@ -10,6 +10,7 @@
 //	libchar -tech cmos -lib cmos.lib      # the CMOS twin
 //	libchar -cells INV_1X,NAND2_2X        # subset
 //	libchar -verilog fa.v -spice fa.sp    # benchmark artifacts
+//	libchar -j 4                          # bound the worker pool
 package main
 
 import (
@@ -33,13 +34,14 @@ func main() {
 	cellList := flag.String("cells", "", "comma-separated cell subset (default: all)")
 	verilogPath := flag.String("verilog", "", "write the full-adder benchmark as Verilog")
 	spicePath := flag.String("spice", "", "write the full-adder testbench as SPICE")
+	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	tech := rules.CNFET
 	if strings.EqualFold(*techName, "cmos") {
 		tech = rules.CMOS
 	}
-	lib, err := cells.NewLibrary(tech)
+	lib, err := cells.NewLibraryOpts(tech, cells.BuildOptions{Workers: *workers})
 	if err != nil {
 		fail(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 			filter = func(n string) bool { return keep[n] }
 		}
 		fmt.Printf("characterizing %s library (this sweeps every arc through the simulator)...\n", tech)
-		m, err := liberty.Characterize(lib, nil, filter)
+		m, err := liberty.CharacterizeWorkers(lib, nil, filter, *workers)
 		if err != nil {
 			fail(err)
 		}

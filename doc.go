@@ -11,9 +11,16 @@
 // placement in the paper's two cell schemes, parasitic extraction, and a
 // GDSII writer — a complete logic-to-GDSII flow.
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure. The benchmark
-// harness in bench_test.go regenerates each experiment:
+// Orchestration runs on the staged pipeline engine (internal/pipeline):
+// library construction, characterization sweeps, Monte Carlo immunity
+// batches and the flow itself execute as worker-pool stages with
+// content-keyed memoization, deterministically — results are independent
+// of the worker count. See DESIGN.md ("Staged pipeline engine") for the
+// architecture, the full-adder stage graph, the caching keys and the
+// determinism rules.
+//
+// The benchmark harness in bench_test.go regenerates each experiment of
+// the paper plus sequential-vs-pipelined engine comparisons:
 //
 //	go test -bench=. -benchmem .
 package cnfetdk

@@ -1,0 +1,3 @@
+module cnfetdk
+
+go 1.24

@@ -9,12 +9,15 @@ package cells
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cnfetdk/internal/device"
+	"cnfetdk/internal/drc"
 	"cnfetdk/internal/geom"
 	"cnfetdk/internal/layout"
 	"cnfetdk/internal/logic"
 	"cnfetdk/internal/network"
+	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/rules"
 	"cnfetdk/internal/spice"
 )
@@ -71,10 +74,34 @@ type Library struct {
 	cells map[string]*Cell
 }
 
+// BuildOptions tunes library construction.
+type BuildOptions struct {
+	// Workers is the worker-pool width for the layout/DRC fan-out;
+	// <= 0 selects pipeline.DefaultWorkers (one per CPU). Workers == 1
+	// is the sequential reference path.
+	Workers int
+	// SkipDRC disables the per-cell design-rule check stage.
+	SkipDRC bool
+	// Specs overrides the library contents (nil = DefaultSpecs).
+	Specs []Spec
+	// Trace, when set, receives per-stage timing reports.
+	Trace *pipeline.Trace
+}
+
 // NewLibrary builds the library for a technology. CNFET cells use the
 // paper's compact immune layouts; CMOS cells use the same Euler-row
-// generator under CMOS rules.
+// generator under CMOS rules. Generation fans out across one worker per
+// CPU; use NewLibraryOpts to control the pool width.
 func NewLibrary(tech rules.Tech) (*Library, error) {
+	return NewLibraryOpts(tech, BuildOptions{})
+}
+
+// NewLibraryOpts builds the library through the staged pipeline: gate
+// synthesis runs first (cheap, shared across drive strengths), then every
+// (cell, drive) layout generation plus its design-rule check fans out
+// across the worker pool. The resulting library is independent of the
+// worker count.
+func NewLibraryOpts(tech rules.Tech, opts BuildOptions) (*Library, error) {
 	lib := &Library{
 		Tech:  tech,
 		Rules: rules.Default65nm(tech),
@@ -82,23 +109,61 @@ func NewLibrary(tech rules.Tech) (*Library, error) {
 		UnitW: geom.Lambda(4),
 		cells: map[string]*Cell{},
 	}
-	for _, spec := range DefaultSpecs() {
+	specs := opts.Specs
+	if specs == nil {
+		specs = DefaultSpecs()
+	}
+
+	// Stage 1: gate synthesis. One gate per spec, shared read-only by
+	// every drive strength (layout.Generate clones the SP trees it
+	// scales, so concurrent generation off one gate is safe).
+	t0 := time.Now()
+	gates := make([]*network.Gate, len(specs))
+	for i, spec := range specs {
 		g, err := network.NewGate(spec.Name, logic.MustParse(spec.PullDown), 1)
 		if err != nil {
 			return nil, fmt.Errorf("cells: %s: %w", spec.Name, err)
 		}
+		gates[i] = g
+	}
+	opts.Trace.Add(pipeline.StageReport{Stage: "gates", Dur: time.Since(t0), Items: len(specs)})
+
+	// Stage 2: layout generation + DRC, one job per (spec, drive).
+	type job struct {
+		spec  int
+		drive float64
+	}
+	var jobs []job
+	for i, spec := range specs {
 		for _, d := range spec.Drives {
-			unit := geom.Coord(float64(lib.UnitW) * d)
-			lay, err := layout.Generate(spec.Name, g, layout.StyleCompact, unit, lib.Rules)
-			if err != nil {
-				return nil, fmt.Errorf("cells: %s layout: %w", spec.Name, err)
-			}
-			c := &Cell{
-				Name: spec.Name, Drive: d, Tech: tech,
-				Gate: g, Layout: lay, Rules: lib.Rules,
-			}
-			lib.cells[c.FullName()] = c
+			jobs = append(jobs, job{spec: i, drive: d})
 		}
+	}
+	t0 = time.Now()
+	built, err := pipeline.Map(opts.Workers, jobs, func(_ int, j job) (*Cell, error) {
+		spec := specs[j.spec]
+		unit := geom.Coord(float64(lib.UnitW) * j.drive)
+		lay, err := layout.Generate(spec.Name, gates[j.spec], layout.StyleCompact, unit, lib.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("%s layout: %w", spec.Name, err)
+		}
+		c := &Cell{
+			Name: spec.Name, Drive: j.drive, Tech: tech,
+			Gate: gates[j.spec], Layout: lay, Rules: lib.Rules,
+		}
+		if !opts.SkipDRC {
+			if vs := drc.CheckCell(lay); len(vs) > 0 {
+				return nil, fmt.Errorf("%s drc: %d violations, first: %s", c.FullName(), len(vs), vs[0])
+			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	opts.Trace.Add(pipeline.StageReport{Stage: "layout+drc", Dur: time.Since(t0), Items: len(jobs)})
+	for _, c := range built {
+		lib.cells[c.FullName()] = c
 	}
 	return lib, nil
 }

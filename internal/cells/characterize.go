@@ -5,6 +5,7 @@ import (
 
 	"cnfetdk/internal/device"
 	"cnfetdk/internal/logic"
+	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/spice"
 )
 
@@ -102,17 +103,18 @@ func (l *Library) ReferenceLoad() float64 {
 }
 
 // Datasheet characterizes every cell at the reference load (probing input
-// "A") and returns the rows sorted by cell name.
+// "A") and returns the rows sorted by cell name. The per-cell SPICE jobs
+// fan out across one worker per CPU; row order is deterministic (sorted by
+// cell name) regardless of worker count.
 func (l *Library) Datasheet() ([]Timing, error) {
+	return l.DatasheetWorkers(0)
+}
+
+// DatasheetWorkers is Datasheet with an explicit worker-pool width
+// (<= 0 selects one worker per CPU; 1 is the sequential reference path).
+func (l *Library) DatasheetWorkers(workers int) ([]Timing, error) {
 	load := l.ReferenceLoad()
-	var rows []Timing
-	for _, name := range l.Names() {
-		c := l.MustGet(name)
-		t, err := l.Characterize(c, "A", load)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, t)
-	}
-	return rows, nil
+	return pipeline.Map(workers, l.Names(), func(_ int, name string) (Timing, error) {
+		return l.Characterize(l.MustGet(name), "A", load)
+	})
 }

@@ -4,14 +4,22 @@
 // annotated with wire parasitics, simulated at the transistor level, and
 // exported as GDSII streams. The full-adder case study (Section V.B) is a
 // single call.
+//
+// The flow runs on the staged pipeline engine (internal/pipeline): library
+// construction, placements and transistor-level simulations execute as
+// stages of a dependency graph with bounded parallelism, and every stage
+// result is memoized in a kit-scoped content-keyed cache, so repeated runs
+// (benchmarks, sweeps) skip work already done. See DESIGN.md.
 package flow
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
 	"cnfetdk/internal/cells"
 	"cnfetdk/internal/device"
+	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/rules"
 	"cnfetdk/internal/spice"
@@ -26,32 +34,82 @@ import (
 // inverter-chain gains, exactly as in the paper's case study 2.
 const WireCapPerNM = 0.06e-18
 
-// Kit is the technology pair needed for CMOS-vs-CNFET comparisons.
+// Kit is the technology pair needed for CMOS-vs-CNFET comparisons, plus
+// the pipeline machinery (worker pool width, memo cache, stage trace) the
+// flow entry points run on.
 type Kit struct {
 	CNFET *cells.Library
 	CMOS  *cells.Library
+
+	libs    map[rules.Tech]*cells.Library
+	cache   *pipeline.Cache
+	trace   *pipeline.Trace
+	workers int
 }
 
-// NewKit builds both libraries.
-func NewKit() (*Kit, error) {
-	cn, err := cells.NewLibrary(rules.CNFET)
+// Options tunes kit construction and flow execution.
+type Options struct {
+	// Workers bounds every pool the kit runs (library build fan-out,
+	// stage graphs); <= 0 selects one worker per CPU, 1 is the
+	// sequential reference path.
+	Workers int
+	// Trace, when set, receives per-stage timing reports from library
+	// construction and every flow graph the kit runs.
+	Trace *pipeline.Trace
+}
+
+// kitTechs is the technology table one constructor serves.
+var kitTechs = []rules.Tech{rules.CNFET, rules.CMOS}
+
+// NewKit builds both libraries through the pipeline with default options.
+func NewKit() (*Kit, error) { return NewKitOpts(Options{}) }
+
+// NewKitOpts builds the kit: both technologies run through one
+// table-driven constructor as concurrent stages of a build graph, and the
+// kit's memo cache is initialized empty.
+func NewKitOpts(opts Options) (*Kit, error) {
+	k := &Kit{
+		libs:    map[rules.Tech]*cells.Library{},
+		cache:   pipeline.NewCache(),
+		trace:   opts.Trace,
+		workers: opts.Workers,
+	}
+	g := pipeline.NewGraph(nil, opts.Workers).Trace(opts.Trace)
+	for _, tech := range kitTechs {
+		tech := tech
+		g.AddFunc("lib/"+strings.ToLower(tech.String()), "", nil, func(map[string]any) (any, error) {
+			lib, err := cells.NewLibraryOpts(tech, cells.BuildOptions{Workers: opts.Workers, Trace: opts.Trace})
+			if err != nil {
+				return nil, fmt.Errorf("flow: build %s library: %w", tech, err)
+			}
+			return lib, nil
+		})
+	}
+	res, err := g.Run()
 	if err != nil {
 		return nil, err
 	}
-	cm, err := cells.NewLibrary(rules.CMOS)
-	if err != nil {
-		return nil, err
+	for _, tech := range kitTechs {
+		k.libs[tech] = res["lib/"+strings.ToLower(tech.String())].Value.(*cells.Library)
 	}
-	return &Kit{CNFET: cn, CMOS: cm}, nil
+	k.CNFET, k.CMOS = k.libs[rules.CNFET], k.libs[rules.CMOS]
+	return k, nil
 }
 
-// Lib selects the library for a technology.
+// Lib selects the library for a technology (unknown technologies fall
+// back to CNFET, matching the historical behaviour).
 func (k *Kit) Lib(t rules.Tech) *cells.Library {
-	if t == rules.CMOS {
-		return k.CMOS
+	if lib, ok := k.libs[t]; ok {
+		return lib
 	}
 	return k.CNFET
 }
+
+// Trace returns the kit's stage-report sink (nil unless configured).
+func (k *Kit) Trace() *pipeline.Trace { return k.trace }
+
+// CacheLen reports how many stage results the kit's memo cache holds.
+func (k *Kit) CacheLen() int { return k.cache.Len() }
 
 // BuildCircuit instantiates a netlist into a spice circuit, tying primary
 // inputs to the given node names (callers add sources) and loading each
@@ -123,42 +181,123 @@ func (r *FullAdderResult) AreaGainS1() float64 { return r.AreaCMOS / r.AreaS1 }
 // AreaGainS2 returns CMOS/scheme-2 area.
 func (r *FullAdderResult) AreaGainS2() float64 { return r.AreaCMOS / r.AreaS2 }
 
-// RunFullAdder executes case study 2 end to end.
+// faKey builds a cache key for one full-adder stage. The kit's cache is
+// kit-scoped, so the key only needs to capture the stage identity and the
+// flow inputs that could vary across kit configurations.
+func (k *Kit) faKey(stage string, tech rules.Tech) string {
+	return pipeline.Key("fulladder", stage, tech.String(),
+		k.Lib(tech).Rules.LambdaNM, WireCapPerNM)
+}
+
+// RunFullAdder executes case study 2 end to end as a pipeline graph:
+// netlist synthesis, the three placements, parasitic extraction, the two
+// transistor-level simulations and the energy models run as stages with
+// bounded parallelism, memoized in the kit's cache — a repeated run
+// returns the cached result without re-simulating. Callers must treat the
+// result as shared and read-only.
 func (k *Kit) RunFullAdder() (*FullAdderResult, error) {
-	nl := synth.FullAdder()
-	if err := nl.Verify(synth.FullAdderSpec()); err != nil {
-		return nil, fmt.Errorf("flow: full adder netlist: %w", err)
-	}
-	res := &FullAdderResult{}
-	pCM, err := place.Rows(k.CMOS, nl, 2)
-	if err != nil {
-		return nil, err
-	}
-	p1, err := place.Rows(k.CNFET, nl, 2)
-	if err != nil {
-		return nil, err
-	}
-	p2, err := place.Shelves(k.CNFET, nl, 0)
-	if err != nil {
-		return nil, err
-	}
-	res.AreaCMOS, res.AreaS1, res.AreaS2 = pCM.Area(), p1.Area(), p2.Area()
-	res.UtilS1, res.UtilS2 = p1.Utilization(), p2.Utilization()
-	res.Placements.CMOS, res.Placements.S1, res.Placements.S2 = pCM, p1, p2
+	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
 
-	dCN, err := k.faDelay(k.CNFET, nl, WireCaps(p2, nl, k.CNFET.Rules.LambdaNM))
-	if err != nil {
-		return nil, fmt.Errorf("flow: CNFET delay: %w", err)
-	}
-	dCM, err := k.faDelay(k.CMOS, nl, WireCaps(pCM, nl, k.CMOS.Rules.LambdaNM))
-	if err != nil {
-		return nil, fmt.Errorf("flow: CMOS delay: %w", err)
-	}
-	res.DelayCNFET, res.DelayCMOS = dCN, dCM
+	g.AddFunc("netlist", k.faKey("netlist", rules.CNFET), nil, func(map[string]any) (any, error) {
+		nl := synth.FullAdder()
+		if err := nl.Verify(synth.FullAdderSpec()); err != nil {
+			return nil, fmt.Errorf("flow: full adder netlist: %w", err)
+		}
+		return nl, nil
+	})
 
-	res.EnergyCNFET = k.faEnergy(rules.CNFET, nl, p2)
-	res.EnergyCMOS = k.faEnergy(rules.CMOS, nl, pCM)
-	return res, nil
+	// Placement stages: CMOS rows, scheme-1 rows, scheme-2 shelves.
+	placeStage := func(name string, tech rules.Tech, run func(*synth.Netlist) (*place.Placement, error)) {
+		g.AddFunc(name, k.faKey(name, tech), []string{"netlist"}, func(d map[string]any) (any, error) {
+			return run(d["netlist"].(*synth.Netlist))
+		})
+	}
+	placeStage("place/cmos", rules.CMOS, func(nl *synth.Netlist) (*place.Placement, error) {
+		return place.Rows(k.CMOS, nl, 2)
+	})
+	placeStage("place/s1", rules.CNFET, func(nl *synth.Netlist) (*place.Placement, error) {
+		return place.Rows(k.CNFET, nl, 2)
+	})
+	placeStage("place/s2", rules.CNFET, func(nl *synth.Netlist) (*place.Placement, error) {
+		return place.Shelves(k.CNFET, nl, 0)
+	})
+
+	// Extraction: placement HPWL -> lumped wire capacitances.
+	wireStage := func(name, placeDep string, tech rules.Tech) {
+		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", placeDep}, func(d map[string]any) (any, error) {
+			return WireCaps(d[placeDep].(*place.Placement), d["netlist"].(*synth.Netlist), k.Lib(tech).Rules.LambdaNM), nil
+		})
+	}
+	wireStage("wire/cnfet", "place/s2", rules.CNFET)
+	wireStage("wire/cmos", "place/cmos", rules.CMOS)
+
+	// Transistor-level simulation of the Cin arcs.
+	simStage := func(name, wireDep string, tech rules.Tech) {
+		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", wireDep}, func(d map[string]any) (any, error) {
+			dly, err := k.faDelay(k.Lib(tech), d["netlist"].(*synth.Netlist), d[wireDep].(map[string]float64))
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s delay: %w", tech, err)
+			}
+			return dly, nil
+		})
+	}
+	simStage("sim/cnfet", "wire/cnfet", rules.CNFET)
+	simStage("sim/cmos", "wire/cmos", rules.CMOS)
+
+	// Calibrated switching-energy model over the placed design.
+	energyStage := func(name, placeDep string, tech rules.Tech) {
+		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", placeDep}, func(d map[string]any) (any, error) {
+			return k.faEnergy(tech, d["netlist"].(*synth.Netlist), d[placeDep].(*place.Placement)), nil
+		})
+	}
+	energyStage("energy/cnfet", "place/s2", rules.CNFET)
+	energyStage("energy/cmos", "place/cmos", rules.CMOS)
+
+	g.AddFunc("result", k.faKey("result", rules.CNFET), []string{
+		"place/cmos", "place/s1", "place/s2",
+		"sim/cnfet", "sim/cmos", "energy/cnfet", "energy/cmos",
+	}, func(d map[string]any) (any, error) {
+		pCM := d["place/cmos"].(*place.Placement)
+		p1 := d["place/s1"].(*place.Placement)
+		p2 := d["place/s2"].(*place.Placement)
+		res := &FullAdderResult{
+			DelayCNFET:  d["sim/cnfet"].(float64),
+			DelayCMOS:   d["sim/cmos"].(float64),
+			EnergyCNFET: d["energy/cnfet"].(float64),
+			EnergyCMOS:  d["energy/cmos"].(float64),
+		}
+		res.AreaCMOS, res.AreaS1, res.AreaS2 = pCM.Area(), p1.Area(), p2.Area()
+		res.UtilS1, res.UtilS2 = p1.Utilization(), p2.Utilization()
+		res.Placements.CMOS, res.Placements.S1, res.Placements.S2 = pCM, p1, p2
+		return res, nil
+	})
+
+	results, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	return results["result"].Value.(*FullAdderResult), nil
+}
+
+// FullAdderGDS renders the scheme-2 full-adder placement to a GDSII byte
+// stream — the flow's final synth → place → extract → sim → gds stage —
+// memoized in the kit's cache alongside the other stage results.
+func (k *Kit) FullAdderGDS() ([]byte, error) {
+	res, err := k.RunFullAdder()
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := k.cache.Do(k.faKey("gds/s2", rules.CNFET), func() (any, error) {
+		var buf bytes.Buffer
+		if err := WritePlacementGDS(&buf, k.CNFET, res.Placements.S2, "FULLADDER_S2"); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
 }
 
 // faDelay simulates the full adder with A=1, B=0 and a pulsed Cin, so both

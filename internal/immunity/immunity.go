@@ -30,6 +30,7 @@ import (
 	"cnfetdk/internal/layout"
 	"cnfetdk/internal/logic"
 	"cnfetdk/internal/network"
+	"cnfetdk/internal/pipeline"
 )
 
 // Checker verifies one pull network's geometry against its intended
@@ -289,44 +290,155 @@ func (r Report) FailureRate() float64 {
 	return float64(r.BadTubes) / float64(r.TubesChecked)
 }
 
-// MonteCarlo samples n random tubes crossing the layout with angles up to
-// maxAngleDeg (uniform) and uniform vertical offsets, and checks each.
-func (c *Checker) MonteCarlo(n int, maxAngleDeg float64, rng *rand.Rand) Report {
+// fork clones the checker with fresh memo caches. Geometry, network and
+// input ordering are shared read-only; the caches are the only mutable
+// state, so each shard of a parallel run works on its own fork.
+func (c *Checker) fork() *Checker { return NewChecker(c.Geom, c.Net, c.Inputs) }
+
+// shard is one contiguous tube-index range of a batched run.
+type shard struct{ lo, hi int }
+
+// shardRanges splits n items into count near-equal contiguous ranges.
+// The split depends only on n, never on the worker count, so batched
+// results are reproducible on any machine.
+func shardRanges(n, count int) []shard {
+	if count > n {
+		count = n
+	}
+	if count < 1 {
+		count = 1
+	}
+	out := make([]shard, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * n / count
+		hi := (i + 1) * n / count
+		if lo < hi {
+			out = append(out, shard{lo, hi})
+		}
+	}
+	return out
+}
+
+// defaultShards picks the shard count for an n-tube batch: ~64 tubes per
+// shard (enough work to amortize the fork), capped at 64 shards.
+func defaultShards(n int) int {
+	count := (n + 63) / 64
+	if count > 64 {
+		count = 64
+	}
+	return count
+}
+
+// shardVerdict is one shard's folded result: full counters plus only the
+// prefix of per-tube violation groups a merge could ever retain. The
+// local retention rule (keep groups while fewer than 32 violations are
+// held) mirrors the global one, so memory stays bounded per shard while
+// the merged report is byte-identical to a sequential scan: the global
+// rule stops retaining no later than the local rule does.
+type shardVerdict struct {
+	checked int
+	bad     int
+	groups  [][]Violation
+	held    int // violations across groups
+}
+
+// add folds one tube's violation list into the verdict.
+func (s *shardVerdict) add(vs []Violation) {
+	s.checked++
+	if len(vs) == 0 {
+		return
+	}
+	s.bad++
+	if s.held < 32 {
+		s.groups = append(s.groups, vs)
+		s.held += len(vs)
+	}
+}
+
+// mergeShardVerdicts combines shard verdicts in shard (= tube index)
+// order, replaying the sequential loop's retention rule over the
+// retained groups.
+func mergeShardVerdicts(shards []shardVerdict) Report {
 	rep := Report{}
-	bb := c.Geom.BBox
-	w, h := float64(bb.W()), float64(bb.H())
-	for i := 0; i < n; i++ {
-		y := float64(bb.Min.Y) - h*0.25 + rng.Float64()*h*1.5
-		ang := (2*rng.Float64() - 1) * maxAngleDeg * math.Pi / 180
-		dx := w * 1.5
-		dy := math.Tan(ang) * dx
-		line := geom.Ln(float64(bb.Min.X)-w*0.25, y, float64(bb.Min.X)-w*0.25+dx, y+dy)
-		vs := c.CheckTube(line, false)
-		rep.TubesChecked++
-		if len(vs) > 0 {
-			rep.BadTubes++
+	for _, s := range shards {
+		rep.TubesChecked += s.checked
+		rep.BadTubes += s.bad
+		for _, g := range s.groups {
 			if len(rep.Violations) < 32 {
-				rep.Violations = append(rep.Violations, vs...)
+				rep.Violations = append(rep.Violations, g...)
 			}
 		}
 	}
 	return rep
 }
 
-// CheckPopulation verifies a synthesized tube population.
-func (c *Checker) CheckPopulation(tubes []cnt.Tube) Report {
-	rep := Report{}
-	for _, t := range tubes {
-		vs := c.CheckTube(t.Line, t.Metallic)
-		rep.TubesChecked++
-		if len(vs) > 0 {
-			rep.BadTubes++
-			if len(rep.Violations) < 32 {
-				rep.Violations = append(rep.Violations, vs...)
-			}
-		}
+// sampleLine draws one random tube crossing the bounding box with angle
+// up to maxAngleDeg (uniform) and uniform vertical offset.
+func sampleLine(bb geom.Rect, maxAngleDeg float64, rng *rand.Rand) geom.Line {
+	w, h := float64(bb.W()), float64(bb.H())
+	y := float64(bb.Min.Y) - h*0.25 + rng.Float64()*h*1.5
+	ang := (2*rng.Float64() - 1) * maxAngleDeg * math.Pi / 180
+	dx := w * 1.5
+	dy := math.Tan(ang) * dx
+	return geom.Ln(float64(bb.Min.X)-w*0.25, y, float64(bb.Min.X)-w*0.25+dx, y+dy)
+}
+
+// MonteCarlo samples n random tubes crossing the layout with angles up to
+// maxAngleDeg (uniform) and uniform vertical offsets, and checks each.
+// The batch is sharded across one worker per CPU; rng seeds the run (one
+// draw) and each shard derives its own deterministic RNG, so the report
+// depends only on n, the angle bound and the seed — never on the worker
+// count.
+func (c *Checker) MonteCarlo(n int, maxAngleDeg float64, rng *rand.Rand) Report {
+	return c.MonteCarloWorkers(n, maxAngleDeg, rng, 0)
+}
+
+// MonteCarloWorkers is MonteCarlo with an explicit worker-pool width
+// (<= 0 selects one worker per CPU; 1 is the sequential reference path).
+func (c *Checker) MonteCarloWorkers(n int, maxAngleDeg float64, rng *rand.Rand, workers int) Report {
+	if n <= 0 {
+		return Report{}
 	}
-	return rep
+	base := rng.Int63()
+	shards := shardRanges(n, defaultShards(n))
+	verdicts, _ := pipeline.Map(workers, shards, func(si int, sh shard) (shardVerdict, error) {
+		srng := rand.New(rand.NewSource(base + int64(si)*0x9E3779B9))
+		ck := c.fork()
+		var out shardVerdict
+		bb := ck.Geom.BBox
+		for i := sh.lo; i < sh.hi; i++ {
+			line := sampleLine(bb, maxAngleDeg, srng)
+			out.add(ck.CheckTube(line, false))
+		}
+		return out, nil
+	})
+	return mergeShardVerdicts(verdicts)
+}
+
+// CheckPopulation verifies a synthesized tube population, sharded across
+// one worker per CPU. The report is identical to a sequential scan of the
+// slice for any worker count.
+func (c *Checker) CheckPopulation(tubes []cnt.Tube) Report {
+	return c.CheckPopulationWorkers(tubes, 0)
+}
+
+// CheckPopulationWorkers is CheckPopulation with an explicit worker-pool
+// width (<= 0 selects one worker per CPU; 1 is the sequential reference
+// path).
+func (c *Checker) CheckPopulationWorkers(tubes []cnt.Tube, workers int) Report {
+	if len(tubes) == 0 {
+		return Report{}
+	}
+	shards := shardRanges(len(tubes), defaultShards(len(tubes)))
+	verdicts, _ := pipeline.Map(workers, shards, func(_ int, sh shard) (shardVerdict, error) {
+		ck := c.fork()
+		var out shardVerdict
+		for i := sh.lo; i < sh.hi; i++ {
+			out.add(ck.CheckTube(tubes[i].Line, tubes[i].Metallic))
+		}
+		return out, nil
+	})
+	return mergeShardVerdicts(verdicts)
 }
 
 // CriticalLines deterministically enumerates candidate violating lines:

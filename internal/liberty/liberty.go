@@ -14,6 +14,7 @@ import (
 	"cnfetdk/internal/cells"
 	"cnfetdk/internal/layout"
 	"cnfetdk/internal/logic"
+	"cnfetdk/internal/pipeline"
 )
 
 // LUT is a one-dimensional NLDM table: delay (s) vs output load (F).
@@ -77,8 +78,16 @@ func DefaultLoads(ref float64) []float64 {
 
 // Characterize sweeps every cell and timing arc of the library across the
 // load points using the transistor-level simulator. cellFilter restricts
-// which cells to characterize (nil = all).
+// which cells to characterize (nil = all). The per-arc load sweeps — the
+// expensive transient simulations — fan out across one worker per CPU;
+// the assembled model is deterministic regardless of worker count.
 func Characterize(lib *cells.Library, loads []float64, cellFilter func(string) bool) (*Model, error) {
+	return CharacterizeWorkers(lib, loads, cellFilter, 0)
+}
+
+// CharacterizeWorkers is Characterize with an explicit worker-pool width
+// (<= 0 selects one worker per CPU; 1 is the sequential reference path).
+func CharacterizeWorkers(lib *cells.Library, loads []float64, cellFilter func(string) bool, workers int) (*Model, error) {
 	ref := lib.ReferenceLoad()
 	if loads == nil {
 		loads = DefaultLoads(ref)
@@ -90,6 +99,14 @@ func Characterize(lib *cells.Library, loads []float64, cellFilter func(string) b
 		LoadsF:   loads,
 		RefLoadF: ref,
 	}
+
+	// One job per timing arc, in deterministic (cell, input) order.
+	type arcJob struct {
+		cell  string
+		input string
+		first bool // first input of the cell carries the energy row
+	}
+	var jobs []arcJob
 	for _, name := range lib.Names() {
 		if cellFilter != nil && !cellFilter(name) {
 			continue
@@ -101,23 +118,46 @@ func Characterize(lib *cells.Library, loads []float64, cellFilter func(string) b
 			Function:  libertyFunction(c.Gate.PullDown),
 			InputCapF: map[string]float64{},
 		}
-		for _, in := range c.Inputs() {
+		for k, in := range c.Inputs() {
 			cm.InputCapF[in] = lib.InputCap(c, in)
-			arc := Arc{Input: in}
-			for _, load := range loads {
-				t, err := lib.Characterize(c, in, load)
-				if err != nil {
-					return nil, fmt.Errorf("liberty: %s/%s: %w", name, in, err)
-				}
-				arc.Table.LoadsF = append(arc.Table.LoadsF, load)
-				arc.Table.DelaysS = append(arc.Table.DelaysS, t.DelayS)
-				if load == ref && in == c.Inputs()[0] {
-					cm.EnergyJ = t.EnergyJ
-				}
-			}
-			cm.Arcs = append(cm.Arcs, arc)
+			jobs = append(jobs, arcJob{cell: name, input: in, first: k == 0})
 		}
 		m.Cells[name] = cm
+	}
+
+	type arcOut struct {
+		arc     Arc
+		energyJ float64
+		hasE    bool
+	}
+	outs, err := pipeline.Map(workers, jobs, func(_ int, j arcJob) (arcOut, error) {
+		c := lib.MustGet(j.cell)
+		out := arcOut{arc: Arc{Input: j.input}}
+		for _, load := range loads {
+			t, err := lib.Characterize(c, j.input, load)
+			if err != nil {
+				return out, fmt.Errorf("liberty: %s/%s: %w", j.cell, j.input, err)
+			}
+			out.arc.Table.LoadsF = append(out.arc.Table.LoadsF, load)
+			out.arc.Table.DelaysS = append(out.arc.Table.DelaysS, t.DelayS)
+			if load == ref && j.first {
+				out.energyJ = t.EnergyJ
+				out.hasE = true
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Assemble in job order: arcs land in the same sequence the
+	// sequential implementation produced.
+	for i, j := range jobs {
+		cm := m.Cells[j.cell]
+		cm.Arcs = append(cm.Arcs, outs[i].arc)
+		if outs[i].hasE {
+			cm.EnergyJ = outs[i].energyJ
+		}
 	}
 	return m, nil
 }

@@ -1,0 +1,257 @@
+// Package pipeline is the staged execution engine behind the design kit's
+// flow: a bounded worker pool, a content-keyed memo cache, deterministic
+// parallel maps, and a small stage-graph runner with structured per-stage
+// timing and error reporting.
+//
+// The kit's expensive steps — cell generation, SPICE characterization,
+// Monte Carlo immunity checking, the logic-to-GDSII flow itself — are all
+// embarrassingly parallel at some granularity, but their results must stay
+// deterministic: a library built with 8 workers must equal a library built
+// with 1, and a fixed-seed Monte Carlo report must be byte-identical at
+// any worker count. The engine therefore separates *scheduling* (which
+// goroutine computes an item) from *ordering* (results are always
+// assembled in input-index order), and callers that need seeded
+// randomness pre-draw their random inputs before fanning out.
+//
+// See DESIGN.md ("Staged pipeline engine") for the architecture.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a worker-count request against the item count.
+func clampWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Pool is a bounded worker pool: Go schedules a task, Wait drains them.
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool builds a pool running at most workers tasks concurrently
+// (workers <= 0 selects DefaultWorkers).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Go schedules fn, blocking while the pool is saturated.
+func (p *Pool) Go(fn func()) {
+	p.sem <- struct{}{}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every scheduled task has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Map runs fn over items on up to workers goroutines and returns the
+// outputs in input order. The first error (by input index, not by wall
+// clock) aborts the result; remaining in-flight items still run to
+// completion, so fn must not assume early cancellation.
+func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	workers = clampWorkers(workers, len(items))
+	if workers == 1 {
+		// Run inline: same code path semantics, no goroutine overhead,
+		// and errors still reported by lowest index.
+		for i := range items {
+			out[i], errs[i] = fn(i, items[i])
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = fn(i, items[i])
+				}
+			}()
+		}
+		for i := range items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: item %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Key renders parts into a stable content key. Values are formatted with
+// %#v, which covers the kit's inputs (strings, numbers, rule structs) and
+// keeps keys readable when debugging cache behaviour; the final key is a
+// short hash so arbitrary-size inputs stay cheap to store and compare.
+func Key(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%T=%#v\x00", p, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// cacheEntry is one memoized computation; done guards value/err.
+type cacheEntry struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// Cache is a content-keyed memo cache with singleflight semantics:
+// concurrent Do calls for one key run the function once and share the
+// result. Errors are not cached, so a failed stage re-runs on retry.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// NewCache builds an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// Do returns the memoized value for key, computing it with fn on first
+// use. The second result reports whether the value was served from cache.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			<-e.done
+			if e.err == nil {
+				return e.value, true, nil
+			}
+			// The in-flight computation failed. Evict the dead entry
+			// (whichever waiter gets there first) and retry with a
+			// fresh computation.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		e.value, e.err = fn()
+		close(e.done)
+		if e.err != nil {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			return nil, false, e.err
+		}
+		return e.value, false, nil
+	}
+}
+
+// Len reports how many successful entries the cache holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// StageReport is the timing/error record of one executed stage.
+type StageReport struct {
+	Stage  string
+	Dur    time.Duration
+	Items  int // parallel items processed (0 for scalar stages)
+	Cached bool
+	Err    error
+}
+
+// String renders one report line.
+func (r StageReport) String() string {
+	s := fmt.Sprintf("%-14s %10s", r.Stage, r.Dur.Round(time.Microsecond))
+	if r.Items > 0 {
+		s += fmt.Sprintf("  %d items", r.Items)
+	}
+	if r.Cached {
+		s += "  (cached)"
+	}
+	if r.Err != nil {
+		s += "  ERROR: " + r.Err.Error()
+	}
+	return s
+}
+
+// Trace accumulates stage reports across a run; safe for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	reports []StageReport
+}
+
+// Add records one stage report.
+func (t *Trace) Add(r StageReport) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reports = append(t.reports, r)
+	t.mu.Unlock()
+}
+
+// Reports returns a copy of the recorded reports in completion order.
+func (t *Trace) Reports() []StageReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageReport(nil), t.reports...)
+}
+
+// String renders the trace as one line per stage, slowest first.
+func (t *Trace) String() string {
+	rs := t.Reports()
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Dur > rs[j].Dur })
+	s := ""
+	for _, r := range rs {
+		s += r.String() + "\n"
+	}
+	return s
+}
