@@ -1,20 +1,26 @@
 // Command cellgen generates misaligned-CNT-immune CNFET cell layouts,
 // reproduces the paper's Table 1 area comparison against the etched-region
-// baseline of ref [6], and optionally streams cells to GDSII.
+// baseline of ref [6], and optionally streams cells to GDSII. With
+// -circuit it reports the per-technology placed area of a registry
+// circuit through the design-service API.
 //
 // Usage:
 //
 //	cellgen -table1                 # print the Table 1 reproduction
 //	cellgen -cell NAND3 -size 4     # describe one cell's layouts
 //	cellgen -cell NAND3 -gds out.gds
+//	cellgen -circuit parity4        # placed-area report via Kit.Run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cnfetdk/internal/drc"
+	"cnfetdk/internal/flow"
 	"cnfetdk/internal/gdsii"
 	"cnfetdk/internal/geom"
 	"cnfetdk/internal/immunity"
@@ -41,6 +47,7 @@ var table1Cells = []struct{ Name, F string }{
 func main() {
 	table1 := flag.Bool("table1", false, "print the Table 1 area comparison")
 	cell := flag.String("cell", "", "describe one cell (name from Table 1 or a pull-down expression)")
+	circuit := flag.String("circuit", "", "report the placed area of a registry circuit")
 	size := flag.Int("size", 4, "unit transistor width in lambda")
 	gds := flag.String("gds", "", "write the cell (scheme 1 and 2) to this GDS file")
 	flag.Parse()
@@ -48,6 +55,14 @@ func main() {
 	switch {
 	case *table1:
 		printTable1()
+	case *circuit != "":
+		if *gds != "" {
+			fmt.Fprintln(os.Stderr, "cellgen: -gds is ignored with -circuit (use cnfetdk -circuit ... -gds)")
+		}
+		if err := describeCircuit(*circuit); err != nil {
+			fmt.Fprintln(os.Stderr, "cellgen:", err)
+			os.Exit(1)
+		}
 	case *cell != "":
 		if err := describeCell(*cell, *size, *gds); err != nil {
 			fmt.Fprintln(os.Stderr, "cellgen:", err)
@@ -57,6 +72,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// describeCircuit runs the area analysis of one registry circuit in both
+// technologies and schemes through the design-service API.
+func describeCircuit(name string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	kit, err := flow.New(ctx)
+	if err != nil {
+		return err
+	}
+	s2, err := kit.Run(ctx, flow.Request{Circuit: name})
+	if err != nil {
+		return err
+	}
+	s1, err := kit.Run(ctx, flow.Request{Circuit: name, Techs: []string{"cnfet"}, Placement: "rows"})
+	if err != nil {
+		return err
+	}
+	cm, cn, cn1 := s2.Techs["cmos"], s2.Techs["cnfet"], s1.Techs["cnfet"]
+	tab := &report.Table{
+		Title:   fmt.Sprintf("%s — %d instances, %d nets", s2.Circuit, s2.Instances, s2.Nets),
+		Headers: []string{"placement", "area", "utilization", "gain vs CMOS"},
+	}
+	tab.AddRow("CMOS rows", fmt.Sprintf("%.0fλ²", cm.AreaLam2),
+		fmt.Sprintf("%.2f", cm.Utilization), "")
+	tab.AddRow("CNFET scheme 1", fmt.Sprintf("%.0fλ²", cn1.AreaLam2),
+		fmt.Sprintf("%.2f", cn1.Utilization), report.Gain(cm.AreaLam2/cn1.AreaLam2))
+	tab.AddRow("CNFET scheme 2", fmt.Sprintf("%.0fλ²", cn.AreaLam2),
+		fmt.Sprintf("%.2f", cn.Utilization), report.Gain(cm.AreaLam2/cn.AreaLam2))
+	tab.Format(os.Stdout)
+	return nil
 }
 
 func pullDownFor(name string) string {

@@ -1,0 +1,102 @@
+// Command cnfetd serves the design kit over HTTP: one shared kit (both
+// technology libraries, one singleflight memo cache) executes
+// flow.Request jobs concurrently for many clients.
+//
+// Usage:
+//
+//	cnfetd                       # listen on :8065
+//	cnfetd -addr 127.0.0.1:9000  # explicit listen address
+//	cnfetd -j 4                  # bound the worker pool
+//
+// Routes:
+//
+//	POST /v1/jobs      — run a design job (flow.Request JSON body)
+//	GET  /v1/circuits  — list the named-circuit registry
+//	GET  /healthz      — liveness + cache statistics
+//
+// Example:
+//
+//	curl -s localhost:8065/v1/jobs -d '{"circuit":"fulladder","analyses":["area","delay"]}'
+//
+// SIGINT/SIGTERM drain in-flight jobs (bounded by -grace) before exit;
+// a dropped client connection cancels its job mid-flow.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8065", "listen address")
+	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+	cacheLimit := flag.Int("cache-entries", 4096, "memo-cache entry bound (0 = unbounded)")
+	flag.Parse()
+
+	log.SetPrefix("cnfetd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	t0 := time.Now()
+	kit, err := flow.New(ctx, flow.WithWorkers(*workers), flow.WithCacheLimit(*cacheLimit))
+	if err != nil {
+		log.Fatalf("building kit: %v", err)
+	}
+	log.Printf("kit ready in %s (%d CNFET + %d CMOS cells, %d registry circuits)",
+		time.Since(t0).Round(time.Millisecond),
+		len(kit.CNFET.Names()), len(kit.CMOS.Names()), len(flow.Circuits()))
+
+	// Jobs get their own lifetime, detached from the signal context, so
+	// a SIGTERM lets in-flight jobs finish within the grace period; only
+	// when the grace expires are they cancelled mid-flow.
+	jobCtx, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     service.NewServer(kit),
+		BaseContext: func(net.Listener) context.Context { return jobCtx },
+		// Slow-client bounds; no WriteTimeout because legitimate jobs
+		// (liberty characterization) can run long before responding.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %s", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("grace expired, cancelling in-flight jobs: %v", err)
+			cancelJobs()
+			srv.Close()
+		}
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "cnfetd: bye")
+}

@@ -1,25 +1,25 @@
-// Command cnfetdk is the end-to-end logic-to-GDSII flow driver (Fig 5):
-// it synthesizes Boolean output expressions (or reads a structural
-// netlist), maps them onto the misaligned-CNT-immune CNFET standard-cell
-// library, verifies the mapped logic, places the design, and streams
-// GDSII.
+// Command cnfetdk is the end-to-end logic-to-GDSII flow driver (Fig 5),
+// a thin CLI over the design-service API: it builds a flow.Request from
+// Boolean output expressions (or a structural netlist, or a registry
+// circuit name), runs it through Kit.Run, and reports areas, gains and
+// GDSII output.
 //
 // Usage:
 //
 //	cnfetdk -expr "Sum=A*B'+A'*B" -expr "C=A*B" -gds out.gds
 //	cnfetdk -in design.net -scheme 2 -gds out.gds
+//	cnfetdk -circuit rca4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"cnfetdk/internal/flow"
-	"cnfetdk/internal/logic"
-	"cnfetdk/internal/place"
-	"cnfetdk/internal/synth"
 )
 
 type exprList []string
@@ -31,86 +31,90 @@ func main() {
 	var exprs exprList
 	flag.Var(&exprs, "expr", "output expression NAME=f (repeatable)")
 	in := flag.String("in", "", "structural netlist file (alternative to -expr)")
+	circuit := flag.String("circuit", "", "registry circuit name (alternative to -expr/-in)")
 	name := flag.String("name", "design", "design name")
 	scheme := flag.Int("scheme", 2, "CNFET layout scheme (1 or 2)")
 	gds := flag.String("gds", "", "output GDS path")
+	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
-	nl, err := buildNetlist(*name, exprs, *in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("netlist %s: %d instances, %d nets\n", nl.Name, len(nl.Instances), len(nl.Nets()))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	kit, err := flow.NewKit()
+	req, err := buildRequest(*circuit, exprs, *in, *name, *scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	var placement *place.Placement
-	if *scheme == 1 {
-		placement, err = place.Rows(kit.CNFET, nl, 0)
-	} else {
-		placement, err = place.Shelves(kit.CNFET, nl, 0)
-	}
+	kit, err := flow.New(ctx, flow.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cnfetdk:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	res, err := kit.Run(ctx, req)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("netlist %s: %d instances, %d nets\n", res.Circuit, res.Instances, res.Nets)
+
+	cn := res.Techs["cnfet"]
 	fmt.Printf("placed (scheme %d): %.0fλ x %.0fλ = %.0f λ², utilization %.2f\n",
-		*scheme, placement.Width.Lambdas(), placement.Height.Lambdas(),
-		placement.Area(), placement.Utilization())
-
-	// CMOS reference for context.
-	cmosPl, err := place.Rows(kit.CMOS, nl, 0)
-	if err == nil {
+		*scheme, cn.WidthLam, cn.HeightLam, cn.AreaLam2, cn.Utilization)
+	if cm := res.Techs["cmos"]; cm != nil {
 		fmt.Printf("CMOS reference: %.0f λ² (CNFET gain %.2fx)\n",
-			cmosPl.Area(), cmosPl.Area()/placement.Area())
+			cm.AreaLam2, res.Gains["area"])
 	}
 
 	if *gds != "" {
-		f, err := os.Create(*gds)
+		// A CNFET-only follow-up job renders the stream; its netlist
+		// and placement stages come straight from the memo cache.
+		gdsReq := req
+		gdsReq.Techs = []string{"cnfet"}
+		gdsReq.Analyses = []flow.Analysis{flow.AnalysisGDS}
+		gres, err := kit.Run(ctx, gdsReq)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cnfetdk:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		defer f.Close()
-		if err := flow.WritePlacementGDS(f, kit.CNFET, placement, strings.ToUpper(nl.Name)); err != nil {
-			fmt.Fprintln(os.Stderr, "cnfetdk:", err)
-			os.Exit(1)
+		if err := os.WriteFile(*gds, gres.Techs["cnfet"].GDS, 0o644); err != nil {
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *gds)
 	}
 }
 
-func buildNetlist(name string, exprs exprList, inPath string) (*synth.Netlist, error) {
-	if inPath != "" {
-		f, err := os.Open(inPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		nl, err := synth.Parse(f)
-		if err != nil {
-			return nil, err
-		}
-		return nl, nil
+// buildRequest assembles the service request from the CLI surface.
+func buildRequest(circuit string, exprs exprList, inPath, name string, scheme int) (flow.Request, error) {
+	req := flow.Request{
+		Techs:    []string{"cnfet", "cmos"},
+		Analyses: []flow.Analysis{flow.AnalysisArea},
 	}
-	if len(exprs) == 0 {
-		return nil, fmt.Errorf("need -expr or -in (try -expr \"Y=A*B+C\")")
+	if scheme == 1 {
+		req.Placement = "rows"
 	}
-	outputs := map[string]*logic.Expr{}
-	for _, s := range exprs {
-		parts := strings.SplitN(s, "=", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("bad -expr %q, want NAME=function", s)
-		}
-		e, err := logic.Parse(parts[1])
+	switch {
+	case circuit != "":
+		req.Circuit = circuit
+	case inPath != "":
+		blob, err := os.ReadFile(inPath)
 		if err != nil {
-			return nil, fmt.Errorf("expr %q: %w", s, err)
+			return req, err
 		}
-		outputs[strings.TrimSpace(parts[0])] = e
+		req.Netlist = string(blob)
+	case len(exprs) > 0:
+		req.Name = name
+		req.Exprs = map[string]string{}
+		for _, s := range exprs {
+			parts := strings.SplitN(s, "=", 2)
+			if len(parts) != 2 {
+				return req, fmt.Errorf("bad -expr %q, want NAME=function", s)
+			}
+			req.Exprs[strings.TrimSpace(parts[0])] = parts[1]
+		}
+	default:
+		return req, fmt.Errorf("need -expr, -in or -circuit (try -expr \"Y=A*B+C\")")
 	}
-	return synth.Synthesize(name, outputs)
+	return req, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cnfetdk:", err)
+	os.Exit(1)
 }

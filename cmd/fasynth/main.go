@@ -1,92 +1,135 @@
-// Command fasynth runs case study 2: the full adder of Fig 8, placed as
-// CMOS rows, CNFET scheme-1 rows and CNFET scheme-2 shelves, simulated at
-// the transistor level, and optionally exported to GDSII (Fig 9).
+// Command fasynth runs registry circuits through the design-service API:
+// by default case study 2 (the Fig 8 full adder) placed as CMOS rows and
+// CNFET scheme-1/scheme-2, simulated at the transistor level, and
+// optionally exported to GDSII (Fig 9). Any registry circuit runs the
+// same way.
 //
 // Usage:
 //
-//	fasynth                 # run the case study, print the comparison
-//	fasynth -gds fa.gds     # also export the scheme-2 placement
-//	fasynth -netlist        # dump the Fig 8a netlist
-//	fasynth -timing         # print per-stage pipeline timing
-//	fasynth -j 4            # bound the worker pool
+//	fasynth                   # run the full-adder case study
+//	fasynth -circuit rca4     # any registry circuit
+//	fasynth -gds fa.gds       # also export the scheme-2 placement
+//	fasynth -netlist          # dump the circuit netlist
+//	fasynth -timing           # print per-stage pipeline timing
+//	fasynth -j 4              # bound the worker pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/report"
-	"cnfetdk/internal/synth"
 )
 
 func main() {
-	gds := flag.String("gds", "", "write the scheme-2 full adder to this GDS file")
-	dumpNetlist := flag.Bool("netlist", false, "print the Fig 8a netlist and exit")
+	circuit := flag.String("circuit", "fulladder", "registry circuit to run")
+	gds := flag.String("gds", "", "write the scheme-2 placement to this GDS file")
+	dumpNetlist := flag.Bool("netlist", false, "print the circuit netlist and exit")
 	timing := flag.Bool("timing", false, "print per-stage pipeline timing on exit")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *dumpNetlist {
-		if err := synth.FullAdder().Format(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "fasynth:", err)
-			os.Exit(1)
+		c, err := flow.LookupCircuit(*circuit)
+		if err != nil {
+			fail(err)
+		}
+		nl, err := c.Build()
+		if err != nil {
+			fail(err)
+		}
+		if err := nl.Format(os.Stdout); err != nil {
+			fail(err)
 		}
 		return
 	}
 
 	trace := &pipeline.Trace{}
-	kit, err := flow.NewKitOpts(flow.Options{Workers: *workers, Trace: trace})
+	kit, err := flow.New(ctx, flow.WithWorkers(*workers), flow.WithTrace(trace))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fasynth:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	res, err := kit.RunFullAdder()
+	// The scheme-2 run carries the timing/energy comparison; a scheme-1
+	// area run completes the paper's three-placement table.
+	s2, err := kit.Run(ctx, flow.Request{
+		Circuit:  *circuit,
+		Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisDelay, flow.AnalysisEnergy},
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fasynth:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	s1, err := kit.Run(ctx, flow.Request{
+		Circuit: *circuit, Techs: []string{"cnfet"}, Placement: "rows",
+		Analyses: []flow.Analysis{flow.AnalysisArea},
+	})
+	if err != nil {
+		fail(err)
+	}
+	cm, cn, cn1 := s2.Techs["cmos"], s2.Techs["cnfet"], s1.Techs["cnfet"]
 
+	title := fmt.Sprintf("%s (%d instances), CNFET vs CMOS 65nm", s2.Circuit, s2.Instances)
+	if *circuit == "fulladder" {
+		title = "Case study 2 — full adder (9x NAND2 2X + buffers), CNFET vs CMOS 65nm"
+	}
 	tab := &report.Table{
-		Title:   "Case study 2 — full adder (9x NAND2 2X + buffers), CNFET vs CMOS 65nm",
+		Title:   title,
 		Headers: []string{"metric", "CMOS", "CNFET", "gain", "paper"},
 	}
+	paperRef := func(s string) string {
+		if *circuit == "fulladder" {
+			return s
+		}
+		return ""
+	}
 	tab.AddRow("avg delay",
-		fmt.Sprintf("%.1fps", res.DelayCMOS*1e12),
-		fmt.Sprintf("%.1fps", res.DelayCNFET*1e12),
-		report.Gain(res.DelayGain()), "~3.5x")
+		fmt.Sprintf("%.1fps", cm.DelayS*1e12),
+		fmt.Sprintf("%.1fps", cn.DelayS*1e12),
+		report.Gain(s2.Gains["delay"]), paperRef("~3.5x"))
 	tab.AddRow("energy/cycle",
-		fmt.Sprintf("%.2ffJ", res.EnergyCMOS*1e15),
-		fmt.Sprintf("%.2ffJ", res.EnergyCNFET*1e15),
-		report.Gain(res.EnergyGain()), "~1.5x")
+		fmt.Sprintf("%.2ffJ", cm.EnergyJ*1e15),
+		fmt.Sprintf("%.2ffJ", cn.EnergyJ*1e15),
+		report.Gain(s2.Gains["energy"]), paperRef("~1.5x"))
 	tab.AddRow("area (scheme 1)",
-		fmt.Sprintf("%.0fλ²", res.AreaCMOS),
-		fmt.Sprintf("%.0fλ²", res.AreaS1),
-		report.Gain(res.AreaGainS1()), "~1.4x")
+		fmt.Sprintf("%.0fλ²", cm.AreaLam2),
+		fmt.Sprintf("%.0fλ²", cn1.AreaLam2),
+		report.Gain(cm.AreaLam2/cn1.AreaLam2), paperRef("~1.4x"))
 	tab.AddRow("area (scheme 2)",
-		fmt.Sprintf("%.0fλ²", res.AreaCMOS),
-		fmt.Sprintf("%.0fλ²", res.AreaS2),
-		report.Gain(res.AreaGainS2()), "~1.6x")
+		fmt.Sprintf("%.0fλ²", cm.AreaLam2),
+		fmt.Sprintf("%.0fλ²", cn.AreaLam2),
+		report.Gain(s2.Gains["area"]), paperRef("~1.6x"))
 	tab.AddRow("utilization s1/s2", "",
-		fmt.Sprintf("%.2f / %.2f", res.UtilS1, res.UtilS2), "", "")
+		fmt.Sprintf("%.2f / %.2f", cn1.Utilization, cn.Utilization), "", "")
 	tab.Format(os.Stdout)
 
 	if *gds != "" {
-		stream, err := kit.FullAdderGDS()
+		// CNFET-only job; the scheme-2 placement is a cache hit.
+		gres, err := kit.Run(ctx, flow.Request{
+			Circuit: *circuit, Techs: []string{"cnfet"},
+			Analyses: []flow.Analysis{flow.AnalysisGDS},
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fasynth:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		if err := os.WriteFile(*gds, stream, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "fasynth:", err)
-			os.Exit(1)
+		if err := os.WriteFile(*gds, gres.Techs["cnfet"].GDS, 0o644); err != nil {
+			fail(err)
 		}
-		fmt.Printf("wrote %s (Fig 9: scheme-2 full adder)\n", *gds)
+		fmt.Printf("wrote %s (scheme-2 %s)\n", *gds, s2.Circuit)
 	}
 
 	if *timing {
 		fmt.Printf("\npipeline stages (slowest first):\n%s", trace.String())
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fasynth:", err)
+	os.Exit(1)
 }

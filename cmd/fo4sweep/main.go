@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"cnfetdk/internal/device"
@@ -80,6 +82,8 @@ func main() {
 	}
 
 	if *doSpice {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
 		fmt.Println("\nTransient cross-check (5-stage FO4 chain, 3rd stage):")
 		// The CMOS reference chain is independent of N: simulate it once,
 		// then fan the CNFET points out across the worker pool.
@@ -92,7 +96,7 @@ func main() {
 			os.Exit(1)
 		}
 		points := []int{1, 8, opt}
-		gains, err := pipeline.Map(0, points, func(_ int, n int) (float64, error) {
+		gains, err := pipeline.MapCtx(ctx, 0, points, func(_ int, n int) (float64, error) {
 			cn, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
 				np := device.CNFET(name+".n", device.NType, n, device.GateWidthNM, p)
 				pp := device.CNFET(name+".p", device.PType, n, device.GateWidthNM, p)

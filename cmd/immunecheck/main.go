@@ -1,22 +1,28 @@
 // Command immunecheck verifies the misaligned-CNT immunity of CNFET cell
 // layouts (the Fig 2 experiment): a deterministic critical-line
 // certificate plus Monte Carlo sampling, and a functional-yield comparison
-// of the vulnerable, etched [6], and compact (this paper) styles.
+// of the vulnerable, etched [6], and compact (this paper) styles. With
+// -circuit it instead certifies every distinct cell of a registry circuit
+// through the design-service API.
 //
 // Usage:
 //
 //	immunecheck                     # run the Fig 2 comparison on NAND2
 //	immunecheck -cell "AB+C"        # any pull-down expression
 //	immunecheck -tubes 20000 -angle 20
+//	immunecheck -circuit rca4       # whole-design certificate via Kit.Run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"cnfetdk/internal/cnt"
+	"cnfetdk/internal/flow"
 	"cnfetdk/internal/geom"
 	"cnfetdk/internal/immunity"
 	"cnfetdk/internal/layout"
@@ -28,11 +34,22 @@ import (
 
 func main() {
 	cell := flag.String("cell", "AB", "pull-down function of the cell under test")
+	circuit := flag.String("circuit", "", "certify a registry circuit via the design service")
 	tubes := flag.Int("tubes", 10000, "Monte Carlo tube count per network")
 	angle := flag.Float64("angle", 15, "maximum misalignment angle (degrees)")
 	trials := flag.Int("trials", 200, "functional-yield population trials")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	if *circuit != "" {
+		// -trials (functional-yield populations) only applies to the
+		// per-cell style comparison, not the design-service certificate.
+		if err := checkCircuit(*circuit, *tubes, *angle, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "immunecheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	g, err := network.NewGate(*cell, logic.MustParse(*cell), 1)
 	if err != nil {
@@ -74,4 +91,38 @@ func main() {
 	fmt.Println("\nThe compact layout (this paper) and the etched layout [6] certify as")
 	fmt.Println("100% immune; the vulnerable layout (Fig 2b) shorts VDD to OUT under")
 	fmt.Println("skewed tubes and loses functional yield.")
+}
+
+// checkCircuit certifies every distinct cell of a registry circuit
+// through the design-service API.
+func checkCircuit(name string, mcTubes int, angle float64, seed int64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	kit, err := flow.New(ctx)
+	if err != nil {
+		return err
+	}
+	res, err := kit.Run(ctx, flow.Request{
+		Circuit:    name,
+		Techs:      []string{"cnfet"},
+		Analyses:   []flow.Analysis{flow.AnalysisImmunity},
+		MCTubes:    mcTubes,
+		MCAngleDeg: angle,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	imm := res.Techs["cnfet"].Immunity
+	fmt.Printf("%s: %d distinct cells, %d critical lines checked\n",
+		res.Circuit, imm.CellsChecked, imm.CriticalLines)
+	if imm.MCTubes > 0 {
+		fmt.Printf("Monte Carlo: %d tubes (±%.0f°), fail rate %s\n",
+			imm.MCTubes, angle, report.Pct(imm.MCFailRate))
+	}
+	if !imm.Immune {
+		return fmt.Errorf("%d violations in cells %v", imm.Violations, imm.VulnerableCells)
+	}
+	fmt.Println("verdict: IMMUNE")
+	return nil
 }

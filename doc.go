@@ -11,13 +11,22 @@
 // placement in the paper's two cell schemes, parasitic extraction, and a
 // GDSII writer — a complete logic-to-GDSII flow.
 //
+// The flow is exposed as a generic design service (internal/flow): a
+// serializable flow.Request — circuit by registry name, inline Boolean
+// equations or structural netlist; technologies; placement scheme;
+// wire-cap model; analyses (area, delay, energy, immunity, liberty, gds)
+// — executed by Kit.Run(ctx, Request) with cooperative context
+// cancellation, returning a JSON-stable flow.Result with per-stage
+// traces. cmd/cnfetd serves the same requests over HTTP (POST /v1/jobs,
+// GET /v1/circuits, GET /healthz) on one shared kit and memo cache.
+//
 // Orchestration runs on the staged pipeline engine (internal/pipeline):
 // library construction, characterization sweeps, Monte Carlo immunity
 // batches and the flow itself execute as worker-pool stages with
 // content-keyed memoization, deterministically — results are independent
-// of the worker count. See DESIGN.md ("Staged pipeline engine") for the
-// architecture, the full-adder stage graph, the caching keys and the
-// determinism rules.
+// of the worker count. See DESIGN.md ("Staged pipeline engine" and
+// "Design-service API") for the architecture, caching keys, cancellation
+// semantics and determinism rules.
 //
 // The benchmark harness in bench_test.go regenerates each experiment of
 // the paper plus sequential-vs-pipelined engine comparisons:

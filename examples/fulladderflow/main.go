@@ -1,79 +1,74 @@
 // Example fulladderflow drives the complete logic-to-GDSII flow on a
 // 2-bit ripple-carry adder synthesized from Boolean equations — a design
-// beyond the paper's single full adder, showing the kit composes: map,
-// verify, place in both schemes, compare with CMOS, and export GDSII.
+// beyond the paper's single full adder — through the design-service API:
+// one request per placement scheme, areas and GDSII from the results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"cnfetdk/internal/flow"
-	"cnfetdk/internal/logic"
-	"cnfetdk/internal/place"
-	"cnfetdk/internal/synth"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Two cascaded full adders: inputs A0 B0 A1 B1 C0; outputs S0 S1 C2.
-	maj := func(a, b, c string) *logic.Expr {
-		return logic.MustParse(fmt.Sprintf("%s*%s + %s*%s + %s*%s", a, b, a, c, b, c))
-	}
-	xor3 := func(a, b, c string) *logic.Expr {
-		return logic.MustParse(fmt.Sprintf(
-			"%[1]s*!%[2]s*!%[3]s + !%[1]s*%[2]s*!%[3]s + !%[1]s*!%[2]s*%[3]s + %[1]s*%[2]s*%[3]s",
-			a, b, c))
-	}
-	// Carry out of bit 0 feeds bit 1: expand it symbolically so every
-	// output is a function of the primary inputs only.
-	// C1 = maj(A0,B0,C0); S1 = xor3(A1,B1,C1); C2 = maj(A1,B1,C1).
-	// Substitution at the expression level keeps the mapper honest about
-	// sharing the C1 cone.
+	// The carry out of bit 0 is expanded symbolically so every output is
+	// a function of the primary inputs only — substitution at the
+	// expression level keeps the mapper honest about sharing the C1 cone.
 	c1 := "(A0*B0 + A0*C0 + B0*C0)"
-	outputs := map[string]*logic.Expr{
-		"S0": xor3("A0", "B0", "C0"),
-		"S1": logic.MustParse(fmt.Sprintf(
-			"A1*!B1*!%[1]s + !A1*B1*!%[1]s + !A1*!B1*%[1]s + A1*B1*%[1]s", c1)),
-		"C2": logic.MustParse(fmt.Sprintf("A1*B1 + A1*%[1]s + B1*%[1]s", c1)),
+	exprs := map[string]string{
+		"S0": "A0*!B0*!C0 + !A0*B0*!C0 + !A0*!B0*C0 + A0*B0*C0",
+		"S1": fmt.Sprintf("A1*!B1*!%[1]s + !A1*B1*!%[1]s + !A1*!B1*%[1]s + A1*B1*%[1]s", c1),
+		"C2": fmt.Sprintf("A1*B1 + A1*%[1]s + B1*%[1]s", c1),
 	}
-	_ = maj
 
-	nl, err := synth.Synthesize("adder2", outputs)
+	kit, err := flow.New(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("synthesized adder2: %d NAND2/INV instances (verified against spec)\n",
-		len(nl.Instances))
 
-	kit, err := flow.NewKit()
+	// Scheme-2 shelves, then a scheme-1 rows rerun: the synthesis stage
+	// comes back from the kit's memo cache.
+	s2, err := kit.Run(ctx, flow.Request{
+		Exprs: exprs, Name: "adder2",
+		Analyses: []flow.Analysis{flow.AnalysisArea},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s1, err := place.Rows(kit.CNFET, nl, 0)
+	s1, err := kit.Run(ctx, flow.Request{
+		Exprs: exprs, Name: "adder2", Placement: "rows",
+		Techs:    []string{"cnfet"},
+		Analyses: []flow.Analysis{flow.AnalysisArea},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s2, err := place.Shelves(kit.CNFET, nl, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cm, err := place.Rows(kit.CMOS, nl, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("CMOS rows:      %8.0f λ²  (util %.2f)\n", cm.Area(), cm.Utilization())
+
+	cm, cn, cn1 := s2.Techs["cmos"], s2.Techs["cnfet"], s1.Techs["cnfet"]
+	fmt.Printf("synthesized adder2: %d NAND2/INV instances (verified against spec)\n", s2.Instances)
+	fmt.Printf("CMOS rows:      %8.0f λ²  (util %.2f)\n", cm.AreaLam2, cm.Utilization)
 	fmt.Printf("CNFET scheme 1: %8.0f λ²  (util %.2f, gain %.2fx)\n",
-		s1.Area(), s1.Utilization(), cm.Area()/s1.Area())
+		cn1.AreaLam2, cn1.Utilization, cm.AreaLam2/cn1.AreaLam2)
 	fmt.Printf("CNFET scheme 2: %8.0f λ²  (util %.2f, gain %.2fx)\n",
-		s2.Area(), s2.Utilization(), cm.Area()/s2.Area())
+		cn.AreaLam2, cn.Utilization, s2.Gains["area"])
 
-	f, err := os.Create("adder2.gds")
+	// The GDSII stream comes from a CNFET-only job; its placement is a
+	// cache hit from the scheme-2 run above.
+	gds, err := kit.Run(ctx, flow.Request{
+		Exprs: exprs, Name: "adder2",
+		Techs:    []string{"cnfet"},
+		Analyses: []flow.Analysis{flow.AnalysisGDS},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := flow.WritePlacementGDS(f, kit.CNFET, s2, "ADDER2"); err != nil {
+	if err := os.WriteFile("adder2.gds", gds.Techs["cnfet"].GDS, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote adder2.gds")

@@ -1,73 +1,63 @@
-// Quickstart: generate a misaligned-CNT-immune CNFET NAND2, prove its
-// immunity, compare its area against the etched-region baseline, and
-// stream it to GDSII — the library's core loop in ~60 lines.
+// Quickstart: run a design through the design-service API — synthesize,
+// place in both technologies, certify misaligned-CNT immunity, and stream
+// GDSII — in one Kit.Run call.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"cnfetdk/internal/gdsii"
-	"cnfetdk/internal/geom"
-	"cnfetdk/internal/immunity"
-	"cnfetdk/internal/layout"
-	"cnfetdk/internal/logic"
-	"cnfetdk/internal/network"
-	"cnfetdk/internal/rules"
+	"cnfetdk/internal/flow"
 )
 
 func main() {
-	// 1. A cell is its pull-down function; the output is the complement.
-	gate, err := network.NewGate("NAND2", logic.MustParse("AB"), 1)
+	ctx := context.Background()
+
+	// 1. One kit serves every job: both technology libraries built
+	//    concurrently, one shared memo cache.
+	kit, err := flow.New(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Generate the paper's compact immune layout at 4λ transistors
-	//    under the 65nm CNFET rule deck.
-	rs := rules.Default65nm(rules.CNFET)
-	cell, err := layout.Generate("NAND2", gate, layout.StyleCompact, geom.Lambda(4), rs)
+	// 2. A job is a serializable request: here an inline Boolean
+	//    equation (a 2:1 mux), both technologies, two analyses.
+	res, err := kit.Run(ctx, flow.Request{
+		Exprs:    map[string]string{"Y": "D0*!S + D1*S"},
+		Name:     "mux",
+		Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("NAND2 compact layout: %.0f λ² (PUN %d contacts / %d gates)\n",
-		cell.NetworksArea(), len(cell.PUN.Contacts()), len(cell.PUN.Gates()))
 
-	// 3. Certify 100%% immunity to mispositioned CNTs (critical lines).
-	pun, pdn := immunity.VerifyImmunity(cell)
-	fmt.Printf("immunity certificate: PUN %v, PDN %v (checked %d critical lines)\n",
-		pun.Immune(), pdn.Immune(), pun.TubesChecked+pdn.TubesChecked)
+	// 3. The result carries one entry per technology.
+	cm, cn := res.Techs["cmos"], res.Techs["cnfet"]
+	fmt.Printf("%s: %d instances on %d nets\n", res.Circuit, res.Instances, res.Nets)
+	fmt.Printf("CMOS rows:      %6.0f λ²\n", cm.AreaLam2)
+	fmt.Printf("CNFET scheme 2: %6.0f λ²  (gain %.2fx)\n", cn.AreaLam2, res.Gains["area"])
 
-	// 4. Compare against the etched-region baseline of Patil et al. [6].
-	old, err := layout.Generate("NAND2", gate, layout.StyleEtched, geom.Lambda(4), rs)
+	// 4. Every distinct CNFET cell is certified immune to mispositioned
+	//    tubes (the paper's core property) by critical-line enumeration.
+	fmt.Printf("immunity: %d cells, %d critical lines, immune=%v\n",
+		cn.Immunity.CellsChecked, cn.Immunity.CriticalLines, cn.Immunity.Immune)
+
+	// 5. A CNFET-only follow-up job renders the GDSII stream — its
+	//    synthesis and placement stages come back from the kit's memo
+	//    cache. Registry circuits (flow.Circuits()) run the same way.
+	gds, err := kit.Run(ctx, flow.Request{
+		Exprs:    map[string]string{"Y": "D0*!S + D1*S"},
+		Name:     "mux",
+		Techs:    []string{"cnfet"},
+		Analyses: []flow.Analysis{flow.AnalysisGDS},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("area saving vs etched-region layout: %.2f%% (paper: 14.52%%)\n",
-		100*(1-cell.NetworksArea()/old.NetworksArea()))
-
-	// 5. Stream to GDSII.
-	lib := gdsii.NewLibrary("QUICKSTART")
-	s := lib.Add("NAND2")
-	scale := rs.LambdaNM / float64(geom.QuarterLambda)
-	a := cell.Assemble(layout.Scheme1)
-	for _, e := range a.Elements {
-		layer := gdsii.LayerContact
-		if e.Kind == layout.ElemGate {
-			layer = gdsii.LayerGate
-		}
-		s.Rect(layer,
-			int32(float64(e.Rect.Min.X)*scale), int32(float64(e.Rect.Min.Y)*scale),
-			int32(float64(e.Rect.Max.X)*scale), int32(float64(e.Rect.Max.Y)*scale))
-	}
-	f, err := os.Create("nand2.gds")
-	if err != nil {
+	if err := os.WriteFile("mux.gds", gds.Techs["cnfet"].GDS, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := lib.Write(f); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("wrote nand2.gds")
+	fmt.Println("wrote mux.gds")
 }

@@ -7,6 +7,7 @@
 package cells
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -102,6 +103,13 @@ func NewLibrary(tech rules.Tech) (*Library, error) {
 // across the worker pool. The resulting library is independent of the
 // worker count.
 func NewLibraryOpts(tech rules.Tech, opts BuildOptions) (*Library, error) {
+	return NewLibraryCtx(context.Background(), tech, opts)
+}
+
+// NewLibraryCtx is NewLibraryOpts with cooperative cancellation: once ctx
+// is cancelled no further (cell, drive) jobs are dispatched and the build
+// returns ctx.Err().
+func NewLibraryCtx(ctx context.Context, tech rules.Tech, opts BuildOptions) (*Library, error) {
 	lib := &Library{
 		Tech:  tech,
 		Rules: rules.Default65nm(tech),
@@ -140,7 +148,7 @@ func NewLibraryOpts(tech rules.Tech, opts BuildOptions) (*Library, error) {
 		}
 	}
 	t0 = time.Now()
-	built, err := pipeline.Map(opts.Workers, jobs, func(_ int, j job) (*Cell, error) {
+	built, err := pipeline.MapCtx(ctx, opts.Workers, jobs, func(_ int, j job) (*Cell, error) {
 		spec := specs[j.spec]
 		unit := geom.Coord(float64(lib.UnitW) * j.drive)
 		lay, err := layout.Generate(spec.Name, gates[j.spec], layout.StyleCompact, unit, lib.Rules)

@@ -1,19 +1,21 @@
 // Package flow wires the design kit together into the paper's
-// logic-to-GDSII flow (Fig 5): synthesized netlists are mapped onto the
-// cell library, placed (CMOS rows, scheme-1 rows, scheme-2 shelves),
-// annotated with wire parasitics, simulated at the transistor level, and
-// exported as GDSII streams. The full-adder case study (Section V.B) is a
-// single call.
+// logic-to-GDSII flow (Fig 5) and exposes it as a generic design service:
+// a serializable Request (circuit, technologies, placement scheme,
+// wire-cap model, analyses) executed by Kit.Run(ctx, Request) against a
+// named-circuit registry, returning a JSON-stable Result with per-stage
+// traces. The full-adder case study (Section V.B) is one registry entry;
+// RunFullAdder survives as a deprecated wrapper over Run.
 //
-// The flow runs on the staged pipeline engine (internal/pipeline): library
-// construction, placements and transistor-level simulations execute as
-// stages of a dependency graph with bounded parallelism, and every stage
-// result is memoized in a kit-scoped content-keyed cache, so repeated runs
-// (benchmarks, sweeps) skip work already done. See DESIGN.md.
+// The flow runs on the staged pipeline engine (internal/pipeline):
+// library construction, placements and transistor-level simulations
+// execute as stages of a dependency graph with bounded parallelism and
+// cooperative context cancellation, and every stage result is memoized in
+// a kit-scoped content-keyed cache, so repeated or concurrent identical
+// jobs skip work already done. See DESIGN.md.
 package flow
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,17 +28,21 @@ import (
 	"cnfetdk/internal/synth"
 )
 
-// WireCapPerNM is the interconnect capacitance per nanometre of estimated
-// (HPWL) net length used when back-annotating placements: 0.06 fF/µm, a
-// local-metal value at the 65nm node (routed global wires run ~2x higher).
-// Because CNFET gates present far smaller input/output capacitances than
-// CMOS, this shared wire load is what pulls the full-adder gains below the
-// inverter-chain gains, exactly as in the paper's case study 2.
+// WireCapPerNM is the default interconnect capacitance per nanometre of
+// estimated (HPWL) net length used when back-annotating placements:
+// 0.06 fF/µm, a local-metal value at the 65nm node (routed global wires
+// run ~2x higher). Because CNFET gates present far smaller input/output
+// capacitances than CMOS, this shared wire load is what pulls the
+// full-adder gains below the inverter-chain gains, exactly as in the
+// paper's case study 2. Override per kit with WithWireCap or per request
+// with Request.WireCapPerNM.
 const WireCapPerNM = 0.06e-18
 
 // Kit is the technology pair needed for CMOS-vs-CNFET comparisons, plus
 // the pipeline machinery (worker pool width, memo cache, stage trace) the
-// flow entry points run on.
+// flow entry points run on. One kit serves concurrent Run jobs; its
+// libraries are read-only after construction and its cache is
+// singleflight-safe.
 type Kit struct {
 	CNFET *cells.Library
 	CMOS  *cells.Library
@@ -45,9 +51,11 @@ type Kit struct {
 	cache   *pipeline.Cache
 	trace   *pipeline.Trace
 	workers int
+	wireCap float64
 }
 
-// Options tunes kit construction and flow execution.
+// Options tunes kit construction and flow execution; prefer the
+// functional Option form with New.
 type Options struct {
 	// Workers bounds every pool the kit runs (library build fan-out,
 	// stage graphs); <= 0 selects one worker per CPU, 1 is the
@@ -56,36 +64,66 @@ type Options struct {
 	// Trace, when set, receives per-stage timing reports from library
 	// construction and every flow graph the kit runs.
 	Trace *pipeline.Trace
+	// WireCapPerNM overrides the default interconnect capacitance model
+	// (F per nm of HPWL); 0 selects the package default.
+	WireCapPerNM float64
+	// CacheEntries bounds the kit's memo cache (0 = unbounded); set it
+	// on long-running servers so client-varied requests cannot grow the
+	// cache without limit.
+	CacheEntries int
 }
+
+// Option is a functional kit-construction option.
+type Option func(*Options)
+
+// WithWorkers bounds every pool the kit runs (<= 0 selects one worker per
+// CPU, 1 is the sequential reference path).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithTrace attaches a per-stage timing sink to the kit.
+func WithTrace(t *pipeline.Trace) Option { return func(o *Options) { o.Trace = t } }
+
+// WithWireCap overrides the kit's default wire-capacitance model
+// (F per nm of estimated net length).
+func WithWireCap(fPerNM float64) Option { return func(o *Options) { o.WireCapPerNM = fPerNM } }
+
+// WithCacheLimit bounds the kit's memo cache to n completed entries,
+// evicted oldest-first (n <= 0 keeps it unbounded).
+func WithCacheLimit(n int) Option { return func(o *Options) { o.CacheEntries = n } }
 
 // kitTechs is the technology table one constructor serves.
 var kitTechs = []rules.Tech{rules.CNFET, rules.CMOS}
 
-// NewKit builds both libraries through the pipeline with default options.
-func NewKit() (*Kit, error) { return NewKitOpts(Options{}) }
-
-// NewKitOpts builds the kit: both technologies run through one
-// table-driven constructor as concurrent stages of a build graph, and the
-// kit's memo cache is initialized empty.
-func NewKitOpts(opts Options) (*Kit, error) {
+// New builds the kit under ctx: both technology libraries run through one
+// table-driven constructor as concurrent stages of a build graph
+// (cancellable mid-build), and the kit's memo cache starts empty.
+func New(ctx context.Context, opts ...Option) (*Kit, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.WireCapPerNM == 0 {
+		o.WireCapPerNM = WireCapPerNM
+	}
 	k := &Kit{
 		libs:    map[rules.Tech]*cells.Library{},
-		cache:   pipeline.NewCache(),
-		trace:   opts.Trace,
-		workers: opts.Workers,
+		cache:   pipeline.NewCacheBound(o.CacheEntries),
+		trace:   o.Trace,
+		workers: o.Workers,
+		wireCap: o.WireCapPerNM,
 	}
-	g := pipeline.NewGraph(nil, opts.Workers).Trace(opts.Trace)
+	g := pipeline.NewGraph(nil, o.Workers).Trace(o.Trace)
 	for _, tech := range kitTechs {
 		tech := tech
 		g.AddFunc("lib/"+strings.ToLower(tech.String()), "", nil, func(map[string]any) (any, error) {
-			lib, err := cells.NewLibraryOpts(tech, cells.BuildOptions{Workers: opts.Workers, Trace: opts.Trace})
+			lib, err := cells.NewLibraryCtx(ctx, tech, cells.BuildOptions{Workers: o.Workers, Trace: o.Trace})
 			if err != nil {
 				return nil, fmt.Errorf("flow: build %s library: %w", tech, err)
 			}
 			return lib, nil
 		})
 	}
-	res, err := g.Run()
+	res, err := g.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +134,30 @@ func NewKitOpts(opts Options) (*Kit, error) {
 	return k, nil
 }
 
-// Lib selects the library for a technology (unknown technologies fall
-// back to CNFET, matching the historical behaviour).
+// NewKit builds both libraries through the pipeline with default options.
+func NewKit() (*Kit, error) { return New(context.Background()) }
+
+// NewKitOpts builds the kit from an Options struct.
+//
+// Deprecated: use New with functional options.
+func NewKitOpts(opts Options) (*Kit, error) {
+	return New(context.Background(), func(o *Options) { *o = opts })
+}
+
+// LibFor selects the library for a technology; unknown technologies
+// return ErrUnknownTech.
+func (k *Kit) LibFor(t rules.Tech) (*cells.Library, error) {
+	if lib, ok := k.libs[t]; ok {
+		return lib, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrUnknownTech, int(t))
+}
+
+// Lib selects the library for a technology, silently falling back to
+// CNFET for unknown technologies (the historical behaviour).
+//
+// Deprecated: use LibFor, which rejects unknown technologies with
+// ErrUnknownTech instead of masking them.
 func (k *Kit) Lib(t rules.Tech) *cells.Library {
 	if lib, ok := k.libs[t]; ok {
 		return lib
@@ -139,11 +199,18 @@ func (k *Kit) BuildCircuit(lib *cells.Library, nl *synth.Netlist, wireCapF map[s
 	return ckt, vdd, nil
 }
 
-// WireCaps converts placement HPWL (λ) into lumped net capacitances.
+// WireCaps converts placement HPWL (λ) into lumped net capacitances with
+// the package-default wire model.
 func WireCaps(p *place.Placement, nl *synth.Netlist, lambdaNM float64) map[string]float64 {
+	return WireCapsWith(p, nl, lambdaNM, WireCapPerNM)
+}
+
+// WireCapsWith converts placement HPWL (λ) into lumped net capacitances
+// under an explicit capacitance-per-nm model.
+func WireCapsWith(p *place.Placement, nl *synth.Netlist, lambdaNM, capPerNM float64) map[string]float64 {
 	out := map[string]float64{}
 	for net, l := range p.HPWL(nl) {
-		out[net] = l * lambdaNM * WireCapPerNM
+		out[net] = l * lambdaNM * capPerNM
 	}
 	return out
 }
@@ -181,186 +248,71 @@ func (r *FullAdderResult) AreaGainS1() float64 { return r.AreaCMOS / r.AreaS1 }
 // AreaGainS2 returns CMOS/scheme-2 area.
 func (r *FullAdderResult) AreaGainS2() float64 { return r.AreaCMOS / r.AreaS2 }
 
-// faKey builds a cache key for one full-adder stage. The kit's cache is
-// kit-scoped, so the key only needs to capture the stage identity and the
-// flow inputs that could vary across kit configurations.
-func (k *Kit) faKey(stage string, tech rules.Tech) string {
-	return pipeline.Key("fulladder", stage, tech.String(),
-		k.Lib(tech).Rules.LambdaNM, WireCapPerNM)
-}
-
-// RunFullAdder executes case study 2 end to end as a pipeline graph:
-// netlist synthesis, the three placements, parasitic extraction, the two
-// transistor-level simulations and the energy models run as stages with
-// bounded parallelism, memoized in the kit's cache — a repeated run
-// returns the cached result without re-simulating. Callers must treat the
-// result as shared and read-only.
+// RunFullAdder executes case study 2 end to end through the generic job
+// API: one Run over the scheme-2 "fulladder" registry request (areas,
+// delays, energies for both technologies) plus a scheme-1 area request,
+// both memoized in the kit's cache. Callers must treat the result as
+// shared and read-only.
+//
+// Deprecated: use Run with Request{Circuit: "fulladder"}.
 func (k *Kit) RunFullAdder() (*FullAdderResult, error) {
-	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
-
-	g.AddFunc("netlist", k.faKey("netlist", rules.CNFET), nil, func(map[string]any) (any, error) {
-		nl := synth.FullAdder()
-		if err := nl.Verify(synth.FullAdderSpec()); err != nil {
-			return nil, fmt.Errorf("flow: full adder netlist: %w", err)
+	// The aggregate is memoized alongside the stage results so repeated
+	// calls share one read-only *FullAdderResult, as they always have.
+	v, _, err := k.cache.Do(pipeline.Key("fulladder", "aggregate", k.wireCap), func() (any, error) {
+		ctx := context.Background()
+		s2, err := k.Run(ctx, Request{
+			Circuit:  "fulladder",
+			Analyses: []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy},
+		})
+		if err != nil {
+			return nil, err
 		}
-		return nl, nil
-	})
-
-	// Placement stages: CMOS rows, scheme-1 rows, scheme-2 shelves.
-	placeStage := func(name string, tech rules.Tech, run func(*synth.Netlist) (*place.Placement, error)) {
-		g.AddFunc(name, k.faKey(name, tech), []string{"netlist"}, func(d map[string]any) (any, error) {
-			return run(d["netlist"].(*synth.Netlist))
+		s1, err := k.Run(ctx, Request{
+			Circuit:   "fulladder",
+			Techs:     []string{"cnfet"},
+			Placement: "rows",
+			Analyses:  []Analysis{AnalysisArea},
 		})
-	}
-	placeStage("place/cmos", rules.CMOS, func(nl *synth.Netlist) (*place.Placement, error) {
-		return place.Rows(k.CMOS, nl, 2)
-	})
-	placeStage("place/s1", rules.CNFET, func(nl *synth.Netlist) (*place.Placement, error) {
-		return place.Rows(k.CNFET, nl, 2)
-	})
-	placeStage("place/s2", rules.CNFET, func(nl *synth.Netlist) (*place.Placement, error) {
-		return place.Shelves(k.CNFET, nl, 0)
-	})
-
-	// Extraction: placement HPWL -> lumped wire capacitances.
-	wireStage := func(name, placeDep string, tech rules.Tech) {
-		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", placeDep}, func(d map[string]any) (any, error) {
-			return WireCaps(d[placeDep].(*place.Placement), d["netlist"].(*synth.Netlist), k.Lib(tech).Rules.LambdaNM), nil
-		})
-	}
-	wireStage("wire/cnfet", "place/s2", rules.CNFET)
-	wireStage("wire/cmos", "place/cmos", rules.CMOS)
-
-	// Transistor-level simulation of the Cin arcs.
-	simStage := func(name, wireDep string, tech rules.Tech) {
-		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", wireDep}, func(d map[string]any) (any, error) {
-			dly, err := k.faDelay(k.Lib(tech), d["netlist"].(*synth.Netlist), d[wireDep].(map[string]float64))
-			if err != nil {
-				return nil, fmt.Errorf("flow: %s delay: %w", tech, err)
-			}
-			return dly, nil
-		})
-	}
-	simStage("sim/cnfet", "wire/cnfet", rules.CNFET)
-	simStage("sim/cmos", "wire/cmos", rules.CMOS)
-
-	// Calibrated switching-energy model over the placed design.
-	energyStage := func(name, placeDep string, tech rules.Tech) {
-		g.AddFunc(name, k.faKey(name, tech), []string{"netlist", placeDep}, func(d map[string]any) (any, error) {
-			return k.faEnergy(tech, d["netlist"].(*synth.Netlist), d[placeDep].(*place.Placement)), nil
-		})
-	}
-	energyStage("energy/cnfet", "place/s2", rules.CNFET)
-	energyStage("energy/cmos", "place/cmos", rules.CMOS)
-
-	g.AddFunc("result", k.faKey("result", rules.CNFET), []string{
-		"place/cmos", "place/s1", "place/s2",
-		"sim/cnfet", "sim/cmos", "energy/cnfet", "energy/cmos",
-	}, func(d map[string]any) (any, error) {
-		pCM := d["place/cmos"].(*place.Placement)
-		p1 := d["place/s1"].(*place.Placement)
-		p2 := d["place/s2"].(*place.Placement)
+		if err != nil {
+			return nil, err
+		}
+		cm, cn, cn1 := s2.Techs["cmos"], s2.Techs["cnfet"], s1.Techs["cnfet"]
 		res := &FullAdderResult{
-			DelayCNFET:  d["sim/cnfet"].(float64),
-			DelayCMOS:   d["sim/cmos"].(float64),
-			EnergyCNFET: d["energy/cnfet"].(float64),
-			EnergyCMOS:  d["energy/cmos"].(float64),
+			DelayCNFET:  cn.DelayS,
+			DelayCMOS:   cm.DelayS,
+			EnergyCNFET: cn.EnergyJ,
+			EnergyCMOS:  cm.EnergyJ,
+			AreaCMOS:    cm.AreaLam2,
+			AreaS1:      cn1.AreaLam2,
+			AreaS2:      cn.AreaLam2,
+			UtilS1:      cn1.Utilization,
+			UtilS2:      cn.Utilization,
 		}
-		res.AreaCMOS, res.AreaS1, res.AreaS2 = pCM.Area(), p1.Area(), p2.Area()
-		res.UtilS1, res.UtilS2 = p1.Utilization(), p2.Utilization()
-		res.Placements.CMOS, res.Placements.S1, res.Placements.S2 = pCM, p1, p2
+		res.Placements.CMOS, res.Placements.S1, res.Placements.S2 = cm.Placement, cn1.Placement, cn.Placement
 		return res, nil
 	})
-
-	results, err := g.Run()
 	if err != nil {
 		return nil, err
 	}
-	return results["result"].Value.(*FullAdderResult), nil
+	return v.(*FullAdderResult), nil
 }
 
 // FullAdderGDS renders the scheme-2 full-adder placement to a GDSII byte
-// stream — the flow's final synth → place → extract → sim → gds stage —
-// memoized in the kit's cache alongside the other stage results.
+// stream through the generic job API, memoized alongside the other stage
+// results.
+//
+// Deprecated: use Run with Request{Circuit: "fulladder", Analyses:
+// []Analysis{AnalysisGDS}}.
 func (k *Kit) FullAdderGDS() ([]byte, error) {
-	res, err := k.RunFullAdder()
-	if err != nil {
-		return nil, err
-	}
-	v, _, err := k.cache.Do(k.faKey("gds/s2", rules.CNFET), func() (any, error) {
-		var buf bytes.Buffer
-		if err := WritePlacementGDS(&buf, k.CNFET, res.Placements.S2, "FULLADDER_S2"); err != nil {
-			return nil, err
-		}
-		return buf.Bytes(), nil
+	res, err := k.Run(context.Background(), Request{
+		Circuit:  "fulladder",
+		Techs:    []string{"cnfet"},
+		Analyses: []Analysis{AnalysisGDS},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]byte), nil
-}
-
-// faDelay simulates the full adder with A=1, B=0 and a pulsed Cin, so both
-// Sum (= Cin') and Carry (= Cin) switch; returns the average of the two
-// arc delays.
-func (k *Kit) faDelay(lib *cells.Library, nl *synth.Netlist, wire map[string]float64) (float64, error) {
-	ckt, _, err := k.BuildCircuit(lib, nl, wire)
-	if err != nil {
-		return 0, err
-	}
-	period := 4000e-12
-	ckt.AddV("va", "A", "0", spice.DC(device.Vdd))
-	ckt.AddV("vb", "B", "0", spice.DC(0))
-	ckt.AddV("vcin", "Cin", "0", spice.Pulse{
-		V0: 0, V1: device.Vdd, Delay: period / 4,
-		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
-	})
-	r, err := ckt.Transient(period, 8000, spice.DefaultOptions())
-	if err != nil {
-		return 0, err
-	}
-	dSum, err := r.PropDelay("Cin", "Sum", device.Vdd)
-	if err != nil {
-		return 0, fmt.Errorf("sum arc: %w", err)
-	}
-	// Carry is non-inverting from Cin: measure both edges directly.
-	dcr, err := r.DelayPair("Cin", "Carry", device.Vdd, true)
-	if err != nil {
-		return 0, fmt.Errorf("carry rise arc: %w", err)
-	}
-	dcf, err := r.DelayPair("Cin", "Carry", device.Vdd, false)
-	if err != nil {
-		return 0, fmt.Errorf("carry fall arc: %w", err)
-	}
-	return (dSum + (dcr+dcf)/2) / 2, nil
-}
-
-// faEnergy evaluates the per-cycle switching energy with the calibrated
-// gate-energy model: toggling nets are found by logic simulation of the
-// Cin cycle (A=1, B=0), each toggling gate output contributes its
-// technology's per-cycle energy scaled by drive, plus wire energy.
-func (k *Kit) faEnergy(tech rules.Tech, nl *synth.Netlist, p *place.Placement) float64 {
-	lo, _ := nl.Evaluate(map[string]bool{"A": true, "B": false, "Cin": false})
-	hi, _ := nl.Evaluate(map[string]bool{"A": true, "B": false, "Cin": true})
-	fo4 := device.DefaultFO4()
-	nOpt := fo4.OptimalN(60)
-	wire := WireCaps(p, nl, rules.Default65nm(tech).LambdaNM)
-	total := 0.0
-	for _, inst := range nl.Instances {
-		out := inst.Conns["OUT"]
-		if lo[out] == hi[out] {
-			continue // no switching on this arc
-		}
-		drive := driveOf(inst.Cell)
-		var gate float64
-		if tech == rules.CNFET {
-			gate = fo4.EnergyFJ(nOpt) * 1e-15 * drive
-		} else {
-			gate = device.CMOSEnergyfJ * 1e-15 * drive
-		}
-		total += gate + wire[out]*device.Vdd*device.Vdd
-	}
-	return total
+	return res.Techs["cnfet"].GDS, nil
 }
 
 // driveOf parses the strength suffix of a cell name ("NAND2_2X" -> 2).

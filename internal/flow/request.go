@@ -1,0 +1,302 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/rules"
+)
+
+// Typed sentinel errors of the design-service API. Kit.Run wraps them
+// with request detail; match with errors.Is.
+var (
+	// ErrBadRequest marks a structurally invalid request (no circuit,
+	// conflicting sources, missing stimulus for a timing analysis, ...).
+	ErrBadRequest = errors.New("flow: bad request")
+	// ErrUnknownCircuit marks a circuit name absent from the registry.
+	ErrUnknownCircuit = errors.New("flow: unknown circuit")
+	// ErrUnknownTech marks a technology name that is neither CNFET nor
+	// CMOS.
+	ErrUnknownTech = errors.New("flow: unknown technology")
+	// ErrUnknownAnalysis marks an analysis name outside Analyses.
+	ErrUnknownAnalysis = errors.New("flow: unknown analysis")
+	// ErrUnknownPlacement marks a placement scheme outside
+	// {"", "rows", "shelves"}.
+	ErrUnknownPlacement = errors.New("flow: unknown placement scheme")
+)
+
+// Analysis names a per-technology analysis a Request can ask for.
+type Analysis string
+
+// The supported analyses.
+const (
+	AnalysisArea     Analysis = "area"     // placement area/utilization
+	AnalysisDelay    Analysis = "delay"    // transistor-level stimulus delay
+	AnalysisEnergy   Analysis = "energy"   // calibrated switching energy
+	AnalysisImmunity Analysis = "immunity" // per-cell misaligned-CNT certificates
+	AnalysisLiberty  Analysis = "liberty"  // Liberty (.lib) characterization
+	AnalysisGDS      Analysis = "gds"      // GDSII stream of the placement
+)
+
+// Analyses lists every supported analysis in canonical order.
+func Analyses() []Analysis {
+	return []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy,
+		AnalysisImmunity, AnalysisLiberty, AnalysisGDS}
+}
+
+// Stimulus describes how to exercise a circuit for the delay and energy
+// analyses: static DC levels on some inputs and a pulse on one input.
+// Registry circuits carry a default stimulus; inline requests supply
+// their own.
+type Stimulus struct {
+	// Static assigns DC levels to inputs (true = Vdd).
+	Static map[string]bool `json:"static,omitempty"`
+	// Pulse names the input driven with the measurement pulse.
+	Pulse string `json:"pulse,omitempty"`
+}
+
+// Request is one serializable design-service job: a circuit (by registry
+// name, inline Boolean equations, or an inline structural netlist), the
+// technologies to run it in, the placement scheme, the wire-capacitance
+// model, and the set of analyses to perform.
+type Request struct {
+	// Circuit names a registry circuit. Exactly one of Circuit, Exprs,
+	// Netlist must be set.
+	Circuit string `json:"circuit,omitempty"`
+	// Exprs maps output names to Boolean expressions (logic.Parse
+	// syntax) to synthesize onto the NAND2/INV library.
+	Exprs map[string]string `json:"exprs,omitempty"`
+	// Netlist is an inline structural netlist in the synth.Parse format.
+	Netlist string `json:"netlist,omitempty"`
+	// Name overrides the design name for inline circuits.
+	Name string `json:"name,omitempty"`
+
+	// Techs selects the technologies ("cnfet", "cmos"); empty = both.
+	Techs []string `json:"techs,omitempty"`
+	// Placement selects the CNFET placement scheme: "rows" (scheme 1),
+	// "shelves" (scheme 2, default). CMOS always places as rows.
+	Placement string `json:"placement,omitempty"`
+	// WireCapPerNM overrides the interconnect capacitance model
+	// (F per nm of HPWL); 0 selects the kit default.
+	WireCapPerNM float64 `json:"wire_cap_per_nm,omitempty"`
+
+	// Analyses selects what to compute; empty = ["area"].
+	Analyses []Analysis `json:"analyses,omitempty"`
+	// Stimulus drives the delay/energy analyses; defaults to the
+	// registry circuit's stimulus, and is required for inline circuits
+	// that request them.
+	Stimulus *Stimulus `json:"stimulus,omitempty"`
+	// MCTubes adds a Monte Carlo sample of this many tubes per network
+	// to the immunity analysis (0 = critical-line certificates only).
+	MCTubes int `json:"mc_tubes,omitempty"`
+	// MCAngleDeg bounds the Monte Carlo misalignment angle in degrees
+	// (0 selects the paper's ±15°).
+	MCAngleDeg float64 `json:"mc_angle_deg,omitempty"`
+	// Seed seeds the immunity Monte Carlo sample.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// normalize resolves defaults and validates names; it returns the
+// resolved technologies and analyses.
+func (r *Request) normalize() ([]rules.Tech, []Analysis, error) {
+	sources := 0
+	if r.Circuit != "" {
+		sources++
+	}
+	if len(r.Exprs) > 0 {
+		sources++
+	}
+	if r.Netlist != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, nil, fmt.Errorf("%w: exactly one of circuit, exprs, netlist must be set", ErrBadRequest)
+	}
+
+	techs := r.Techs
+	if len(techs) == 0 {
+		techs = []string{"cmos", "cnfet"}
+	}
+	var ts []rules.Tech
+	seen := map[rules.Tech]bool{}
+	for _, name := range techs {
+		t, err := ParseTech(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !seen[t] {
+			seen[t] = true
+			ts = append(ts, t)
+		}
+	}
+
+	switch r.Placement {
+	case "", "shelves", "rows":
+	default:
+		return nil, nil, fmt.Errorf("%w: %q (want rows or shelves)", ErrUnknownPlacement, r.Placement)
+	}
+
+	analyses := r.Analyses
+	if len(analyses) == 0 {
+		analyses = []Analysis{AnalysisArea}
+	}
+	known := map[Analysis]bool{}
+	for _, a := range Analyses() {
+		known[a] = true
+	}
+	var as []Analysis
+	seenA := map[Analysis]bool{}
+	for _, a := range analyses {
+		a = Analysis(strings.ToLower(string(a)))
+		if !known[a] {
+			return nil, nil, fmt.Errorf("%w: %q", ErrUnknownAnalysis, a)
+		}
+		if !seenA[a] {
+			seenA[a] = true
+			as = append(as, a)
+		}
+	}
+	return ts, as, nil
+}
+
+// Validate reports whether the request is well-formed without running it:
+// the circuit source is unambiguous and every tech, placement and
+// analysis name is known. Registry membership of Circuit is checked too.
+func (r *Request) Validate() error {
+	_, _, err := r.normalize()
+	if err != nil {
+		return err
+	}
+	if r.Circuit != "" {
+		if _, err := LookupCircuit(r.Circuit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// identity renders the circuit-source identity shared by every stage key
+// — only what determines the netlist, so requests that differ in
+// placement, analyses or models still share the synthesized-netlist
+// cache entry (and every stage adds exactly the inputs it consumes).
+func (r *Request) identity() []any {
+	base := []any{r.Circuit, r.Netlist, r.Name}
+	if len(r.Exprs) > 0 {
+		outs := make([]string, 0, len(r.Exprs))
+		for o := range r.Exprs {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			base = append(base, o+"="+r.Exprs[o])
+		}
+	}
+	return base
+}
+
+// stageKey builds one stage's cache key from the circuit identity plus
+// the stage-specific inputs.
+func (r *Request) stageKey(parts ...any) string {
+	return pipeline.Key(append(r.identity(), parts...)...)
+}
+
+// stimulusKeyParts renders a stimulus for cache keying in deterministic
+// order.
+func stimulusKeyParts(s Stimulus) []any {
+	parts := []any{"pulse=" + s.Pulse}
+	ins := make([]string, 0, len(s.Static))
+	for i := range s.Static {
+		ins = append(ins, i)
+	}
+	sort.Strings(ins)
+	for _, i := range ins {
+		parts = append(parts, fmt.Sprintf("%s=%v", i, s.Static[i]))
+	}
+	return parts
+}
+
+// ParseTech resolves a technology name ("cnfet" or "cmos", any case);
+// unknown names return ErrUnknownTech.
+func ParseTech(name string) (rules.Tech, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "cnfet":
+		return rules.CNFET, nil
+	case "cmos":
+		return rules.CMOS, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want cnfet or cmos)", ErrUnknownTech, name)
+}
+
+// ImmunityResult summarizes the immunity analysis of one technology: the
+// deterministic critical-line certificate over every distinct cell of the
+// design, plus an optional Monte Carlo sample.
+type ImmunityResult struct {
+	CellsChecked    int      `json:"cells_checked"`
+	CriticalLines   int      `json:"critical_lines"`
+	Violations      int      `json:"violations"`
+	Immune          bool     `json:"immune"`
+	VulnerableCells []string `json:"vulnerable_cells,omitempty"`
+	MCTubes         int      `json:"mc_tubes,omitempty"`
+	MCFailRate      float64  `json:"mc_fail_rate,omitempty"`
+}
+
+// TechResult carries one technology's requested analyses.
+type TechResult struct {
+	Tech string `json:"tech"`
+
+	// Placement metrics (area analysis).
+	AreaLam2    float64 `json:"area_lam2,omitempty"`
+	WidthLam    float64 `json:"width_lam,omitempty"`
+	HeightLam   float64 `json:"height_lam,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+
+	// Timing/energy (delay, energy analyses).
+	DelayS  float64 `json:"delay_s,omitempty"`
+	EnergyJ float64 `json:"energy_j,omitempty"`
+
+	Immunity *ImmunityResult `json:"immunity,omitempty"`
+
+	// Liberty is the characterized .lib text (liberty analysis,
+	// restricted to the cells the design uses).
+	Liberty string `json:"liberty,omitempty"`
+
+	// GDS is the placement's GDSII stream (gds analysis); base64 in
+	// JSON per encoding/json convention.
+	GDS []byte `json:"gds,omitempty"`
+
+	// Placement is the in-process placement object for follow-on flow
+	// steps; it does not serialize.
+	Placement *place.Placement `json:"-"`
+}
+
+// StageTrace is the serializable record of one executed pipeline stage.
+type StageTrace struct {
+	Stage  string  `json:"stage"`
+	Millis float64 `json:"ms"`
+	Cached bool    `json:"cached,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Result is the JSON-stable outcome of one Kit.Run job.
+type Result struct {
+	Circuit   string   `json:"circuit"`
+	Instances int      `json:"instances"`
+	Nets      int      `json:"nets"`
+	Inputs    []string `json:"inputs"`
+	Outputs   []string `json:"outputs"`
+
+	// Techs holds one entry per requested technology, keyed by the
+	// lower-case technology name.
+	Techs map[string]*TechResult `json:"techs"`
+
+	// Gains reports CMOS-over-CNFET ratios for the scalar analyses when
+	// both technologies ran (keys "area", "delay", "energy").
+	Gains map[string]float64 `json:"gains,omitempty"`
+
+	// Stages traces every pipeline stage the job executed.
+	Stages []StageTrace `json:"stages"`
+}

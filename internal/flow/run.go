@@ -1,0 +1,544 @@
+package flow
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/immunity"
+	"cnfetdk/internal/liberty"
+	"cnfetdk/internal/logic"
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+	"cnfetdk/internal/synth"
+)
+
+// Run executes one design-service job: it resolves the request's circuit
+// (registry name, inline equations, or inline structural netlist), builds
+// a stage graph covering every requested (technology, analysis) pair, and
+// runs it on the kit's worker pool with every stage memoized in the kit's
+// cache — identical concurrent jobs share one computation. ctx cancels
+// the run between stages and between parallel items inside stages;
+// completed stage results stay cached, so a rerun resumes rather than
+// restarts. Errors wrap the typed sentinels (ErrUnknownCircuit,
+// ErrUnknownTech, ErrBadRequest, ...) for errors.Is dispatch.
+func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
+	techs, analyses, err := req.normalize()
+	if err != nil {
+		return nil, err
+	}
+	build, spec, stim, rows, err := k.resolveCircuit(req)
+	if err != nil {
+		return nil, err
+	}
+	wireCap := req.WireCapPerNM
+	if wireCap == 0 {
+		wireCap = k.wireCap
+	}
+	mcAngle := req.MCAngleDeg
+	if mcAngle == 0 {
+		mcAngle = 15
+	}
+	// Resolve the placement default once so "" and "shelves" share
+	// cache entries.
+	placement := req.Placement
+	if placement == "" {
+		placement = "shelves"
+	}
+	stimKey := stimulusKeyParts(stim)
+	want := map[Analysis]bool{}
+	for _, a := range analyses {
+		want[a] = true
+	}
+	if want[AnalysisImmunity] {
+		hasCNFET := false
+		for _, t := range techs {
+			hasCNFET = hasCNFET || t == rules.CNFET
+		}
+		if !hasCNFET {
+			return nil, fmt.Errorf("%w: the immunity analysis requires the cnfet technology", ErrBadRequest)
+		}
+	}
+	needPlace := want[AnalysisArea] || want[AnalysisDelay] || want[AnalysisEnergy] || want[AnalysisGDS]
+
+	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
+
+	g.AddFunc("netlist", req.stageKey("netlist"), nil, func(map[string]any) (any, error) {
+		nl, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if spec != nil {
+			if err := nl.Verify(spec); err != nil {
+				return nil, fmt.Errorf("flow: %s: %w", nl.Name, err)
+			}
+		}
+		return nl, nil
+	})
+
+	for _, tech := range techs {
+		tech := tech
+		tn := strings.ToLower(tech.String())
+		lib, err := k.LibFor(tech)
+		if err != nil {
+			return nil, err
+		}
+
+		// The resolved scheme is a per-tech stage input: CMOS always
+		// places as rows, so CNFET-only placement changes leave every
+		// CMOS cache entry valid.
+		scheme := placement
+		if tech == rules.CMOS {
+			scheme = "rows"
+		}
+		placeStage := "place/" + tn
+		if needPlace {
+			g.AddFunc(placeStage, req.stageKey("place", tn, lib.Rules.LambdaNM, scheme, rows), []string{"netlist"}, func(d map[string]any) (any, error) {
+				return placeScheme(lib, d["netlist"].(*synth.Netlist), scheme, rows)
+			})
+		}
+		if want[AnalysisDelay] {
+			g.AddFunc("wire/"+tn, req.stageKey("wire", tn, lib.Rules.LambdaNM, scheme, rows, wireCap), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+				return WireCapsWith(d[placeStage].(*place.Placement), d["netlist"].(*synth.Netlist), lib.Rules.LambdaNM, wireCap), nil
+			})
+			g.AddFunc("delay/"+tn, req.stageKey(append([]any{"delay", tn, scheme, rows, wireCap}, stimKey...)...), []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
+				dly, err := k.runDelay(lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim)
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s delay: %w", tech, err)
+				}
+				return dly, nil
+			})
+		}
+		if want[AnalysisEnergy] {
+			g.AddFunc("energy/"+tn, req.stageKey(append([]any{"energy", tn, scheme, rows, wireCap}, stimKey...)...), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+				e, err := k.runEnergy(lib, tech, d["netlist"].(*synth.Netlist), d[placeStage].(*place.Placement), stim, wireCap)
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s energy: %w", tech, err)
+				}
+				return e, nil
+			})
+		}
+		if want[AnalysisImmunity] && tech == rules.CNFET {
+			g.AddFunc("immunity/"+tn, req.stageKey("immunity", tn, req.MCTubes, mcAngle, req.Seed), []string{"netlist"}, func(d map[string]any) (any, error) {
+				return k.runImmunity(ctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed)
+			})
+		}
+		if want[AnalysisLiberty] {
+			g.AddFunc("liberty/"+tn, req.stageKey("liberty", tn), []string{"netlist"}, func(d map[string]any) (any, error) {
+				return k.runLiberty(ctx, lib, d["netlist"].(*synth.Netlist))
+			})
+		}
+		if want[AnalysisGDS] {
+			g.AddFunc("gds/"+tn, req.stageKey("gds", tn, scheme, rows), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+				nl := d["netlist"].(*synth.Netlist)
+				var buf bytes.Buffer
+				top := gdsTopName(nl.Name, tech, scheme)
+				if err := WritePlacementGDS(&buf, lib, d[placeStage].(*place.Placement), top); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			})
+		}
+	}
+
+	results, err := g.RunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Techs: map[string]*TechResult{}}
+	nl := results["netlist"].Value.(*synth.Netlist)
+	res.Circuit = nl.Name
+	res.Instances = len(nl.Instances)
+	res.Nets = len(nl.Nets())
+	res.Inputs = append([]string(nil), nl.Inputs...)
+	res.Outputs = append([]string(nil), nl.Outputs...)
+	for _, tech := range techs {
+		tn := strings.ToLower(tech.String())
+		tr := &TechResult{Tech: tn}
+		if r, ok := results["place/"+tn]; ok {
+			p := r.Value.(*place.Placement)
+			tr.Placement = p
+			if want[AnalysisArea] {
+				tr.AreaLam2 = p.Area()
+				tr.WidthLam = p.Width.Lambdas()
+				tr.HeightLam = p.Height.Lambdas()
+				tr.Utilization = p.Utilization()
+			}
+		}
+		if r, ok := results["delay/"+tn]; ok {
+			tr.DelayS = r.Value.(float64)
+		}
+		if r, ok := results["energy/"+tn]; ok {
+			tr.EnergyJ = r.Value.(float64)
+		}
+		if r, ok := results["immunity/"+tn]; ok {
+			tr.Immunity = r.Value.(*ImmunityResult)
+		}
+		if r, ok := results["liberty/"+tn]; ok {
+			tr.Liberty = r.Value.(string)
+		}
+		if r, ok := results["gds/"+tn]; ok {
+			tr.GDS = r.Value.([]byte)
+		}
+		res.Techs[tn] = tr
+	}
+	if cm, cn := res.Techs["cmos"], res.Techs["cnfet"]; cm != nil && cn != nil {
+		res.Gains = map[string]float64{}
+		if want[AnalysisArea] && cn.AreaLam2 > 0 {
+			res.Gains["area"] = cm.AreaLam2 / cn.AreaLam2
+		}
+		if want[AnalysisDelay] && cn.DelayS > 0 {
+			res.Gains["delay"] = cm.DelayS / cn.DelayS
+		}
+		if want[AnalysisEnergy] && cn.EnergyJ > 0 {
+			res.Gains["energy"] = cm.EnergyJ / cn.EnergyJ
+		}
+		if len(res.Gains) == 0 {
+			res.Gains = nil
+		}
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := results[name]
+		st := StageTrace{Stage: name, Millis: float64(r.Dur.Microseconds()) / 1000, Cached: r.Cached}
+		if r.Err != nil {
+			st.Error = r.Err.Error()
+		}
+		res.Stages = append(res.Stages, st)
+	}
+	return res, nil
+}
+
+// resolveCircuit picks the netlist builder, specification, stimulus and
+// row-count hint for a normalized request.
+func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error), spec map[string]*logic.Expr, stim Stimulus, rows int, err error) {
+	if req.Stimulus != nil {
+		stim = *req.Stimulus
+	}
+	switch {
+	case req.Circuit != "":
+		c, lerr := LookupCircuit(req.Circuit)
+		if lerr != nil {
+			return nil, nil, stim, 0, lerr
+		}
+		if c.Spec != nil {
+			spec = c.Spec()
+		}
+		if req.Stimulus == nil {
+			stim = c.Stimulus
+		}
+		return c.Build, spec, stim, c.Rows, nil
+	case len(req.Exprs) > 0:
+		name := req.Name
+		if name == "" {
+			name = "design"
+		}
+		outputs := map[string]*logic.Expr{}
+		for out, src := range req.Exprs {
+			e, perr := logic.Parse(src)
+			if perr != nil {
+				return nil, nil, stim, 0, fmt.Errorf("%w: expr %s: %v", ErrBadRequest, out, perr)
+			}
+			outputs[out] = e
+		}
+		// Synthesize exhaustively verifies the mapped netlist against
+		// these same outputs, so returning them as a spec would only
+		// duplicate the check; nil skips the netlist stage's re-verify.
+		return func() (*synth.Netlist, error) { return synth.Synthesize(name, outputs) }, nil, stim, 0, nil
+	default:
+		nl, perr := synth.Parse(strings.NewReader(req.Netlist))
+		if perr != nil {
+			return nil, nil, stim, 0, fmt.Errorf("%w: netlist: %v", ErrBadRequest, perr)
+		}
+		if req.Name != "" {
+			nl.Name = req.Name
+		}
+		return func() (*synth.Netlist, error) { return nl, nil }, nil, stim, 0, nil
+	}
+}
+
+// placeScheme places a netlist under an already-resolved scheme ("rows"
+// or "shelves" — Run resolves defaults and the CMOS-always-rows rule
+// before keying the stage, so key and computation cannot diverge). rows
+// pins the row count of rows-based placements (0 = auto).
+func placeScheme(lib *cells.Library, nl *synth.Netlist, scheme string, rows int) (*place.Placement, error) {
+	if scheme == "rows" {
+		return place.Rows(lib, nl, rows)
+	}
+	return place.Shelves(lib, nl, 0)
+}
+
+// gdsTopName renders the GDS top-structure name from the resolved
+// scheme: design name plus S1/S2 for CNFET rows/shelves, CMOS for the
+// reference technology.
+func gdsTopName(design string, tech rules.Tech, scheme string) string {
+	suffix := "S2"
+	if scheme == "rows" {
+		suffix = "S1"
+	}
+	if tech == rules.CMOS {
+		suffix = "CMOS"
+	}
+	return strings.ToUpper(design) + "_" + suffix
+}
+
+// stimulusEnv builds the full input assignment of a stimulus with the
+// pulsed input at the given level, validating coverage: the pulse must be
+// a primary input and every input must be assigned exactly once.
+func stimulusEnv(nl *synth.Netlist, stim Stimulus, pulseHigh bool) (map[string]bool, error) {
+	if stim.Pulse == "" {
+		return nil, fmt.Errorf("%w: delay/energy analysis needs a stimulus (pulse input + static levels)", ErrBadRequest)
+	}
+	env := map[string]bool{}
+	isInput := map[string]bool{}
+	for _, in := range nl.Inputs {
+		isInput[in] = true
+	}
+	if !isInput[stim.Pulse] {
+		return nil, fmt.Errorf("%w: pulse input %q is not a primary input of %s", ErrBadRequest, stim.Pulse, nl.Name)
+	}
+	for in, v := range stim.Static {
+		if !isInput[in] {
+			return nil, fmt.Errorf("%w: static input %q is not a primary input of %s", ErrBadRequest, in, nl.Name)
+		}
+		if in == stim.Pulse {
+			return nil, fmt.Errorf("%w: input %q is both static and pulsed", ErrBadRequest, in)
+		}
+		env[in] = v
+	}
+	env[stim.Pulse] = pulseHigh
+	for _, in := range nl.Inputs {
+		if _, ok := env[in]; !ok {
+			return nil, fmt.Errorf("%w: input %q not covered by the stimulus", ErrBadRequest, in)
+		}
+	}
+	return env, nil
+}
+
+// runDelay measures the average stimulus-to-output propagation delay at
+// the transistor level: static inputs at DC, the pulse input driven with
+// a full cycle, and every toggling primary output measured — inverting
+// outputs via the standard propagation-delay pair, non-inverting outputs
+// via both same-direction edges.
+func (k *Kit) runDelay(lib *cells.Library, nl *synth.Netlist, wire map[string]float64, stim Stimulus) (float64, error) {
+	lo, err := stimulusEnv(nl, stim, false)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := stimulusEnv(nl, stim, true)
+	if err != nil {
+		return 0, err
+	}
+	loV, err := nl.Evaluate(lo)
+	if err != nil {
+		return 0, err
+	}
+	hiV, err := nl.Evaluate(hi)
+	if err != nil {
+		return 0, err
+	}
+
+	ckt, _, err := k.BuildCircuit(lib, nl, wire)
+	if err != nil {
+		return 0, err
+	}
+	period := 4000e-12
+	statics := make([]string, 0, len(stim.Static))
+	for in := range stim.Static {
+		statics = append(statics, in)
+	}
+	sort.Strings(statics)
+	for _, in := range statics {
+		level := 0.0
+		if stim.Static[in] {
+			level = device.Vdd
+		}
+		ckt.AddV("vin."+in, in, "0", spice.DC(level))
+	}
+	ckt.AddV("vin."+stim.Pulse, stim.Pulse, "0", spice.Pulse{
+		V0: 0, V1: device.Vdd, Delay: period / 4,
+		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
+	})
+	r, err := ckt.Transient(period, 8000, spice.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+
+	total, count := 0.0, 0
+	for _, out := range nl.Outputs {
+		if loV[out] == hiV[out] {
+			continue // output insensitive to the pulse
+		}
+		var d float64
+		if loV[out] && !hiV[out] {
+			// Inverting arc: the usual propagation-delay definition.
+			d, err = r.PropDelay(stim.Pulse, out, device.Vdd)
+			if err != nil {
+				return 0, fmt.Errorf("%s arc: %w", out, err)
+			}
+		} else {
+			// Non-inverting arc: measure both same-direction edges.
+			dr, rerr := r.DelayPair(stim.Pulse, out, device.Vdd, true)
+			if rerr != nil {
+				return 0, fmt.Errorf("%s rise arc: %w", out, rerr)
+			}
+			df, ferr := r.DelayPair(stim.Pulse, out, device.Vdd, false)
+			if ferr != nil {
+				return 0, fmt.Errorf("%s fall arc: %w", out, ferr)
+			}
+			d = (dr + df) / 2
+		}
+		total += d
+		count++
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("%w: stimulus toggles no primary output of %s", ErrBadRequest, nl.Name)
+	}
+	return total / float64(count), nil
+}
+
+// runEnergy evaluates the per-cycle switching energy under the stimulus
+// with the calibrated gate-energy model: toggling nets are found by logic
+// simulation of the pulse cycle, each toggling gate output contributes
+// its technology's per-cycle energy scaled by drive, plus wire energy
+// over the placed design.
+func (k *Kit) runEnergy(lib *cells.Library, tech rules.Tech, nl *synth.Netlist, p *place.Placement, stim Stimulus, wireCapPerNM float64) (float64, error) {
+	lo, err := stimulusEnv(nl, stim, false)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := stimulusEnv(nl, stim, true)
+	if err != nil {
+		return 0, err
+	}
+	loV, err := nl.Evaluate(lo)
+	if err != nil {
+		return 0, err
+	}
+	hiV, err := nl.Evaluate(hi)
+	if err != nil {
+		return 0, err
+	}
+	fo4 := device.DefaultFO4()
+	nOpt := fo4.OptimalN(60)
+	wire := WireCapsWith(p, nl, lib.Rules.LambdaNM, wireCapPerNM)
+	total := 0.0
+	for _, inst := range nl.Instances {
+		out := inst.Conns["OUT"]
+		if loV[out] == hiV[out] {
+			continue // no switching on this arc
+		}
+		drive := driveOf(inst.Cell)
+		var gate float64
+		if tech == rules.CNFET {
+			gate = fo4.EnergyFJ(nOpt) * 1e-15 * drive
+		} else {
+			gate = device.CMOSEnergyfJ * 1e-15 * drive
+		}
+		total += gate + wire[out]*device.Vdd*device.Vdd
+	}
+	return total, nil
+}
+
+// runImmunity certifies every distinct CNFET cell of the design with the
+// deterministic critical-line enumeration, plus an optional Monte Carlo
+// sample of mcTubes tubes per network at up to mcAngle degrees of
+// misalignment.
+func (k *Kit) runImmunity(ctx context.Context, lib *cells.Library, nl *synth.Netlist, mcTubes int, mcAngle float64, seed int64) (*ImmunityResult, error) {
+	var names []string
+	seen := map[string]bool{}
+	for _, inst := range nl.Instances {
+		if !seen[inst.Cell] {
+			seen[inst.Cell] = true
+			names = append(names, inst.Cell)
+		}
+	}
+	sort.Strings(names)
+
+	type verdict struct {
+		name      string
+		checked   int
+		bad       int
+		mcChecked int
+		mcBad     int
+	}
+	verdicts, err := pipeline.MapCtx(ctx, k.workers, names, func(i int, name string) (verdict, error) {
+		c, err := lib.Get(name)
+		if err != nil {
+			return verdict{}, err
+		}
+		pun, pdn := immunity.VerifyImmunity(c.Layout)
+		v := verdict{
+			name:    name,
+			checked: pun.TubesChecked + pdn.TubesChecked,
+			bad:     pun.BadTubes + pdn.BadTubes,
+		}
+		if mcTubes > 0 {
+			cc := immunity.NewCellChecker(c.Layout)
+			// Derive the per-cell seed from the request seed and the
+			// cell's index so the sample is reproducible at any worker
+			// count.
+			rng := rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9))
+			punMC, err := cc.PUN().MonteCarloCtx(ctx, mcTubes, mcAngle, rng, 1)
+			if err != nil {
+				return verdict{}, err
+			}
+			pdnMC, err := cc.PDN().MonteCarloCtx(ctx, mcTubes, mcAngle, rng, 1)
+			if err != nil {
+				return verdict{}, err
+			}
+			v.mcChecked = punMC.TubesChecked + pdnMC.TubesChecked
+			v.mcBad = punMC.BadTubes + pdnMC.BadTubes
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ImmunityResult{CellsChecked: len(verdicts), Immune: true}
+	mcBad := 0
+	for _, v := range verdicts {
+		res.CriticalLines += v.checked
+		res.Violations += v.bad
+		if v.bad > 0 {
+			res.Immune = false
+			res.VulnerableCells = append(res.VulnerableCells, v.name)
+		}
+		res.MCTubes += v.mcChecked
+		mcBad += v.mcBad
+	}
+	if res.MCTubes > 0 {
+		res.MCFailRate = float64(mcBad) / float64(res.MCTubes)
+	}
+	return res, nil
+}
+
+// runLiberty characterizes exactly the cells the design instantiates and
+// renders the Liberty (.lib) text.
+func (k *Kit) runLiberty(ctx context.Context, lib *cells.Library, nl *synth.Netlist) (string, error) {
+	used := map[string]bool{}
+	for _, inst := range nl.Instances {
+		used[inst.Cell] = true
+	}
+	m, err := liberty.CharacterizeCtx(ctx, lib, nil, func(name string) bool { return used[name] }, k.workers)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

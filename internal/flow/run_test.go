@@ -1,0 +1,256 @@
+package flow
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"cnfetdk/internal/gdsii"
+)
+
+func TestRunRegistryCircuitsBothTechs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-circuit flow")
+	}
+	k := kit(t)
+	// Four registry circuits across both technologies; the cheap
+	// analyses run everywhere, the transistor-level ones on the small
+	// circuits.
+	cases := []struct {
+		circuit  string
+		analyses []Analysis
+	}{
+		{"fulladder", []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy, AnalysisImmunity}},
+		{"mux2", []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy, AnalysisImmunity}},
+		{"aoichain4", []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy, AnalysisImmunity}},
+		{"rca4", []Analysis{AnalysisArea, AnalysisImmunity}},
+		{"parity4", []Analysis{AnalysisArea, AnalysisImmunity}},
+	}
+	for _, tc := range cases {
+		res, err := k.Run(context.Background(), Request{Circuit: tc.circuit, Analyses: tc.analyses})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.circuit, err)
+		}
+		if res.Instances == 0 || len(res.Techs) != 2 {
+			t.Fatalf("%s: instances=%d techs=%d, want >0 and 2", tc.circuit, res.Instances, len(res.Techs))
+		}
+		cm, cn := res.Techs["cmos"], res.Techs["cnfet"]
+		if cm.AreaLam2 <= 0 || cn.AreaLam2 <= 0 {
+			t.Fatalf("%s: areas %v/%v, want > 0", tc.circuit, cm.AreaLam2, cn.AreaLam2)
+		}
+		if g := res.Gains["area"]; g <= 1 {
+			t.Errorf("%s: CNFET area gain %.2f, want > 1", tc.circuit, g)
+		}
+		if cn.Immunity == nil || !cn.Immunity.Immune || cn.Immunity.CellsChecked == 0 {
+			t.Errorf("%s: CNFET immunity = %+v, want immune over >0 cells", tc.circuit, cn.Immunity)
+		}
+		if cm.Immunity != nil {
+			t.Errorf("%s: CMOS carries an immunity result", tc.circuit)
+		}
+		for _, a := range tc.analyses {
+			if a != AnalysisDelay {
+				continue
+			}
+			if cn.DelayS <= 0 || cm.DelayS <= cn.DelayS {
+				t.Errorf("%s: delays cnfet=%.3g cmos=%.3g, want 0 < cnfet < cmos",
+					tc.circuit, cn.DelayS, cm.DelayS)
+			}
+			if cn.EnergyJ <= 0 || cm.EnergyJ <= cn.EnergyJ {
+				t.Errorf("%s: energies cnfet=%.3g cmos=%.3g, want 0 < cnfet < cmos",
+					tc.circuit, cn.EnergyJ, cm.EnergyJ)
+			}
+		}
+		if len(res.Stages) == 0 {
+			t.Errorf("%s: no stage traces", tc.circuit)
+		}
+	}
+}
+
+func TestRunInlineExprs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow")
+	}
+	k := kit(t)
+	res, err := k.Run(context.Background(), Request{
+		Exprs:    map[string]string{"Y": "A*B + !A*C"},
+		Name:     "muxlike",
+		Techs:    []string{"CNFET"},
+		Analyses: []Analysis{AnalysisArea, AnalysisGDS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Techs["cnfet"]
+	if tr.AreaLam2 <= 0 || len(tr.GDS) == 0 {
+		t.Fatalf("area=%v gds=%d bytes, want both populated", tr.AreaLam2, len(tr.GDS))
+	}
+	lib, err := gdsii.Read(bytes.NewReader(tr.GDS))
+	if err != nil {
+		t.Fatalf("GDS stream unreadable: %v", err)
+	}
+	if lib.Find("MUXLIKE_S2") == nil {
+		t.Fatal("missing top structure MUXLIKE_S2")
+	}
+}
+
+func TestRunInlineNetlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow")
+	}
+	k := kit(t)
+	res, err := k.Run(context.Background(), Request{
+		Netlist:  "module pair\ninput A B\noutput Y\nu1 NAND2_1X A=A B=B OUT=n1\nu2 INV_1X A=n1 OUT=Y\nendmodule\n",
+		Techs:    []string{"cnfet"},
+		Stimulus: &Stimulus{Static: map[string]bool{"B": true}, Pulse: "A"},
+		Analyses: []Analysis{AnalysisArea, AnalysisDelay},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit != "pair" || res.Techs["cnfet"].DelayS <= 0 {
+		t.Fatalf("circuit=%q delay=%v, want pair with positive delay", res.Circuit, res.Techs["cnfet"].DelayS)
+	}
+}
+
+func TestRunSentinelErrors(t *testing.T) {
+	k := kit(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  Request
+		want error
+	}{
+		{"unknown circuit", Request{Circuit: "nonesuch"}, ErrUnknownCircuit},
+		{"unknown tech", Request{Circuit: "mux2", Techs: []string{"finfet"}}, ErrUnknownTech},
+		{"unknown analysis", Request{Circuit: "mux2", Analyses: []Analysis{"power"}}, ErrUnknownAnalysis},
+		{"unknown placement", Request{Circuit: "mux2", Placement: "spiral"}, ErrUnknownPlacement},
+		{"no source", Request{}, ErrBadRequest},
+		{"two sources", Request{Circuit: "mux2", Netlist: "module x\nendmodule"}, ErrBadRequest},
+		{"delay without stimulus", Request{
+			Netlist:  "module x\ninput A\noutput Y\nu1 INV_1X A=A OUT=Y\nendmodule",
+			Analyses: []Analysis{AnalysisDelay},
+		}, ErrBadRequest},
+		{"immunity without cnfet", Request{
+			Circuit: "mux2", Techs: []string{"cmos"},
+			Analyses: []Analysis{AnalysisImmunity},
+		}, ErrBadRequest},
+	}
+	for _, tc := range cases {
+		if _, err := k.Run(ctx, tc.req); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLibForUnknownTech(t *testing.T) {
+	k := kit(t)
+	if _, err := k.LibFor(99); !errors.Is(err, ErrUnknownTech) {
+		t.Fatalf("LibFor(99) err = %v, want ErrUnknownTech", err)
+	}
+	// The deprecated accessor keeps the historical CNFET fallback.
+	if lib := k.Lib(99); lib != k.CNFET {
+		t.Fatal("deprecated Lib must keep the CNFET fallback")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	k := kit(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := k.CacheLen()
+	_, err := k.Run(ctx, Request{Circuit: "dec2", Analyses: []Analysis{AnalysisArea}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if after := k.CacheLen(); after != before {
+		t.Fatalf("cancelled run changed the cache: %d -> %d entries", before, after)
+	}
+	// The same request under a live context runs clean — no poisoned
+	// partial entries survive the cancellation.
+	res, err := k.Run(context.Background(), Request{Circuit: "dec2", Analyses: []Analysis{AnalysisArea}})
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	if res.Techs["cnfet"].AreaLam2 <= 0 {
+		t.Fatal("rerun produced no area")
+	}
+}
+
+func TestRunResultJSONStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow")
+	}
+	k := kit(t)
+	req := Request{Circuit: "mux2", Analyses: []Analysis{AnalysisArea}}
+	res, err := k.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Circuit != res.Circuit || back.Techs["cnfet"].AreaLam2 != res.Techs["cnfet"].AreaLam2 {
+		t.Fatal("Result does not round-trip through JSON")
+	}
+	// Requests round-trip too: the wire format is the API.
+	rblob, _ := json.Marshal(req)
+	var rback Request
+	if err := json.Unmarshal(rblob, &rback); err != nil {
+		t.Fatal(err)
+	}
+	if rback.Circuit != "mux2" || len(rback.Analyses) != 1 {
+		t.Fatal("Request does not round-trip through JSON")
+	}
+}
+
+func TestRunHitsCacheOnRepeat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow")
+	}
+	k := kit(t)
+	req := Request{Circuit: "parity4", Analyses: []Analysis{AnalysisArea}}
+	if _, err := k.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedAny := false
+	for _, st := range res.Stages {
+		if st.Cached {
+			cachedAny = true
+		}
+	}
+	if !cachedAny {
+		t.Fatal("repeated run hit no cached stages")
+	}
+
+	// The default placement ("") and an explicit "shelves" are the same
+	// computation and must share cache entries; a placement change must
+	// not invalidate the netlist stage either.
+	for _, variant := range []Request{
+		{Circuit: "parity4", Placement: "shelves", Analyses: []Analysis{AnalysisArea}},
+		{Circuit: "parity4", Placement: "rows", Analyses: []Analysis{AnalysisArea}},
+	} {
+		vres, err := k.Run(context.Background(), variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range vres.Stages {
+			if st.Stage == "netlist" && !st.Cached {
+				t.Errorf("placement %q recomputed the netlist stage", variant.Placement)
+			}
+			if variant.Placement == "shelves" && !st.Cached {
+				t.Errorf("explicit shelves recomputed stage %s despite the default-placement run", st.Stage)
+			}
+		}
+	}
+}

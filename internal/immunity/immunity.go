@@ -20,6 +20,7 @@
 package immunity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -396,12 +397,21 @@ func (c *Checker) MonteCarlo(n int, maxAngleDeg float64, rng *rand.Rand) Report 
 // MonteCarloWorkers is MonteCarlo with an explicit worker-pool width
 // (<= 0 selects one worker per CPU; 1 is the sequential reference path).
 func (c *Checker) MonteCarloWorkers(n int, maxAngleDeg float64, rng *rand.Rand, workers int) Report {
+	rep, _ := c.MonteCarloCtx(context.Background(), n, maxAngleDeg, rng, workers)
+	return rep
+}
+
+// MonteCarloCtx is MonteCarloWorkers with cooperative cancellation: once
+// ctx is cancelled no further shards are dispatched and the run returns
+// ctx.Err() (a partial report is never returned — the seeded-shard
+// determinism guarantee only holds for complete batches).
+func (c *Checker) MonteCarloCtx(ctx context.Context, n int, maxAngleDeg float64, rng *rand.Rand, workers int) (Report, error) {
 	if n <= 0 {
-		return Report{}
+		return Report{}, nil
 	}
 	base := rng.Int63()
 	shards := shardRanges(n, defaultShards(n))
-	verdicts, _ := pipeline.Map(workers, shards, func(si int, sh shard) (shardVerdict, error) {
+	verdicts, err := pipeline.MapCtx(ctx, workers, shards, func(si int, sh shard) (shardVerdict, error) {
 		srng := rand.New(rand.NewSource(base + int64(si)*0x9E3779B9))
 		ck := c.fork()
 		var out shardVerdict
@@ -412,7 +422,10 @@ func (c *Checker) MonteCarloWorkers(n int, maxAngleDeg float64, rng *rand.Rand, 
 		}
 		return out, nil
 	})
-	return mergeShardVerdicts(verdicts)
+	if err != nil {
+		return Report{}, err
+	}
+	return mergeShardVerdicts(verdicts), nil
 }
 
 // CheckPopulation verifies a synthesized tube population, sharded across
@@ -426,11 +439,19 @@ func (c *Checker) CheckPopulation(tubes []cnt.Tube) Report {
 // width (<= 0 selects one worker per CPU; 1 is the sequential reference
 // path).
 func (c *Checker) CheckPopulationWorkers(tubes []cnt.Tube, workers int) Report {
+	rep, _ := c.CheckPopulationCtx(context.Background(), tubes, workers)
+	return rep
+}
+
+// CheckPopulationCtx is CheckPopulationWorkers with cooperative
+// cancellation: once ctx is cancelled no further shards are dispatched and
+// the check returns ctx.Err() without a partial report.
+func (c *Checker) CheckPopulationCtx(ctx context.Context, tubes []cnt.Tube, workers int) (Report, error) {
 	if len(tubes) == 0 {
-		return Report{}
+		return Report{}, nil
 	}
 	shards := shardRanges(len(tubes), defaultShards(len(tubes)))
-	verdicts, _ := pipeline.Map(workers, shards, func(_ int, sh shard) (shardVerdict, error) {
+	verdicts, err := pipeline.MapCtx(ctx, workers, shards, func(_ int, sh shard) (shardVerdict, error) {
 		ck := c.fork()
 		var out shardVerdict
 		for i := sh.lo; i < sh.hi; i++ {
@@ -438,7 +459,10 @@ func (c *Checker) CheckPopulationWorkers(tubes []cnt.Tube, workers int) Report {
 		}
 		return out, nil
 	})
-	return mergeShardVerdicts(verdicts)
+	if err != nil {
+		return Report{}, err
+	}
+	return mergeShardVerdicts(verdicts), nil
 }
 
 // CriticalLines deterministically enumerates candidate violating lines:

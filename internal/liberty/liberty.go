@@ -6,6 +6,7 @@
 package liberty
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -88,6 +89,13 @@ func Characterize(lib *cells.Library, loads []float64, cellFilter func(string) b
 // CharacterizeWorkers is Characterize with an explicit worker-pool width
 // (<= 0 selects one worker per CPU; 1 is the sequential reference path).
 func CharacterizeWorkers(lib *cells.Library, loads []float64, cellFilter func(string) bool, workers int) (*Model, error) {
+	return CharacterizeCtx(context.Background(), lib, loads, cellFilter, workers)
+}
+
+// CharacterizeCtx is CharacterizeWorkers with cooperative cancellation:
+// once ctx is cancelled no further arc sweeps are dispatched and the
+// characterization returns ctx.Err().
+func CharacterizeCtx(ctx context.Context, lib *cells.Library, loads []float64, cellFilter func(string) bool, workers int) (*Model, error) {
 	ref := lib.ReferenceLoad()
 	if loads == nil {
 		loads = DefaultLoads(ref)
@@ -130,7 +138,7 @@ func CharacterizeWorkers(lib *cells.Library, loads []float64, cellFilter func(st
 		energyJ float64
 		hasE    bool
 	}
-	outs, err := pipeline.Map(workers, jobs, func(_ int, j arcJob) (arcOut, error) {
+	outs, err := pipeline.MapCtx(ctx, workers, jobs, func(_ int, j arcJob) (arcOut, error) {
 		c := lib.MustGet(j.cell)
 		out := arcOut{arc: Arc{Input: j.input}}
 		for _, load := range loads {

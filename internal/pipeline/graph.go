@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -74,6 +75,18 @@ func (g *Graph) AddFunc(name, key string, deps []string, run func(deps map[strin
 // run); the returned error is from the earliest failing stage in
 // insertion order, which is always a genuine failure rather than a skip.
 func (g *Graph) Run() (map[string]Result, error) {
+	return g.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: a stage whose dependencies
+// settle after ctx is cancelled never starts (it fails with ctx.Err() and
+// skips its dependents), and memoized stages consult the cache through
+// DoCtx so waiters do not outlive the context. Stages already in flight
+// run to completion — their successful results stay cached, so a rerun
+// after cancellation resumes where the cancelled run left off. When
+// cancellation is the earliest failure, errors.Is(err, ctx.Err()) holds
+// on the returned error.
+func (g *Graph) RunCtx(ctx context.Context) (map[string]Result, error) {
 	n := len(g.stages)
 	results := make(map[string]Result, n)
 	if n == 0 {
@@ -107,8 +120,11 @@ func (g *Graph) Run() (map[string]Result, error) {
 			var value any
 			var err error
 			cached := false
-			if g.cache != nil && s.Key != "" {
-				value, cached, err = g.cache.Do(s.Key, func() (any, error) { return s.Run(deps) })
+			if err = ctx.Err(); err != nil {
+				// Cancelled before the worker picked the stage up: fail
+				// it without running (or touching the cache).
+			} else if g.cache != nil && s.Key != "" {
+				value, cached, err = g.cache.DoCtx(ctx, s.Key, func() (any, error) { return s.Run(deps) })
 			} else {
 				value, err = s.Run(deps)
 			}

@@ -17,6 +17,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -81,6 +82,16 @@ func (p *Pool) Wait() { p.wg.Wait() }
 // clock) aborts the result; remaining in-flight items still run to
 // completion, so fn must not assume early cancellation.
 func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	return MapCtx(context.Background(), workers, items, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled no
+// further items are dispatched, items already in flight run to completion,
+// and undispatched items report ctx.Err(). As in Map, the reported error
+// is the first by input index — for a cancelled run with no earlier
+// genuine failure that is the context error, so errors.Is(err,
+// context.Canceled) holds.
+func MapCtx[I, O any](ctx context.Context, workers int, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	out := make([]O, len(items))
 	errs := make([]error, len(items))
 	if len(items) == 0 {
@@ -91,6 +102,10 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 		// Run inline: same code path semantics, no goroutine overhead,
 		// and errors still reported by lowest index.
 		for i := range items {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			out[i], errs[i] = fn(i, items[i])
 		}
 	} else {
@@ -106,6 +121,10 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 			}()
 		}
 		for i := range items {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			next <- i
 		}
 		close(next)
@@ -113,6 +132,9 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 	}
 	for i, err := range errs {
 		if err != nil {
+			if err == ctx.Err() {
+				return nil, err
+			}
 			return nil, fmt.Errorf("pipeline: item %d: %w", i, err)
 		}
 	}
@@ -141,22 +163,83 @@ type cacheEntry struct {
 // Cache is a content-keyed memo cache with singleflight semantics:
 // concurrent Do calls for one key run the function once and share the
 // result. Errors are not cached, so a failed stage re-runs on retry.
+// An optional entry bound evicts the oldest completed entries, keeping
+// long-running servers from accumulating results without limit.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	order   []string // successful-insertion order, for bounded eviction
+	max     int      // max completed entries (0 = unbounded)
 }
 
-// NewCache builds an empty cache.
+// NewCache builds an empty unbounded cache.
 func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+
+// NewCacheBound builds a cache holding at most maxEntries completed
+// values; older entries are evicted FIFO (maxEntries <= 0 is unbounded).
+func NewCacheBound(maxEntries int) *Cache {
+	c := NewCache()
+	c.max = maxEntries
+	return c
+}
+
+// noteInsert records a successful insertion and enforces the bound; call
+// with mu held.
+func (c *Cache) noteInsert(key string) {
+	if c.max <= 0 {
+		return
+	}
+	c.order = append(c.order, key)
+	// One bounded pass: ineligible entries (in flight, or the one just
+	// inserted) re-queue rather than block eviction forever.
+	for i, scan := 0, len(c.order); i < scan && len(c.entries) > c.max; i++ {
+		old := c.order[0]
+		c.order = c.order[1:]
+		if old == key {
+			c.order = append(c.order, old)
+			continue
+		}
+		e, ok := c.entries[old]
+		if !ok {
+			continue // already evicted (error path) — stale order entry
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, old)
+		default:
+			// Still computing; its waiters hold the entry pointer, so
+			// keep it until it settles.
+			c.order = append(c.order, old)
+		}
+	}
+}
 
 // Do returns the memoized value for key, computing it with fn on first
 // use. The second result reports whether the value was served from cache.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	return c.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with cancellation: an already-cancelled context returns
+// ctx.Err() without touching the cache, and a waiter abandoning an
+// in-flight computation returns ctx.Err() while the computation itself
+// runs to completion (its result stays cached for later callers). A
+// computation that returns an error — including a context error from a
+// cancelled fn — is evicted, never cached, so the cache holds only
+// complete successful values.
+func (c *Cache) DoCtx(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
 			c.mu.Unlock()
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
 			if e.err == nil {
 				return e.value, true, nil
 			}
@@ -176,14 +259,16 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
 
 		e.value, e.err = fn()
 		close(e.done)
+		c.mu.Lock()
 		if e.err != nil {
-			c.mu.Lock()
 			if c.entries[key] == e {
 				delete(c.entries, key)
 			}
 			c.mu.Unlock()
 			return nil, false, e.err
 		}
+		c.noteInsert(key)
+		c.mu.Unlock()
 		return e.value, false, nil
 	}
 }

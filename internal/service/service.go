@@ -1,0 +1,165 @@
+// Package service exposes the design kit as an HTTP design service: one
+// shared flow.Kit (and therefore one shared memo cache) executes
+// serialized flow.Request jobs concurrently, so identical in-flight jobs
+// collapse onto one computation and repeated jobs return from cache.
+//
+// Routes:
+//
+//	POST /v1/jobs      — run a flow.Request, respond with a flow.Result
+//	GET  /v1/circuits  — list the named-circuit registry
+//	GET  /healthz      — liveness plus kit/cache statistics
+//
+// Errors are structured JSON ({"error": {"code", "message"}}) with the
+// typed flow sentinels mapped to 400s.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cnfetdk/internal/flow"
+)
+
+// Server handles the design-service routes over one shared kit.
+type Server struct {
+	kit      *flow.Kit
+	mux      *http.ServeMux
+	started  time.Time
+	circuits []circuitInfo // static after construction
+	jobs     atomic.Int64  // jobs accepted since start
+}
+
+// NewServer wraps a kit (shared, read-only, singleflight-cached) into an
+// HTTP handler. The registry listing is computed once here — the
+// registry is static after program init.
+func NewServer(kit *flow.Kit) *Server {
+	s := &Server{kit: kit, mux: http.NewServeMux(), started: time.Now()}
+	for _, c := range flow.Circuits() {
+		info := circuitInfo{Name: c.Name, Description: c.Description}
+		if nl, err := c.Build(); err == nil {
+			info.Inputs = nl.Inputs
+			info.Outputs = nl.Outputs
+			info.Instances = len(nl.Instances)
+		}
+		s.circuits = append(s.circuits, info)
+	}
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the structured error body.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// errorStatus maps a Run error onto an HTTP status and a stable error
+// code. Request-shaped failures are 400s, server-side cancellation
+// (shutdown, deadline) is a 503 the client can retry, everything else
+// is a 500.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "cancelled"
+	case errors.Is(err, flow.ErrUnknownCircuit):
+		return http.StatusBadRequest, "unknown_circuit"
+	case errors.Is(err, flow.ErrUnknownTech):
+		return http.StatusBadRequest, "unknown_tech"
+	case errors.Is(err, flow.ErrUnknownAnalysis):
+		return http.StatusBadRequest, "unknown_analysis"
+	case errors.Is(err, flow.ErrUnknownPlacement):
+		return http.StatusBadRequest, "unknown_placement"
+	case errors.Is(err, flow.ErrBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// handleJobs runs one design job under the request's context: closing the
+// client connection cancels the flow mid-run (completed stages stay
+// cached for the next attempt).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST a flow.Request JSON body")
+		return
+	}
+	// Bound the body: the largest legitimate requests (inline netlists)
+	// are far under a megabyte.
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req flow.Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	s.jobs.Add(1)
+	res, err := s.kit.Run(r.Context(), req)
+	if err != nil {
+		// A cancelled job answers 503 (retryable): server shutdown
+		// cancels in-flight contexts while clients are still connected.
+		// If the cancellation came from the client disconnecting, the
+		// write goes nowhere, which is fine.
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// circuitInfo is one registry row of the circuit listing.
+type circuitInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Inputs      []string `json:"inputs"`
+	Outputs     []string `json:"outputs"`
+	Instances   int      `json:"instances"`
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET lists the circuit registry")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"circuits": s.circuits})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"jobs_accepted":  s.jobs.Load(),
+		"cache_entries":  s.kit.CacheLen(),
+		"cnfet_cells":    len(s.kit.CNFET.Names()),
+		"cmos_cells":     len(s.kit.CMOS.Names()),
+	})
+}

@@ -97,3 +97,78 @@ func Decoder2() (*Netlist, error) {
 	}
 	return Synthesize("dec2", out)
 }
+
+// Mux2 synthesizes a 2:1 multiplexer (data D0 D1, select S, output Y).
+func Mux2() (*Netlist, error) {
+	return Synthesize("mux2", map[string]*logic.Expr{"Y": Mux2Spec()["Y"]})
+}
+
+// Mux2Spec returns the 2:1 multiplexer specification.
+func Mux2Spec() map[string]*logic.Expr {
+	return map[string]*logic.Expr{"Y": logic.MustParse("D0*!S + D1*S")}
+}
+
+// ParityTree synthesizes the n-input XOR parity function P = I0 ⊕ ... ⊕
+// I{n-1} as a balanced tree of 2-input XORs lowered onto the NAND2/INV
+// library.
+func ParityTree(n int) (*Netlist, error) {
+	return Synthesize(fmt.Sprintf("parity%d", n), ParityTreeSpec(n))
+}
+
+// ParityTreeSpec returns the n-input parity specification.
+func ParityTreeSpec(n int) map[string]*logic.Expr {
+	e := logic.Var("I0")
+	for i := 1; i < n; i++ {
+		e = xorE(e, logic.Var(fmt.Sprintf("I%d", i)))
+	}
+	return map[string]*logic.Expr{"P": e}
+}
+
+// AOIChain builds a structural chain of n alternating AOI21/OAI21 cells:
+// stage i computes x{i+1} = !(P·x{i} + Q) (AOI21) or !((R + x{i})·S)
+// (OAI21), seeded with x0 = IN. With P=1, Q=0, R=0, S=1 every stage
+// degenerates to an inverter, so pulsing IN exercises the whole chain —
+// the paper's "many logic gates of minimum size" regime using the complex
+// cells of Table 1.
+func AOIChain(n int) *Netlist {
+	nl := &Netlist{
+		Name:    fmt.Sprintf("aoichain%d", n),
+		Inputs:  []string{"IN", "P", "Q", "R", "S"},
+		Outputs: []string{fmt.Sprintf("X%d", n)},
+	}
+	prev := "IN"
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("X%d", i+1)
+		inst := Instance{Name: fmt.Sprintf("u%d", i), Conns: map[string]string{"OUT": out}}
+		if i%2 == 0 {
+			inst.Cell = "AOI21_1X"
+			inst.Conns["A"] = "P"
+			inst.Conns["B"] = prev
+			inst.Conns["C"] = "Q"
+		} else {
+			inst.Cell = "OAI21_1X"
+			inst.Conns["A"] = "R"
+			inst.Conns["B"] = prev
+			inst.Conns["C"] = "S"
+		}
+		nl.Instances = append(nl.Instances, inst)
+		prev = out
+	}
+	return nl
+}
+
+// AOIChainSpec folds the chain's stage functions into one expression over
+// the primary inputs, for exhaustive verification.
+func AOIChainSpec(n int) map[string]*logic.Expr {
+	x := logic.Var("IN")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			// AOI21: !(P·x + Q)
+			x = logic.Not(logic.Or(logic.And(logic.Var("P"), x), logic.Var("Q")))
+		} else {
+			// OAI21: !((R + x)·S)
+			x = logic.Not(logic.And(logic.Or(logic.Var("R"), x), logic.Var("S")))
+		}
+	}
+	return map[string]*logic.Expr{fmt.Sprintf("X%d", n): x}
+}
