@@ -8,6 +8,7 @@ package cnfetdk_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"cnfetdk/internal/route"
 	"cnfetdk/internal/rules"
 	"cnfetdk/internal/sta"
+	"cnfetdk/internal/sweep"
 	"cnfetdk/internal/synth"
 )
 
@@ -447,6 +449,71 @@ func BenchmarkFlowCachedRerun(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(k.CacheLen()), "cached-stages")
+}
+
+// benchSweepSpec is the sweep benchmark workload: 2 circuits x 2
+// placement schemes x 3 Monte Carlo tube counts = 12 points whose
+// netlist and placement stages are shared across the tube-count axis.
+func benchSweepSpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "bench",
+		Base: flow.Request{
+			Techs:    []string{"cnfet"},
+			Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity},
+		},
+		Axes: sweep.Axes{
+			Circuits:   []string{"mux2", "dec2"},
+			Placements: []string{"rows", "shelves"},
+			MCTubes:    []int{16, 32, 48},
+		},
+	}
+}
+
+// BenchmarkSweepSharedCache measures the batch engine on one shared kit:
+// after the first expansion warms the memo cache, every rerun of the
+// 12-point sweep serves all stages from cache — the scenario-exploration
+// hot path.
+func BenchmarkSweepSharedCache(b *testing.B) {
+	k := kit(b)
+	spec := benchSweepSpec()
+	var hits, total int
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), k, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d points failed", rep.Failed)
+		}
+		hits, total = rep.Trace.CacheHitStages, rep.Trace.TotalStages
+	}
+	b.ReportMetric(float64(hits), "cached-stages")
+	b.ReportMetric(float64(total), "total-stages")
+}
+
+// BenchmarkSweepColdPoints is the contrast case the sweep engine
+// removes: the same 12 points issued as independent Kit.Run calls
+// against a fresh (empty) cache each iteration, so no prefix stage is
+// ever shared. The gap to BenchmarkSweepSharedCache is the batching win.
+func BenchmarkSweepColdPoints(b *testing.B) {
+	spec := benchSweepSpec()
+	points, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pt := range points {
+			// One fresh kit per point: an empty memo cache every time,
+			// like separate processes issuing unrelated jobs.
+			k, err := flow.NewKit()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := k.Run(context.Background(), pt.Request); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkMonteCarloSequential checks 4000 tubes on the NAND3 compact

@@ -1,25 +1,35 @@
 // Command cnfetd serves the design kit over HTTP: one shared kit (both
 // technology libraries, one singleflight memo cache) executes
-// flow.Request jobs concurrently for many clients.
+// flow.Request jobs and sweep.Spec batches concurrently for many clients.
 //
 // Usage:
 //
 //	cnfetd                       # listen on :8065
 //	cnfetd -addr 127.0.0.1:9000  # explicit listen address
+//	cnfetd -addr 127.0.0.1:0 -addr-file /tmp/cnfetd.addr  # free port, written to a file
 //	cnfetd -j 4                  # bound the worker pool
 //
 // Routes:
 //
-//	POST /v1/jobs      — run a design job (flow.Request JSON body)
-//	GET  /v1/circuits  — list the named-circuit registry
-//	GET  /healthz      — liveness + cache statistics
+//	POST   /v1/jobs        — run a design job (flow.Request JSON body)
+//	POST   /v1/sweeps      — start a parameter sweep (sweep.Spec JSON
+//	                         body; async by default, ?stream=ndjson
+//	                         streams completed points)
+//	GET    /v1/sweeps      — list tracked sweeps
+//	GET    /v1/sweeps/{id} — poll progress / fetch the final report
+//	DELETE /v1/sweeps/{id} — cancel a running sweep
+//	GET    /v1/circuits    — list the named-circuit registry
+//	GET    /healthz        — liveness + cache statistics
 //
 // Example:
 //
 //	curl -s localhost:8065/v1/jobs -d '{"circuit":"fulladder","analyses":["area","delay"]}'
+//	curl -s localhost:8065/v1/sweeps -d '{"base":{"techs":["cnfet"],"analyses":["area"]},
+//	  "axes":{"circuits":["mux2","dec2"],"placements":["rows","shelves"]}}'
 //
 // SIGINT/SIGTERM drain in-flight jobs (bounded by -grace) before exit;
-// a dropped client connection cancels its job mid-flow.
+// a dropped client connection cancels its job mid-flow, and expiring the
+// grace cancels background sweeps too.
 package main
 
 import (
@@ -40,10 +50,13 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8065", "listen address")
+	addr := flag.String("addr", ":8065", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
 	cacheLimit := flag.Int("cache-entries", 4096, "memo-cache entry bound (0 = unbounded)")
+	sweepPoints := flag.Int("sweep-points", 1024, "per-sweep expansion cap")
+	sweepStore := flag.Int("sweep-store", 64, "how many sweeps the status store retains")
 	flag.Parse()
 
 	log.SetPrefix("cnfetd: ")
@@ -61,17 +74,33 @@ func main() {
 		time.Since(t0).Round(time.Millisecond),
 		len(kit.CNFET.Names()), len(kit.CMOS.Names()), len(flow.Circuits()))
 
-	// Jobs get their own lifetime, detached from the signal context, so
-	// a SIGTERM lets in-flight jobs finish within the grace period; only
-	// when the grace expires are they cancelled mid-flow.
+	// Jobs and background sweeps get their own lifetime, detached from
+	// the signal context, so a SIGTERM lets in-flight work finish within
+	// the grace period; only when the grace expires is it cancelled
+	// mid-flow.
 	jobCtx, cancelJobs := context.WithCancel(context.Background())
 	defer cancelJobs()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+
+	svc := service.NewServer(kit,
+		service.WithBaseContext(jobCtx),
+		service.WithSweepLimits(*sweepPoints, *sweepStore))
 	srv := &http.Server{
-		Addr:        *addr,
-		Handler:     service.NewServer(kit),
+		Handler:     svc,
 		BaseContext: func(net.Listener) context.Context { return jobCtx },
 		// Slow-client bounds; no WriteTimeout because legitimate jobs
-		// (liberty characterization) can run long before responding.
+		// (liberty characterization, streamed sweeps) can run long
+		// before or while responding.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -79,8 +108,8 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		done <- srv.ListenAndServe()
+		log.Printf("listening on %s", bound)
+		done <- srv.Serve(ln)
 	}()
 
 	select {
@@ -90,9 +119,15 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("grace expired, cancelling in-flight jobs: %v", err)
-			cancelJobs()
-			srv.Close()
 		}
+		// Background (async) sweeps outlive their HTTP requests and
+		// Shutdown does not wait for them — give them the rest of the
+		// same grace window before cutting them off.
+		if !svc.DrainSweeps(shutdownCtx) {
+			log.Printf("grace expired, cancelling background sweeps")
+		}
+		cancelJobs()
+		srv.Close()
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)

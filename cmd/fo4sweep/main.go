@@ -4,15 +4,22 @@
 // the optimal pitch. With -spice it cross-checks selected points against
 // the transistor-level transient simulator.
 //
+// The sweep itself rides on the batch engine's executor (sweep.Points):
+// the CNT axis fans out across the worker pool with deterministic
+// ordering, exactly like a circuit-level sweep.Spec — this axis just
+// lives below the cell library, at the device level.
+//
 // Usage:
 //
-//	fo4sweep              # analytic sweep + ASCII figure
-//	fo4sweep -csv out.csv # dump the series
-//	fo4sweep -spice       # add transient-simulation cross-check
+//	fo4sweep               # analytic sweep + ASCII figure
+//	fo4sweep -csv out.csv  # dump the series
+//	fo4sweep -json out.json# dump the series + summary statistics
+//	fo4sweep -spice -j 4   # transient cross-check on 4 workers
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,31 +27,68 @@ import (
 	"strconv"
 
 	"cnfetdk/internal/device"
-	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/report"
 	"cnfetdk/internal/spice"
+	"cnfetdk/internal/sweep"
 )
+
+// fo4Point is one row of the analytic sweep.
+type fo4Point struct {
+	N          int     `json:"n"`
+	PitchNM    float64 `json:"pitch_nm"`
+	DelayGain  float64 `json:"delay_gain"`
+	EnergyGain float64 `json:"energy_gain"`
+	EDPGain    float64 `json:"edp_gain"`
+}
 
 func main() {
 	maxN := flag.Int("max", 40, "maximum number of CNTs per device")
 	csvPath := flag.String("csv", "", "write the sweep as CSV")
+	jsonPath := flag.String("json", "", "write the sweep + summary statistics as JSON")
 	doSpice := flag.Bool("spice", false, "cross-check with transient simulation")
+	workers := flag.Int("j", 0, "sweep workers (0 = one per CPU)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := device.DefaultFO4()
+
+	// The analytic axis: N = 1..max, fanned out through the batch
+	// engine's executor (results assemble in N order at any -j).
+	ns := make([]int, *maxN)
+	for i := range ns {
+		ns[i] = i + 1
+	}
+	points, err := sweep.Points(ctx, *workers, nil, ns, func(_ int, n int) (fo4Point, error) {
+		return fo4Point{
+			N:          n,
+			PitchNM:    device.Pitch(n),
+			DelayGain:  p.DelayGain(n),
+			EnergyGain: p.EnergyGain(n),
+			EDPGain:    p.EDPGain(n),
+		}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	var series report.Series
 	series.Name = "Fig 7 — FO4 delay gain vs number of CNTs (CNFET over CMOS 65nm)"
 	var rows [][]string
-	for n := 1; n <= *maxN; n++ {
-		g := p.DelayGain(n)
-		series.X = append(series.X, float64(n))
-		series.Y = append(series.Y, g)
+	delayGains := make([]float64, 0, len(points))
+	edpGains := make([]float64, 0, len(points))
+	for _, pt := range points {
+		series.X = append(series.X, float64(pt.N))
+		series.Y = append(series.Y, pt.DelayGain)
+		delayGains = append(delayGains, pt.DelayGain)
+		edpGains = append(edpGains, pt.EDPGain)
 		rows = append(rows, []string{
-			strconv.Itoa(n),
-			fmt.Sprintf("%.3f", device.Pitch(n)),
-			fmt.Sprintf("%.3f", g),
-			fmt.Sprintf("%.3f", p.EnergyGain(n)),
-			fmt.Sprintf("%.3f", p.EDPGain(n)),
+			strconv.Itoa(pt.N),
+			fmt.Sprintf("%.3f", pt.PitchNM),
+			fmt.Sprintf("%.3f", pt.DelayGain),
+			fmt.Sprintf("%.3f", pt.EnergyGain),
+			fmt.Sprintf("%.3f", pt.EDPGain),
 		})
 	}
 	report.ASCIIPlot(os.Stdout, series, 72, 16)
@@ -65,38 +109,50 @@ func main() {
 		}
 	}
 	fmt.Printf("  pitch band 4.5-5.5nm: worst delay penalty %.2f%% (paper: 1%%)\n", 100*worst)
-	fmt.Printf("  max EDP gain over sweep: %s (paper: >10x)\n", report.Gain(maxEDP(p, *maxN)))
+	delayStats := sweep.Summarize(delayGains)
+	edpStats := sweep.Summarize(edpGains)
+	fmt.Printf("  delay gain over sweep: min %.2fx p50 %.2fx p90 %.2fx max %.2fx\n",
+		delayStats.Min, delayStats.P50, delayStats.P90, delayStats.Max)
+	fmt.Printf("  max EDP gain over sweep: %s (paper: >10x)\n", report.Gain(edpStats.Max))
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := report.CSV(f, []string{"n", "pitch_nm", "delay_gain", "energy_gain", "edp_gain"}, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"points":  points,
+			"summary": map[string]sweep.Stats{"delay_gain": delayStats, "edp_gain": edpStats},
+		}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 
 	if *doSpice {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
 		fmt.Println("\nTransient cross-check (5-stage FO4 chain, 3rd stage):")
 		// The CMOS reference chain is independent of N: simulate it once,
-		// then fan the CNFET points out across the worker pool.
+		// then fan the CNFET points out through the sweep executor.
 		cm, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
 			c.AddFET(name+".p", out, in, "vdd", device.CMOSFET(name+".p", device.PType, 1.4))
 			c.AddFET(name+".n", out, in, "0", device.CMOSFET(name+".n", device.NType, 1))
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		points := []int{1, 8, opt}
-		gains, err := pipeline.MapCtx(ctx, 0, points, func(_ int, n int) (float64, error) {
+		spicePoints := []int{1, 8, opt}
+		gains, err := sweep.Points(ctx, *workers, nil, spicePoints, func(_ int, n int) (float64, error) {
 			cn, err := measureFO4(func(name, in, out string, c *spice.Circuit) {
 				np := device.CNFET(name+".n", device.NType, n, device.GateWidthNM, p)
 				pp := device.CNFET(name+".p", device.PType, n, device.GateWidthNM, p)
@@ -109,23 +165,12 @@ func main() {
 			return cm / cn, nil
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fo4sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		for i, n := range points {
+		for i, n := range spicePoints {
 			fmt.Printf("  N=%-3d analytic %.2fx  spice %.2fx\n", n, p.DelayGain(n), gains[i])
 		}
 	}
-}
-
-func maxEDP(p device.FO4Params, maxN int) float64 {
-	best := 0.0
-	for n := 1; n <= maxN; n++ {
-		if g := p.EDPGain(n); g > best {
-			best = g
-		}
-	}
-	return best
 }
 
 func measureFO4(addInv func(name, in, out string, c *spice.Circuit)) (float64, error) {
@@ -150,4 +195,9 @@ func measureFO4(addInv func(name, in, out string, c *spice.Circuit)) (float64, e
 		return 0, err
 	}
 	return res.PropDelay("n2", "n3", device.Vdd)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fo4sweep:", err)
+	os.Exit(1)
 }

@@ -20,16 +20,45 @@
 // traces. cmd/cnfetd serves the same requests over HTTP (POST /v1/jobs,
 // GET /v1/circuits, GET /healthz) on one shared kit and memo cache.
 //
+// Batched exploration rides on the sweep engine (internal/sweep): a
+// declarative sweep.Spec crosses (or zips) axes — circuits, technology
+// sets, placement schemes, wire-cap models, Monte Carlo tube counts,
+// misalignment angles, seeds — into concrete requests executed through
+// one shared kit, so common prefix stages compute once, and aggregates
+// the outcomes (summary statistics, yield-vs-tubes curves, Pareto
+// fronts) into a deterministic sweep.Report:
+//
+//	rep, err := sweep.For(kit).RunSweep(ctx, sweep.Spec{
+//	    Base: flow.Request{Techs: []string{"cnfet"},
+//	        Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity}},
+//	    Axes: sweep.Axes{Circuits: []string{"mux2", "dec2"},
+//	        Placements: []string{"rows", "shelves"}, MCTubes: []int{16, 32, 48}},
+//	})
+//
+// The same batch runs from the command line (cmd/cnfetsweep):
+//
+//	cnfetsweep -circuits mux2,dec2 -placements rows,shelves \
+//	           -tubes 16,32,48 -techs cnfet -analyses area,immunity -csv points.csv
+//
+// and over HTTP (cmd/cnfetd): POST /v1/sweeps starts a batch
+// asynchronously (poll GET /v1/sweeps/{id} for progress and the final
+// report; ?stream=ndjson streams completed points instead), DELETE
+// cancels it.
+//
 // Orchestration runs on the staged pipeline engine (internal/pipeline):
 // library construction, characterization sweeps, Monte Carlo immunity
 // batches and the flow itself execute as worker-pool stages with
 // content-keyed memoization, deterministically — results are independent
-// of the worker count. See DESIGN.md ("Staged pipeline engine" and
-// "Design-service API") for the architecture, caching keys, cancellation
-// semantics and determinism rules.
+// of the worker count. See DESIGN.md ("Staged pipeline engine",
+// "Design-service API" and "Sweep engine") for the architecture, caching
+// keys, cancellation semantics and determinism rules.
 //
 // The benchmark harness in bench_test.go regenerates each experiment of
 // the paper plus sequential-vs-pipelined engine comparisons:
 //
 //	go test -bench=. -benchmem .
+//
+// CI gates performance with internal/benchreg: `make bench-check` reduces
+// a count=5 run to medians (BENCH_PR3.json) and fails on >30% ns/op
+// regression against the committed BENCH_BASELINE.json.
 package cnfetdk

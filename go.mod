@@ -1,3 +1,4 @@
 module cnfetdk
 
-go 1.24
+// 1.23 is the floor of the CI build matrix (1.23 + 1.24).
+go 1.23

@@ -1,0 +1,196 @@
+// Package benchreg parses `go test -bench` output, reduces repeated
+// counts to benchstat-style medians, and gates benchmark regressions
+// against a committed baseline — the engine behind the CI
+// benchmark-regression job and the `make bench-check` target.
+package benchreg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the median outcome of one benchmark across its repeated
+// counts.
+type Result struct {
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the serialized benchmark summary (BENCH_PR3.json /
+// BENCH_BASELINE.json).
+type File struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// run is one parsed benchmark line.
+type run struct {
+	nsPerOp     float64
+	bPerOp      float64
+	allocsPerOp float64
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output: one run per benchmark line,
+// repeated counts accumulating under one (GOMAXPROCS-stripped) name.
+func Parse(r io.Reader) (*File, map[string][]float64, error) {
+	f := &File{Benchmarks: map[string]Result{}}
+	runs := map[string][]run{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			f.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		var one run
+		fields := strings.Fields(m[3])
+		// Metric fields come in (value, unit) pairs after the iteration
+		// count: "123456 ns/op  24 B/op  3 allocs/op  1.5 custom-unit".
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchreg: bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				one.nsPerOp = v
+			case "B/op":
+				one.bPerOp = v
+			case "allocs/op":
+				one.allocsPerOp = v
+			}
+		}
+		if one.nsPerOp == 0 {
+			continue // a custom-metrics-only line never gates
+		}
+		if _, seen := runs[name]; !seen {
+			order = append(order, name)
+		}
+		runs[name] = append(runs[name], one)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	raw := map[string][]float64{}
+	for _, name := range order {
+		rs := runs[name]
+		ns := make([]float64, len(rs))
+		bs := make([]float64, len(rs))
+		as := make([]float64, len(rs))
+		for i, r := range rs {
+			ns[i], bs[i], as[i] = r.nsPerOp, r.bPerOp, r.allocsPerOp
+		}
+		raw[name] = append([]float64(nil), ns...)
+		f.Benchmarks[name] = Result{
+			Runs:        len(rs),
+			NsPerOp:     median(ns),
+			BPerOp:      median(bs),
+			AllocsPerOp: median(as),
+		}
+	}
+	return f, raw, nil
+}
+
+// median destructively computes the median of vs (0 for empty input).
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
+}
+
+// Delta is one baseline-vs-current comparison row.
+type Delta struct {
+	Name        string
+	BaseNsPerOp float64
+	CurNsPerOp  float64
+	Ratio       float64 // cur/base - 1 (positive = slower)
+	Regressed   bool
+	Missing     bool // in the gated baseline set but absent from the current run
+}
+
+// Compare gates the current summary against a baseline: benchmarks
+// whose names match filter (the gated set) fail when their median
+// ns/op regresses by more than maxRegress (0.30 = +30%) or when they
+// vanished from the current run. Ungated benchmarks still appear in the
+// returned rows (informational), sorted by name.
+func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64) (deltas []Delta, failed bool) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		gated := filter == nil || filter.MatchString(name)
+		cur, ok := current.Benchmarks[name]
+		d := Delta{Name: name, BaseNsPerOp: base.NsPerOp}
+		if !ok {
+			d.Missing = true
+			if gated {
+				d.Regressed = true
+				failed = true
+			}
+			deltas = append(deltas, d)
+			continue
+		}
+		d.CurNsPerOp = cur.NsPerOp
+		if base.NsPerOp > 0 {
+			d.Ratio = cur.NsPerOp/base.NsPerOp - 1
+		}
+		if gated && d.Ratio > maxRegress {
+			d.Regressed = true
+			failed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, failed
+}
+
+// Format renders comparison rows as an aligned table.
+func Format(w io.Writer, deltas []Delta) {
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "%-36s %14.0f ns/op -> MISSING  FAIL\n", d.Name, d.BaseNsPerOp)
+		default:
+			verdict := "ok"
+			if d.Regressed {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(w, "%-36s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %s\n",
+				d.Name, d.BaseNsPerOp, d.CurNsPerOp, 100*d.Ratio, verdict)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package benchreg
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cnfetdk
+cpu: AMD EPYC 7B13
+BenchmarkLibraryBuildPipelined-4   	    3021	    395000 ns/op	  120 B/op	   5 allocs/op
+BenchmarkLibraryBuildPipelined-4   	    3100	    385000 ns/op	  118 B/op	   5 allocs/op
+BenchmarkLibraryBuildPipelined-4   	    2950	    405000 ns/op	  122 B/op	   5 allocs/op
+BenchmarkFig7FO4Sweep-4            	  100000	     10500 ns/op	         4.200 peak-delay-gain	         5.000 optimal-pitch-nm
+BenchmarkFig7FO4Sweep-4            	  100000	     10200 ns/op	         4.200 peak-delay-gain	         5.000 optimal-pitch-nm
+BenchmarkFig7FO4Sweep-4            	  100000	     10900 ns/op	         4.200 peak-delay-gain	         5.000 optimal-pitch-nm
+PASS
+ok  	cnfetdk	12.3s
+`
+
+func TestParseMedians(t *testing.T) {
+	f, raw, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GoOS != "linux" || f.GoArch != "amd64" || f.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("meta = %+v", f)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	lib := f.Benchmarks["LibraryBuildPipelined"]
+	if lib.Runs != 3 || lib.NsPerOp != 395000 {
+		t.Fatalf("library median = %+v, want 3 runs at 395000 ns/op", lib)
+	}
+	if lib.BPerOp != 120 || lib.AllocsPerOp != 5 {
+		t.Fatalf("library mem medians = %+v", lib)
+	}
+	fig7 := f.Benchmarks["Fig7FO4Sweep"]
+	if fig7.NsPerOp != 10500 {
+		t.Fatalf("fig7 median = %+v (custom metrics must not confuse the parser)", fig7)
+	}
+	if len(raw["LibraryBuildPipelined"]) != 3 {
+		t.Fatalf("raw runs = %v", raw)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{
+		"LibraryBuildPipelined": {Runs: 5, NsPerOp: 1000},
+		"FlowCachedRerun":       {Runs: 5, NsPerOp: 100},
+		"Fig7FO4Sweep":          {Runs: 5, NsPerOp: 50},
+		"Removed":               {Runs: 5, NsPerOp: 10},
+	}}
+	cur := &File{Benchmarks: map[string]Result{
+		"LibraryBuildPipelined": {Runs: 5, NsPerOp: 1250}, // +25%: within the gate
+		"FlowCachedRerun":       {Runs: 5, NsPerOp: 140},  // +40%: regression
+		"Fig7FO4Sweep":          {Runs: 5, NsPerOp: 500},  // +900% but ungated
+	}}
+	filter := regexp.MustCompile(`Library|Flow|Removed`)
+	deltas, failed := Compare(base, cur, filter, 0.30)
+	if !failed {
+		t.Fatal("a +40% gated regression must fail")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["LibraryBuildPipelined"].Regressed {
+		t.Fatal("+25% must pass a 30% gate")
+	}
+	if !byName["FlowCachedRerun"].Regressed {
+		t.Fatal("+40% must fail a 30% gate")
+	}
+	if byName["Fig7FO4Sweep"].Regressed {
+		t.Fatal("ungated benchmarks must not fail the gate")
+	}
+	if d := byName["Removed"]; !d.Missing || !d.Regressed {
+		t.Fatalf("a vanished gated benchmark must fail: %+v", d)
+	}
+
+	var buf bytes.Buffer
+	Format(&buf, deltas)
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "MISSING") {
+		t.Fatalf("format output misses verdicts:\n%s", out)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"A": {NsPerOp: 100}}}
+	cur := &File{Benchmarks: map[string]Result{"A": {NsPerOp: 90}}}
+	deltas, failed := Compare(base, cur, nil, 0.30)
+	if failed || len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("improvement flagged as regression: %+v (failed=%v)", deltas, failed)
+	}
+}

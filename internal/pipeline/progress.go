@@ -1,0 +1,62 @@
+package pipeline
+
+import "sync/atomic"
+
+// Progress is a set of monotonic counters a long-running batch updates as
+// it executes, readable concurrently by pollers (the sweep daemon surface
+// reports them while a sweep is in flight). All methods are safe for
+// concurrent use and nil-safe, mirroring Trace: a nil *Progress records
+// nothing.
+type Progress struct {
+	total  atomic.Int64
+	done   atomic.Int64
+	failed atomic.Int64
+	cached atomic.Int64 // cached sub-stages observed so far
+	stages atomic.Int64 // total sub-stages observed so far
+}
+
+// ProgressSnapshot is one consistent-enough read of the counters (each
+// counter is individually atomic; the set is read without a global lock).
+type ProgressSnapshot struct {
+	Total        int64 `json:"total"`
+	Done         int64 `json:"done"`
+	Failed       int64 `json:"failed,omitempty"`
+	CachedStages int64 `json:"cached_stages,omitempty"`
+	TotalStages  int64 `json:"total_stages,omitempty"`
+}
+
+// SetTotal records how many items the batch will process.
+func (p *Progress) SetTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(n))
+}
+
+// ItemDone records one completed item (failed marks it as an error) plus
+// the cached/total sub-stage counts it observed.
+func (p *Progress) ItemDone(failed bool, cachedStages, totalStages int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	if failed {
+		p.failed.Add(1)
+	}
+	p.cached.Add(int64(cachedStages))
+	p.stages.Add(int64(totalStages))
+}
+
+// Snapshot reads the counters.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Total:        p.total.Load(),
+		Done:         p.done.Load(),
+		Failed:       p.failed.Load(),
+		CachedStages: p.cached.Load(),
+		TotalStages:  p.stages.Load(),
+	}
+}

@@ -5,9 +5,14 @@
 //
 // Routes:
 //
-//	POST /v1/jobs      — run a flow.Request, respond with a flow.Result
-//	GET  /v1/circuits  — list the named-circuit registry
-//	GET  /healthz      — liveness plus kit/cache statistics
+//	POST   /v1/jobs        — run a flow.Request, respond with a flow.Result
+//	POST   /v1/sweeps      — start a sweep.Spec batch (async by default;
+//	                         ?stream=ndjson streams completed points)
+//	GET    /v1/sweeps      — list tracked sweeps
+//	GET    /v1/sweeps/{id} — poll one sweep's progress / final report
+//	DELETE /v1/sweeps/{id} — cancel a running sweep
+//	GET    /v1/circuits    — list the named-circuit registry
+//	GET    /healthz        — liveness plus kit/cache statistics
 //
 // Errors are structured JSON ({"error": {"code", "message"}}) with the
 // typed flow sentinels mapped to 400s.
@@ -19,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,13 +38,57 @@ type Server struct {
 	started  time.Time
 	circuits []circuitInfo // static after construction
 	jobs     atomic.Int64  // jobs accepted since start
+
+	// Sweep execution limits and store (see sweeps.go).
+	baseCtx        context.Context // lifetime of detached (async) sweeps
+	maxSweepPoints int
+	maxStored      int
+	sweepMu        sync.Mutex
+	sweeps         map[string]*sweepJob
+	sweepOrder     []string // creation order, for bounded retention
+	sweepSeq       int
+}
+
+// ServerOption tunes server construction.
+type ServerOption func(*Server)
+
+// WithBaseContext sets the lifetime of asynchronous sweeps (the daemon
+// passes its drain context so expiring the shutdown grace cancels
+// background sweeps too). Defaults to context.Background().
+func WithBaseContext(ctx context.Context) ServerOption {
+	return func(s *Server) { s.baseCtx = ctx }
+}
+
+// WithSweepLimits bounds sweep admission: maxPoints caps one spec's
+// expansion, maxStored bounds how many sweeps the status store retains
+// (oldest finished evicted first). Zero keeps the defaults (1024, 64).
+func WithSweepLimits(maxPoints, maxStored int) ServerOption {
+	return func(s *Server) {
+		if maxPoints > 0 {
+			s.maxSweepPoints = maxPoints
+		}
+		if maxStored > 0 {
+			s.maxStored = maxStored
+		}
+	}
 }
 
 // NewServer wraps a kit (shared, read-only, singleflight-cached) into an
 // HTTP handler. The registry listing is computed once here — the
 // registry is static after program init.
-func NewServer(kit *flow.Kit) *Server {
-	s := &Server{kit: kit, mux: http.NewServeMux(), started: time.Now()}
+func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
+	s := &Server{
+		kit:            kit,
+		mux:            http.NewServeMux(),
+		started:        time.Now(),
+		baseCtx:        context.Background(),
+		maxSweepPoints: 1024,
+		maxStored:      64,
+		sweeps:         map[string]*sweepJob{},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	for _, c := range flow.Circuits() {
 		info := circuitInfo{Name: c.Name, Description: c.Description}
 		if nl, err := c.Build(); err == nil {
@@ -49,6 +99,10 @@ func NewServer(kit *flow.Kit) *Server {
 		s.circuits = append(s.circuits, info)
 	}
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -154,10 +208,13 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tracked, running := s.sweepCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"jobs_accepted":  s.jobs.Load(),
+		"sweeps_tracked": tracked,
+		"sweeps_running": running,
 		"cache_entries":  s.kit.CacheLen(),
 		"cnfet_cells":    len(s.kit.CNFET.Names()),
 		"cmos_cells":     len(s.kit.CMOS.Names()),

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/sweep"
+)
+
+// Sweep job states.
+const (
+	sweepRunning   = "running"
+	sweepDone      = "done"
+	sweepFailed    = "failed"
+	sweepCancelled = "cancelled"
+)
+
+// sweepJob tracks one batch through the store. Mutable fields are
+// guarded by the server's sweepMu; done closes when the run settles.
+type sweepJob struct {
+	id       string
+	spec     sweep.Spec
+	points   int
+	created  time.Time
+	progress *pipeline.Progress
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	// guarded by Server.sweepMu
+	state  string
+	report *sweep.Report
+	errMsg string
+}
+
+// sweepStatus is the polling view of one job. The full report rides
+// along once the sweep settles.
+type sweepStatus struct {
+	ID       string                    `json:"id"`
+	State    string                    `json:"state"`
+	Name     string                    `json:"name,omitempty"`
+	Points   int                       `json:"points"`
+	Created  time.Time                 `json:"created"`
+	Progress pipeline.ProgressSnapshot `json:"progress"`
+	Error    string                    `json:"error,omitempty"`
+	Report   *sweep.Report             `json:"report,omitempty"`
+}
+
+// status renders a job under sweepMu.
+func (s *Server) status(j *sweepJob, withReport bool) sweepStatus {
+	st := sweepStatus{
+		ID:       j.id,
+		State:    j.state,
+		Name:     j.spec.Name,
+		Points:   j.points,
+		Created:  j.created,
+		Progress: j.progress.Snapshot(),
+		Error:    j.errMsg,
+	}
+	if withReport {
+		st.Report = j.report
+	}
+	return st
+}
+
+// DrainSweeps blocks until every running background sweep settles or ctx
+// expires, reporting whether the store drained. The daemon calls it
+// between HTTP Shutdown and cancelling the job context, so detached
+// sweeps get the same grace window as in-flight requests.
+func (s *Server) DrainSweeps(ctx context.Context) bool {
+	for {
+		var done chan struct{}
+		s.sweepMu.Lock()
+		for _, j := range s.sweeps {
+			if j.state == sweepRunning {
+				done = j.done
+				break
+			}
+		}
+		s.sweepMu.Unlock()
+		if done == nil {
+			return true
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// sweepCounts reports (tracked, running) for healthz.
+func (s *Server) sweepCounts() (int, int) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	running := 0
+	for _, j := range s.sweeps {
+		if j.state == sweepRunning {
+			running++
+		}
+	}
+	return len(s.sweeps), running
+}
+
+// admitSweep decodes and validates a spec, applying the server's point
+// cap. It returns the expansion size.
+func (s *Server) admitSweep(w http.ResponseWriter, r *http.Request) (sweep.Spec, int, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec sweep.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding spec: %v", err))
+		return spec, 0, false
+	}
+	if spec.MaxPoints <= 0 || spec.MaxPoints > s.maxSweepPoints {
+		spec.MaxPoints = s.maxSweepPoints
+	}
+	n, err := spec.NumPoints()
+	if err == nil && n > spec.MaxPoints {
+		writeError(w, http.StatusBadRequest, "too_many_points",
+			fmt.Sprintf("spec expands to %d points, over this server's %d-point cap", n, spec.MaxPoints))
+		return spec, 0, false
+	}
+	if err == nil {
+		err = spec.Validate()
+	}
+	if err != nil {
+		status, code := errorStatus(err)
+		if status == http.StatusInternalServerError {
+			status, code = http.StatusBadRequest, "bad_spec"
+		}
+		writeError(w, status, code, err.Error())
+		return spec, 0, false
+	}
+	return spec, n, true
+}
+
+// handleSweepCreate starts a batch. Default mode is asynchronous: the
+// job runs detached under the server's base context and the client polls
+// GET /v1/sweeps/{id}. With ?stream=ndjson the sweep runs under the
+// request's own context and completed points stream back as NDJSON lines
+// ({"point": ...} per completion, then one {"done": true, "report": ...}).
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	spec, n, ok := s.admitSweep(w, r)
+	if !ok {
+		return
+	}
+	s.jobs.Add(1)
+	if stream := r.URL.Query().Get("stream"); stream == "ndjson" || stream == "1" || stream == "true" {
+		s.streamSweep(w, r, spec)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &sweepJob{
+		spec:     spec,
+		points:   n,
+		created:  time.Now(),
+		progress: &pipeline.Progress{},
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    sweepRunning,
+	}
+	s.sweepMu.Lock()
+	s.sweepSeq++
+	j.id = fmt.Sprintf("sw-%d", s.sweepSeq)
+	s.sweeps[j.id] = j
+	s.sweepOrder = append(s.sweepOrder, j.id)
+	s.evictSweepsLocked()
+	s.sweepMu.Unlock()
+
+	go func() {
+		defer cancel()
+		rep, err := sweep.Run(ctx, s.kit, spec, sweep.WithProgress(j.progress))
+		s.sweepMu.Lock()
+		switch {
+		case err == nil:
+			j.state, j.report = sweepDone, rep
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			j.state, j.errMsg = sweepCancelled, err.Error()
+		default:
+			j.state, j.errMsg = sweepFailed, err.Error()
+		}
+		s.sweepMu.Unlock()
+		close(j.done)
+	}()
+
+	w.Header().Set("Location", "/v1/sweeps/"+j.id)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     j.id,
+		"state":  sweepRunning,
+		"points": n,
+		"url":    "/v1/sweeps/" + j.id,
+	})
+}
+
+// streamLine is one NDJSON line of a streamed sweep.
+type streamLine struct {
+	Point  *sweep.PointResult `json:"point,omitempty"`
+	Done   bool               `json:"done,omitempty"`
+	Error  string             `json:"error,omitempty"`
+	Report *sweep.Report      `json:"report,omitempty"`
+}
+
+// streamSweep runs the sweep synchronously under the request context
+// (client disconnect cancels it) and streams completions as NDJSON.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.Spec) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	rep, err := sweep.Run(r.Context(), s.kit, spec, sweep.OnPoint(func(pr sweep.PointResult) {
+		// OnPoint calls are serialized by the engine, so the encoder
+		// never sees concurrent writes.
+		enc.Encode(streamLine{Point: &pr})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}))
+	last := streamLine{Done: true, Report: rep}
+	if err != nil {
+		last.Error = err.Error()
+	}
+	enc.Encode(last)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// evictSweepsLocked enforces the retention bound: oldest finished sweeps
+// leave first; running sweeps are never evicted.
+func (s *Server) evictSweepsLocked() {
+	for len(s.sweeps) > s.maxStored {
+		evicted := false
+		for i, id := range s.sweepOrder {
+			j, ok := s.sweeps[id]
+			if !ok {
+				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				evicted = true
+				break
+			}
+			if j.state != sweepRunning {
+				delete(s.sweeps, id)
+				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // every tracked sweep is still running
+		}
+	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	out := make([]sweepStatus, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		if j, ok := s.sweeps[id]; ok {
+			out = append(out, s.status(j, false))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sweepMu.Lock()
+	j, ok := s.sweeps[id]
+	if !ok {
+		s.sweepMu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown_sweep", fmt.Sprintf("no sweep %q", id))
+		return
+	}
+	st := s.status(j, true)
+	s.sweepMu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sweepMu.Lock()
+	j, ok := s.sweeps[id]
+	s.sweepMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_sweep", fmt.Sprintf("no sweep %q", id))
+		return
+	}
+	j.cancel()
+	// Wait for the runner to settle so the response reflects the final
+	// state (in-flight points run to completion; that is bounded work).
+	<-j.done
+	s.sweepMu.Lock()
+	st := s.status(j, false)
+	s.sweepMu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/pipeline"
+)
+
+// Options tunes one sweep run.
+type Options struct {
+	// OnPoint, when set, receives every point result as it completes
+	// (completion order, not index order — the daemon streams these as
+	// NDJSON). Calls are serialized; the callback needs no locking.
+	OnPoint func(PointResult)
+	// Progress, when set, is updated as points complete so a concurrent
+	// poller (the daemon's GET /v1/sweeps/{id}) can report liveness.
+	Progress *pipeline.Progress
+}
+
+// Option is a functional sweep-run option.
+type Option func(*Options)
+
+// OnPoint streams completed points to fn (serialized calls, completion
+// order).
+func OnPoint(fn func(PointResult)) Option { return func(o *Options) { o.OnPoint = fn } }
+
+// WithProgress attaches live progress counters to the run.
+func WithProgress(p *pipeline.Progress) Option { return func(o *Options) { o.Progress = p } }
+
+// Kit wraps a flow.Kit with the batch surface, mirroring the single-job
+// flow API: sweep.For(kit).RunSweep(ctx, spec) is the batch analogue of
+// kit.Run(ctx, request). (The method lives here rather than on flow.Kit
+// itself because flow cannot import sweep without a cycle.)
+type Kit struct {
+	Flow *flow.Kit
+}
+
+// For wraps a flow kit for sweeping.
+func For(k *flow.Kit) Kit { return Kit{Flow: k} }
+
+// RunSweep expands the spec and executes it on the wrapped kit.
+func (k Kit) RunSweep(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
+	return Run(ctx, k.Flow, spec, opts...)
+}
+
+// Run expands spec into concrete requests and executes them through kit
+// with bounded point-level fan-out (spec.Workers; each point's stage
+// graph additionally fans out on the kit's own pool). All points share
+// the kit's singleflight memo cache, so points with a common prefix
+// (same circuit and placement, different Monte Carlo parameters, say)
+// compute the shared stages once; the report's Trace counts the stage
+// cache hits this sharing produced.
+//
+// A point that fails with a request-shaped error is recorded in its
+// PointResult and the sweep continues; ctx cancellation aborts the whole
+// sweep with the context error. In-flight points run to completion and
+// their stage results stay cached, so rerunning the same spec resumes
+// from the cached points rather than restarting.
+func Run(ctx context.Context, kit *flow.Kit, spec Spec, opts ...Option) (*Report, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex // serializes OnPoint
+	t0 := time.Now()
+	entriesBefore := kit.CacheLen()
+	o.Progress.SetTotal(len(points))
+	results, err := pipeline.MapCtx(ctx, spec.Workers, points, func(i int, pt Point) (PointResult, error) {
+		p0 := time.Now()
+		pr := PointResult{Index: pt.Index, ID: pt.ID, Params: pt.Params}
+		res, rerr := kit.Run(ctx, pt.Request)
+		switch {
+		case rerr == nil:
+			for _, st := range res.Stages {
+				pr.TotalStages++
+				if st.Cached {
+					pr.CachedStages++
+				}
+			}
+			// Per-stage wall times and cache flags are execution trace,
+			// not sweep outcome; the counts above keep the sharing
+			// evidence without breaking report determinism.
+			res.Stages = nil
+			pr.Result = res
+		case errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded):
+			// Abort the sweep: completed points stay cached for a rerun.
+			return pr, rerr
+		default:
+			pr.Error = rerr.Error()
+		}
+		pr.Millis = float64(time.Since(p0).Microseconds()) / 1000
+		o.Progress.ItemDone(pr.Error != "", pr.CachedStages, pr.TotalStages)
+		if o.OnPoint != nil {
+			mu.Lock()
+			o.OnPoint(pr)
+			mu.Unlock()
+		}
+		return pr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := buildReport(spec, results)
+	trace := &RunTrace{
+		WallMillis:         float64(time.Since(t0).Microseconds()) / 1000,
+		Workers:            spec.Workers,
+		CacheEntriesBefore: entriesBefore,
+		CacheEntriesAfter:  kit.CacheLen(),
+	}
+	for _, pr := range results {
+		trace.CacheHitStages += pr.CachedStages
+		trace.TotalStages += pr.TotalStages
+	}
+	rep.Trace = trace
+	return rep, nil
+}
+
+// Points is the engine core under Run, exported for sweeps whose points
+// are not flow.Requests (the fo4sweep CLI drives its device-level CNT
+// axis through it): a bounded deterministic fan-out — results assemble
+// in input-index order at any worker count — with cooperative
+// cancellation and live progress counting. A point that counts its own
+// cached stages should update prog itself; here each completion is
+// recorded as one opaque item.
+func Points[P, R any](ctx context.Context, workers int, prog *pipeline.Progress, pts []P, fn func(int, P) (R, error)) ([]R, error) {
+	prog.SetTotal(len(pts))
+	return pipeline.MapCtx(ctx, workers, pts, func(i int, p P) (R, error) {
+		r, err := fn(i, p)
+		prog.ItemDone(err != nil, 0, 0)
+		return r, err
+	})
+}

@@ -1,0 +1,353 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/pipeline"
+)
+
+var (
+	kitOnce sync.Once
+	kitVal  *flow.Kit
+	kitErr  error
+)
+
+func testKit(t testing.TB) *flow.Kit {
+	t.Helper()
+	kitOnce.Do(func() { kitVal, kitErr = flow.New(context.Background()) })
+	if kitErr != nil {
+		t.Fatal(kitErr)
+	}
+	return kitVal
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	spec := Spec{
+		Base: flow.Request{Analyses: []flow.Analysis{flow.AnalysisArea}},
+		Axes: Axes{
+			Circuits:   []string{"mux2", "dec2"},
+			TechSets:   []string{"cnfet", "cnfet,cmos"},
+			Placements: []string{"rows", "shelves"},
+		},
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("expanded %d points, want 8", len(pts))
+	}
+	// Canonical order: circuit varies slowest, placement fastest.
+	want0 := "circuit=mux2 techs=cnfet placement=rows"
+	if pts[0].ID != want0 {
+		t.Errorf("point 0 id = %q, want %q", pts[0].ID, want0)
+	}
+	if pts[1].ID != "circuit=mux2 techs=cnfet placement=shelves" {
+		t.Errorf("point 1 id = %q", pts[1].ID)
+	}
+	last := pts[7]
+	if last.Request.Circuit != "dec2" || last.Request.Placement != "shelves" || len(last.Request.Techs) != 2 {
+		t.Errorf("last point request = %+v", last.Request)
+	}
+	if last.Params["circuit"] != "dec2" || last.Params["techs"] != "cnfet,cmos" {
+		t.Errorf("last point params = %v", last.Params)
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d carries index %d", i, p.Index)
+		}
+	}
+}
+
+func TestExpandZip(t *testing.T) {
+	spec := Spec{
+		Base: flow.Request{Circuit: "mux2", Techs: []string{"cnfet"}},
+		Axes: Axes{
+			MCTubes: []int{16, 32, 64},
+			Seeds:   []int64{1, 2, 3},
+		},
+		Zip: true,
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("zipped to %d points, want 3", len(pts))
+	}
+	if pts[1].Request.MCTubes != 32 || pts[1].Request.Seed != 2 {
+		t.Errorf("zip pairing broken: %+v", pts[1].Request)
+	}
+
+	spec.Axes.Seeds = []int64{1, 2}
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("mismatched zip lengths must fail")
+	}
+}
+
+func TestExpandValidatesAndCaps(t *testing.T) {
+	bad := Spec{Base: flow.Request{}, Axes: Axes{Circuits: []string{"nonesuch"}}}
+	if _, err := bad.Expand(); !errors.Is(err, flow.ErrUnknownCircuit) {
+		t.Fatalf("unknown circuit error = %v, want ErrUnknownCircuit", err)
+	}
+	huge := Spec{
+		Base:      flow.Request{Circuit: "mux2"},
+		Axes:      Axes{Seeds: []int64{1, 2, 3, 4}},
+		MaxPoints: 3,
+	}
+	if _, err := huge.Expand(); err == nil {
+		t.Fatal("over-cap expansion must fail")
+	}
+	empty := Spec{Base: flow.Request{Circuit: "mux2"}}
+	pts, err := empty.Expand()
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("axis-free spec = %d points (%v), want exactly the base request", len(pts), err)
+	}
+}
+
+// acceptanceSpec is the 3-axis sweep of the acceptance criteria: 2
+// circuits x 3 tube counts x 2 placement schemes x 2 seeds = 24 points.
+func acceptanceSpec(workers int) Spec {
+	return Spec{
+		Name: "acceptance",
+		Base: flow.Request{
+			Techs:    []string{"cnfet"},
+			Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity},
+		},
+		Axes: Axes{
+			Circuits:   []string{"mux2", "dec2"},
+			MCTubes:    []int{16, 32, 48},
+			Placements: []string{"rows", "shelves"},
+			Seeds:      []int64{1, 2},
+		},
+		Workers: workers,
+	}
+}
+
+func TestRunSweepAggregates(t *testing.T) {
+	kit := testKit(t)
+	rep, err := For(kit).RunSweep(context.Background(), acceptanceSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 24 {
+		t.Fatalf("%d points, want 24", len(rep.Points))
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed points: %+v", rep.Failed, rep.Points)
+	}
+	for i, pr := range rep.Points {
+		if pr.Index != i {
+			t.Fatalf("point %d reported index %d (ordering broken)", i, pr.Index)
+		}
+		if pr.Result == nil || pr.Result.Techs["cnfet"] == nil {
+			t.Fatalf("point %s lost its result", pr.ID)
+		}
+		if pr.Result.Stages != nil {
+			t.Fatalf("point %s leaked volatile stage traces", pr.ID)
+		}
+		if pr.Result.Techs["cnfet"].Immunity == nil {
+			t.Fatalf("point %s lost its immunity analysis", pr.ID)
+		}
+	}
+	if len(rep.YieldVsTubes) != 3 {
+		t.Fatalf("yield curve has %d entries, want one per tube count: %+v", len(rep.YieldVsTubes), rep.YieldVsTubes)
+	}
+	for i, y := range rep.YieldVsTubes {
+		if y.Points != 8 {
+			t.Errorf("yield point %d covers %d points, want 8", i, y.Points)
+		}
+		if y.Yield != 1-y.MeanFailRate {
+			t.Errorf("yield point %d inconsistent: %+v", i, y)
+		}
+	}
+	if _, ok := rep.Summary["cnfet/area_lam2"]; !ok {
+		t.Fatalf("summary misses cnfet/area_lam2: %v", rep.Summary)
+	}
+	if s := rep.Summary["cnfet/area_lam2"]; s.Count != 24 || s.Min <= 0 || s.Min > s.P50 || s.P50 > s.P90 || s.P90 > s.Max {
+		t.Fatalf("area summary malformed: %+v", s)
+	}
+	// The shared kit cache must deduplicate common prefix stages: each
+	// circuit's netlist builds once (not 12x) and each (circuit,
+	// placement) places once (not 6x), so well over half the stage
+	// executions are cache hits — the speedup over issuing the same
+	// points as independent cold runs.
+	tr := rep.Trace
+	if tr == nil || tr.TotalStages == 0 {
+		t.Fatal("missing run trace")
+	}
+	if tr.CacheHitStages*2 < tr.TotalStages {
+		t.Fatalf("cache sharing too weak: %d/%d stages cached", tr.CacheHitStages, tr.TotalStages)
+	}
+
+	// A rerun of the same spec resumes entirely from cache.
+	rep2, err := Run(context.Background(), kit, acceptanceSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep2.Points {
+		if pr.CachedStages != pr.TotalStages || pr.TotalStages == 0 {
+			t.Fatalf("rerun point %s not fully cached: %d/%d", pr.ID, pr.CachedStages, pr.TotalStages)
+		}
+	}
+}
+
+// TestRunSweepDeterministic is the -race determinism contract: the same
+// spec at Workers:1 and Workers:8 yields byte-identical canonical JSON.
+func TestRunSweepDeterministic(t *testing.T) {
+	kit := testKit(t)
+	rep1, err := Run(context.Background(), kit, acceptanceSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := Run(context.Background(), kit, acceptanceSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := rep1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := rep8.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two specs differ only in Workers, which Canonical strips as
+	// execution configuration — the bytes must match with no patching.
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("reports diverge across worker counts:\n%s\nvs\n%s", j1, j8)
+	}
+}
+
+func TestRunSweepRecordsPointErrors(t *testing.T) {
+	kit := testKit(t)
+	// The immunity analysis demands the cnfet technology: the cmos-only
+	// point fails while its sibling completes.
+	spec := Spec{
+		Base: flow.Request{
+			Circuit:  "mux2",
+			Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity},
+		},
+		Axes: Axes{TechSets: []string{"cnfet", "cmos"}},
+	}
+	rep, err := Run(context.Background(), kit, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1: %+v", rep.Failed, rep.Points)
+	}
+	if rep.Points[0].Error != "" || rep.Points[1].Error == "" {
+		t.Fatalf("wrong point failed: %+v", rep.Points)
+	}
+}
+
+func TestRunSweepCancellationResumes(t *testing.T) {
+	kit := testKit(t)
+	spec := Spec{
+		Base: flow.Request{Techs: []string{"cnfet"}, Analyses: []flow.Analysis{flow.AnalysisArea}},
+		Axes: Axes{
+			Circuits: []string{"parity4", "aoichain4"},
+			MCAngles: []float64{5, 10, 15}, // no-op for area, but fans the axis out
+		},
+		Workers: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed int
+	_, err := Run(ctx, kit, spec, OnPoint(func(pr PointResult) {
+		completed++
+		cancel() // first completion cancels the sweep
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+	if completed == 0 {
+		t.Fatal("cancellation fired before any point completed")
+	}
+
+	// The kit cache holds only complete successful stages, so the rerun
+	// resumes: the previously completed points are fully cached.
+	rep, err := Run(context.Background(), kit, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || len(rep.Points) != 6 {
+		t.Fatalf("rerun failed=%d points=%d", rep.Failed, len(rep.Points))
+	}
+	if rep.Trace.CacheHitStages == 0 {
+		t.Fatal("rerun saw no cached stages — cancelled run's completed work was lost")
+	}
+}
+
+func TestRunSweepProgressAndStreaming(t *testing.T) {
+	kit := testKit(t)
+	var prog pipeline.Progress
+	var streamed []PointResult
+	spec := Spec{
+		Base: flow.Request{Techs: []string{"cnfet"}, Analyses: []flow.Analysis{flow.AnalysisArea}},
+		Axes: Axes{Circuits: []string{"mux2", "mux4", "dec2"}},
+	}
+	rep, err := Run(context.Background(), kit, spec, WithProgress(&prog),
+		OnPoint(func(pr PointResult) { streamed = append(streamed, pr) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := prog.Snapshot()
+	if snap.Total != 3 || snap.Done != 3 || snap.Failed != 0 {
+		t.Fatalf("progress = %+v", snap)
+	}
+	if snap.TotalStages == 0 {
+		t.Fatal("progress lost stage counters")
+	}
+	if len(streamed) != len(rep.Points) {
+		t.Fatalf("streamed %d points, report has %d", len(streamed), len(rep.Points))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("p50 = %v, want 2.5", s.P50)
+	}
+	if math.Abs(s.P90-3.7) > 1e-9 {
+		t.Errorf("p90 = %v, want 3.7", s.P90)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Min != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	mk := func(idx int, area, delay, fail float64) PointResult {
+		tr := &flow.TechResult{Tech: "cnfet", AreaLam2: area, DelayS: delay}
+		if fail > 0 {
+			tr.Immunity = &flow.ImmunityResult{MCTubes: 100, MCFailRate: fail}
+		}
+		return PointResult{
+			Index:  idx,
+			Result: &flow.Result{Techs: map[string]*flow.TechResult{"cnfet": tr}},
+		}
+	}
+	points := []PointResult{
+		mk(0, 100, 5, 0),   // on the front (best delay)
+		mk(1, 80, 7, 0),    // on the front (best area)
+		mk(2, 120, 6, 0),   // dominated by 0
+		mk(3, 100, 5, 0.1), // dominated by 0 (same area/delay, worse fail rate)
+	}
+	front := paretoFront(points)
+	if len(front) != 2 {
+		t.Fatalf("front = %+v, want points 1 and 0", front)
+	}
+	if front[0].Index != 1 || front[1].Index != 0 {
+		t.Fatalf("front order = %+v, want area-ascending [1, 0]", front)
+	}
+}
