@@ -9,14 +9,17 @@ SHELL         := /bin/bash
 GO            ?= go
 BENCH_COUNT   ?= 5
 BENCH_TXT     ?= bench.txt
-BENCH_OUT     ?= BENCH_PR3.json
+BENCH_OUT     ?= BENCH_CURRENT.json
 BENCH_BASELINE?= BENCH_BASELINE.json
 MAX_REGRESS   ?= 0.30
+# Default persistent artifact-store directory of the CLIs' -store flag
+# convention (gitignored; wiped by clean-store).
+STORE_DIR     ?= .cnfet-store
 # Total-coverage gate; CI fails below this (see ci.yml coverage job).
 # Measured 75.6% when recorded — keep it at least here.
 COVER_MIN     ?= 75.0
 
-.PHONY: all build test race vet fmt cover bench bench-check bench-baseline ci
+.PHONY: all build test race vet fmt cover bench bench-check bench-baseline clean-store ci
 
 all: build test
 
@@ -44,7 +47,7 @@ cover:
 		if (t+0 < min+0) { printf "total coverage %.1f%% is below the %.1f%% gate\n", t, min; exit 1 } \
 		printf "total coverage %.1f%% (gate %.1f%%)\n", t, min }'
 
-# bench runs the suite and reduces it to medians (BENCH_PR3.json);
+# bench runs the suite and reduces it to medians (BENCH_CURRENT.json);
 # bench-check additionally gates against the committed baseline —
 # identical to the CI benchmark-regression job.
 bench:
@@ -61,5 +64,11 @@ bench-check:
 bench-baseline:
 	$(GO) test -bench . -benchmem -count=$(BENCH_COUNT) -run '^$$' | tee $(BENCH_TXT)
 	$(GO) run ./cmd/benchreg -in $(BENCH_TXT) -out $(BENCH_BASELINE)
+
+# clean-store wipes the local persistent artifact store (the default
+# -store directory of cnfetd/cnfetsweep/fasynth). Safe: everything in it
+# is a cache, recomputed on demand.
+clean-store:
+	rm -rf $(STORE_DIR)
 
 ci: fmt build vet test race cover bench-check

@@ -516,6 +516,68 @@ func BenchmarkSweepColdPoints(b *testing.B) {
 	}
 }
 
+// storeBenchRequest is the disk-store benchmark workload: the full-adder
+// flow with its expensive transistor-level stages, so the cold/warm gap
+// measures real recomputation saved, not just bookkeeping.
+func storeBenchRequest() flow.Request {
+	return flow.Request{
+		Circuit:  "fulladder",
+		Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisDelay, flow.AnalysisEnergy},
+	}
+}
+
+// BenchmarkStoreDiskCold measures the worst case of the persistent
+// artifact store: a fresh kit over an empty store directory computes
+// every stage and writes each result through to disk. The delta against
+// BenchmarkCase2FullAdder-style warm in-memory reruns is the
+// write-through overhead; the delta against BenchmarkStoreDiskWarm is
+// the cross-process warm-start win.
+func BenchmarkStoreDiskCold(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		k, err := flow.New(ctx, flow.WithStore(b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(ctx, storeBenchRequest()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreDiskWarm measures the cross-process warm start: every
+// iteration builds a fresh kit (fresh memory tier — a new process,
+// morally) over a store directory populated once, so every stage is
+// decoded from the disk tier instead of recomputed.
+func BenchmarkStoreDiskWarm(b *testing.B) {
+	ctx := context.Background()
+	dir := b.TempDir()
+	seed, err := flow.New(ctx, flow.WithStore(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.Run(ctx, storeBenchRequest()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var diskHits int64
+	for i := 0; i < b.N; i++ {
+		k, err := flow.New(ctx, flow.WithStore(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(ctx, storeBenchRequest()); err != nil {
+			b.Fatal(err)
+		}
+		st := k.CacheStats()
+		if st.Disk == nil || st.Disk.Hits == 0 {
+			b.Fatal("warm run must serve from the disk tier")
+		}
+		diskHits = st.Disk.Hits
+	}
+	b.ReportMetric(float64(diskHits), "disk-hits")
+}
+
 // BenchmarkMonteCarloSequential checks 4000 tubes on the NAND3 compact
 // cell on a single worker — the reference for the sharded path below.
 func BenchmarkMonteCarloSequential(b *testing.B) {

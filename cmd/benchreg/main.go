@@ -4,14 +4,15 @@
 // identically locally:
 //
 //	go test -bench . -benchmem -count=5 -run '^$' | tee bench.txt
-//	benchreg -in bench.txt -out BENCH_PR3.json \
+//	benchreg -in bench.txt -out BENCH_CURRENT.json \
 //	         -baseline BENCH_BASELINE.json -max-regress 0.30
 //
 // Without -baseline it only writes the summary JSON. With -baseline it
 // compares the gated set (benchmarks matching -filter — the
 // pipeline/flow hot paths by default) and exits 1 when any median
-// ns/op regressed by more than -max-regress or a gated benchmark
-// disappeared.
+// ns/op or allocs/op regressed by more than -max-regress (allocs get a
+// small absolute slop so 2-alloc benchmarks cannot flake the gate) or a
+// gated benchmark disappeared.
 package main
 
 import (
@@ -27,14 +28,14 @@ import (
 
 // defaultFilter gates the staged-pipeline and flow hot paths: library
 // build fan-out, characterization, Monte Carlo sharding, the cached
-// flow rerun and the sweep engine.
-const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep`
+// flow rerun, the sweep engine and the disk-backed artifact store.
+const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk`
 
 func main() {
 	in := flag.String("in", "-", "benchmark output to read (\"-\" = stdin)")
 	out := flag.String("out", "", "write the reduced JSON summary here")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gating)")
-	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated ns/op regression (0.30 = +30%)")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated ns/op and allocs/op regression (0.30 = +30%)")
 	filter := flag.String("filter", defaultFilter, "regexp selecting the gated benchmarks")
 	flag.Parse()
 

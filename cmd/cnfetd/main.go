@@ -8,6 +8,8 @@
 //	cnfetd -addr 127.0.0.1:9000  # explicit listen address
 //	cnfetd -addr 127.0.0.1:0 -addr-file /tmp/cnfetd.addr  # free port, written to a file
 //	cnfetd -j 4                  # bound the worker pool
+//	cnfetd -store .cnfet-store   # persist stage results across restarts
+//	cnfetd -store .cnfet-store -store-budget 268435456  # cap it at 256MiB
 //
 // Routes:
 //
@@ -19,7 +21,15 @@
 //	GET    /v1/sweeps/{id} — poll progress / fetch the final report
 //	DELETE /v1/sweeps/{id} — cancel a running sweep
 //	GET    /v1/circuits    — list the named-circuit registry
+//	GET    /v1/cache       — artifact-store statistics (per-tier
+//	                         hits/misses/bytes/evictions)
+//	POST   /v1/cache/purge — drop every cached stage result
 //	GET    /healthz        — liveness + cache statistics
+//
+// With -store, stage results are written through to a content-addressed
+// on-disk artifact store and served back after a restart: a daemon
+// bounced mid-traffic warm-starts instead of recomputing its working
+// set, and several daemons (or the CLIs) may share one store directory.
 //
 // Example:
 //
@@ -54,7 +64,9 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
-	cacheLimit := flag.Int("cache-entries", 4096, "memo-cache entry bound (0 = unbounded)")
+	cacheLimit := flag.Int("cache-entries", 4096, "in-memory stage-cache entry bound, LRU (0 = unbounded)")
+	storeDir := flag.String("store", "", "persistent artifact-store directory (empty = in-memory only; results there survive restarts)")
+	storeBudget := flag.Int64("store-budget", 0, "artifact-store size budget in bytes, oldest entries evicted past it (0 = unbounded)")
 	sweepPoints := flag.Int("sweep-points", 1024, "per-sweep expansion cap")
 	sweepStore := flag.Int("sweep-store", 64, "how many sweeps the status store retains")
 	flag.Parse()
@@ -66,13 +78,22 @@ func main() {
 	defer stop()
 
 	t0 := time.Now()
-	kit, err := flow.New(ctx, flow.WithWorkers(*workers), flow.WithCacheLimit(*cacheLimit))
+	kitOpts := []flow.Option{flow.WithWorkers(*workers), flow.WithCacheLimit(*cacheLimit)}
+	if *storeDir != "" {
+		kitOpts = append(kitOpts, flow.WithStore(*storeDir), flow.WithStoreBudget(*storeBudget))
+	}
+	kit, err := flow.New(ctx, kitOpts...)
 	if err != nil {
 		log.Fatalf("building kit: %v", err)
 	}
 	log.Printf("kit ready in %s (%d CNFET + %d CMOS cells, %d registry circuits)",
 		time.Since(t0).Round(time.Millisecond),
 		len(kit.CNFET.Names()), len(kit.CMOS.Names()), len(flow.Circuits()))
+	if *storeDir != "" {
+		if st := kit.CacheStats(); st.Disk != nil {
+			log.Printf("artifact store %s: %d entries, %d bytes resident", *storeDir, st.Disk.Entries, st.Disk.Bytes)
+		}
+	}
 
 	// Jobs and background sweeps get their own lifetime, detached from
 	// the signal context, so a SIGTERM lets in-flight work finish within

@@ -11,6 +11,7 @@
 //	           -tubes 16,32,48 -seeds 1,2 -analyses area,immunity \
 //	           -techs cnfet -csv points.csv
 //	cnfetsweep -spec - < sweep.json        # spec from stdin
+//	cnfetsweep -spec sweep.json -store .cnfet-store  # resumable sweep
 //
 // Axis flags are comma-separated; -techs sweeps technology *sets*
 // separated by "/" ("cnfet/cnfet,cmos" is a two-element axis). -zip
@@ -18,6 +19,12 @@
 // through the shared singleflight cache, so points with common prefix
 // stages (same circuit + placement, different Monte Carlo parameters)
 // compute the shared work once; -trace prints the sharing evidence.
+//
+// With -store, every stage result is also written through to a
+// persistent artifact store: a killed sweep rerun in a new process
+// resumes from its completed points instead of restarting, and separate
+// sweeps (or a cnfetd daemon) sharing the directory reuse each other's
+// work.
 package main
 
 import (
@@ -50,6 +57,8 @@ func main() {
 	analyses := flag.String("analyses", "area", "comma-separated analyses for every point")
 	zip := flag.Bool("zip", false, "pair the axes element-wise instead of crossing them")
 	workers := flag.Int("j", 0, "concurrent points (0 = one per CPU); the kit pool is sized identically")
+	storeDir := flag.String("store", "", "persistent artifact-store directory; a rerun resumes from the stages completed there")
+	storeBudget := flag.Int64("store-budget", 0, "artifact-store size budget in bytes (0 = unbounded)")
 	maxPoints := flag.Int("max-points", 0, "expansion cap (0 = engine default)")
 	outPath := flag.String("o", "", "write the report JSON here (\"-\" for stdout)")
 	csvPath := flag.String("csv", "", "write the per-point table as CSV")
@@ -77,7 +86,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cnfetsweep: %d points, building kit...\n", n)
 	}
 
-	kit, err := flow.New(ctx, flow.WithWorkers(*workers))
+	kitOpts := []flow.Option{flow.WithWorkers(*workers)}
+	if *storeDir != "" {
+		kitOpts = append(kitOpts, flow.WithStore(*storeDir), flow.WithStoreBudget(*storeBudget))
+	}
+	kit, err := flow.New(ctx, kitOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,6 +114,10 @@ func main() {
 
 	if !*quiet {
 		printSummary(os.Stderr, rep)
+		if st := kit.CacheStats(); st.Disk != nil {
+			fmt.Fprintf(os.Stderr, "cnfetsweep: store %s: %d disk hits, %d writes, %d entries (%d bytes)\n",
+				*storeDir, st.Disk.Hits, st.Disk.Puts, st.Disk.Entries, st.Disk.Bytes)
+		}
 	}
 	if *outPath != "" {
 		if err := writeReport(*outPath, rep, *canonical); err != nil {

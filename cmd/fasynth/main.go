@@ -12,6 +12,7 @@
 //	fasynth -netlist          # dump the circuit netlist
 //	fasynth -timing           # print per-stage pipeline timing
 //	fasynth -j 4              # bound the worker pool
+//	fasynth -store .cnfet-store  # reuse stage results across invocations
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	dumpNetlist := flag.Bool("netlist", false, "print the circuit netlist and exit")
 	timing := flag.Bool("timing", false, "print per-stage pipeline timing on exit")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
+	storeDir := flag.String("store", "", "persistent artifact-store directory; repeated invocations skip completed stages")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -53,7 +55,11 @@ func main() {
 	}
 
 	trace := &pipeline.Trace{}
-	kit, err := flow.New(ctx, flow.WithWorkers(*workers), flow.WithTrace(trace))
+	kitOpts := []flow.Option{flow.WithWorkers(*workers), flow.WithTrace(trace)}
+	if *storeDir != "" {
+		kitOpts = append(kitOpts, flow.WithStore(*storeDir))
+	}
+	kit, err := flow.New(ctx, kitOpts...)
 	if err != nil {
 		fail(err)
 	}

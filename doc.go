@@ -49,9 +49,21 @@
 // library construction, characterization sweeps, Monte Carlo immunity
 // batches and the flow itself execute as worker-pool stages with
 // content-keyed memoization, deterministically — results are independent
-// of the worker count. See DESIGN.md ("Staged pipeline engine",
-// "Design-service API" and "Sweep engine") for the architecture, caching
-// keys, cancellation semantics and determinism rules.
+// of the worker count.
+//
+// Stage results persist across processes through the artifact store
+// (internal/store): flow.WithStore(dir) — the -store flag on cnfetd,
+// cnfetsweep and fasynth — layers a content-addressed, disk-backed
+// store under the in-memory LRU stage cache, so a daemon restart, a
+// repeated CLI invocation or a killed-and-rerun sweep warm-starts from
+// the stages an earlier process computed (byte-identically; a full-adder
+// flow drops from ~420ms cold to ~1ms warm). -store-budget bounds the
+// store's size with oldest-first eviction, GET /v1/cache serves per-tier
+// hit/miss/bytes/eviction statistics, and POST /v1/cache/purge drops
+// every cached result. See DESIGN.md ("Staged pipeline engine",
+// "Design-service API", "Sweep engine" and "Artifact store") for the
+// architecture, caching keys, cancellation semantics and determinism
+// rules.
 //
 // The benchmark harness in bench_test.go regenerates each experiment of
 // the paper plus sequential-vs-pipelined engine comparisons:
@@ -59,6 +71,6 @@
 //	go test -bench=. -benchmem .
 //
 // CI gates performance with internal/benchreg: `make bench-check` reduces
-// a count=5 run to medians (BENCH_PR3.json) and fails on >30% ns/op
+// a count=5 run to medians (BENCH_CURRENT.json) and fails on >30% ns/op
 // regression against the committed BENCH_BASELINE.json.
 package cnfetdk

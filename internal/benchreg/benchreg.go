@@ -23,7 +23,7 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// File is the serialized benchmark summary (BENCH_PR3.json /
+// File is the serialized benchmark summary (BENCH_CURRENT.json /
 // BENCH_BASELINE.json).
 type File struct {
 	GoOS       string            `json:"goos,omitempty"`
@@ -130,21 +130,33 @@ func median(vs []float64) float64 {
 	return (vs[mid-1] + vs[mid]) / 2
 }
 
+// allocSlop is the absolute allocs/op headroom granted on top of the
+// relative gate: tiny benchmarks (2 allocs/op) must not fail CI because
+// one incidental allocation appeared, while the relative bound still
+// catches real regressions on allocation-heavy paths.
+const allocSlop = 2
+
 // Delta is one baseline-vs-current comparison row.
 type Delta struct {
-	Name        string
-	BaseNsPerOp float64
-	CurNsPerOp  float64
-	Ratio       float64 // cur/base - 1 (positive = slower)
-	Regressed   bool
-	Missing     bool // in the gated baseline set but absent from the current run
+	Name            string
+	BaseNsPerOp     float64
+	CurNsPerOp      float64
+	Ratio           float64 // cur/base - 1 (positive = slower)
+	BaseAllocs      float64
+	CurAllocs       float64
+	AllocRatio      float64 // cur/base - 1 (positive = more allocations)
+	NsRegressed     bool
+	AllocsRegressed bool
+	Regressed       bool
+	Missing         bool // in the gated baseline set but absent from the current run
 }
 
-// Compare gates the current summary against a baseline: benchmarks
-// whose names match filter (the gated set) fail when their median
-// ns/op regresses by more than maxRegress (0.30 = +30%) or when they
-// vanished from the current run. Ungated benchmarks still appear in the
-// returned rows (informational), sorted by name.
+// Compare gates the current summary against a baseline: benchmarks whose
+// names match filter (the gated set) fail when their median ns/op or
+// allocs/op regresses by more than maxRegress (0.30 = +30%; allocs get
+// allocSlop absolute headroom on top) or when they vanished from the
+// current run. Ungated benchmarks still appear in the returned rows
+// (informational), sorted by name.
 func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64) (deltas []Delta, failed bool) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
@@ -155,7 +167,7 @@ func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64)
 		base := baseline.Benchmarks[name]
 		gated := filter == nil || filter.MatchString(name)
 		cur, ok := current.Benchmarks[name]
-		d := Delta{Name: name, BaseNsPerOp: base.NsPerOp}
+		d := Delta{Name: name, BaseNsPerOp: base.NsPerOp, BaseAllocs: base.AllocsPerOp}
 		if !ok {
 			d.Missing = true
 			if gated {
@@ -166,10 +178,17 @@ func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64)
 			continue
 		}
 		d.CurNsPerOp = cur.NsPerOp
+		d.CurAllocs = cur.AllocsPerOp
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp/base.NsPerOp - 1
 		}
-		if gated && d.Ratio > maxRegress {
+		if base.AllocsPerOp > 0 {
+			d.AllocRatio = cur.AllocsPerOp/base.AllocsPerOp - 1
+		}
+		d.NsRegressed = d.Ratio > maxRegress
+		d.AllocsRegressed = base.AllocsPerOp > 0 &&
+			cur.AllocsPerOp > base.AllocsPerOp*(1+maxRegress)+allocSlop
+		if gated && (d.NsRegressed || d.AllocsRegressed) {
 			d.Regressed = true
 			failed = true
 		}
@@ -188,9 +207,18 @@ func Format(w io.Writer, deltas []Delta) {
 			verdict := "ok"
 			if d.Regressed {
 				verdict = "FAIL"
+				switch {
+				case d.NsRegressed && d.AllocsRegressed:
+					verdict += " (ns/op, allocs/op)"
+				case d.AllocsRegressed:
+					verdict += " (allocs/op)"
+				default:
+					verdict += " (ns/op)"
+				}
 			}
-			fmt.Fprintf(w, "%-36s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %s\n",
-				d.Name, d.BaseNsPerOp, d.CurNsPerOp, 100*d.Ratio, verdict)
+			fmt.Fprintf(w, "%-36s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %7.0f -> %7.0f allocs/op  %+7.1f%%  %s\n",
+				d.Name, d.BaseNsPerOp, d.CurNsPerOp, 100*d.Ratio,
+				d.BaseAllocs, d.CurAllocs, 100*d.AllocRatio, verdict)
 		}
 	}
 }

@@ -99,6 +99,47 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAllocs(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{
+		"StoreDiskWarm":   {Runs: 5, NsPerOp: 1000, AllocsPerOp: 100},
+		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 5},
+		"NoAllocBaseline": {Runs: 5, NsPerOp: 1000},
+	}}
+	cur := &File{Benchmarks: map[string]Result{
+		// ns/op steady, allocs/op +50%: an allocation regression alone
+		// must fail the gate.
+		"StoreDiskWarm": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 150},
+		// 5 -> 8 allocs is over +30% but within the absolute slop:
+		// tiny counts must not flake the gate.
+		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 8},
+		// No baseline allocs recorded: never alloc-gated.
+		"NoAllocBaseline": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 9000},
+	}}
+	deltas, failed := Compare(base, cur, nil, 0.30)
+	if !failed {
+		t.Fatal("a +50% alloc regression must fail")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["StoreDiskWarm"]; !d.AllocsRegressed || d.NsRegressed || !d.Regressed {
+		t.Fatalf("alloc regression verdict: %+v", d)
+	}
+	if d := byName["FlowCachedRerun"]; d.Regressed {
+		t.Fatalf("small absolute alloc growth must pass via slop: %+v", d)
+	}
+	if d := byName["NoAllocBaseline"]; d.Regressed {
+		t.Fatalf("benchmarks without baseline allocs must not alloc-gate: %+v", d)
+	}
+
+	var buf bytes.Buffer
+	Format(&buf, deltas)
+	if out := buf.String(); !strings.Contains(out, "allocs/op") || !strings.Contains(out, "FAIL (allocs/op)") {
+		t.Fatalf("format output misses the alloc verdict:\n%s", out)
+	}
+}
+
 func TestCompareNoRegression(t *testing.T) {
 	base := &File{Benchmarks: map[string]Result{"A": {NsPerOp: 100}}}
 	cur := &File{Benchmarks: map[string]Result{"A": {NsPerOp: 90}}}

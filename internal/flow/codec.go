@@ -1,0 +1,99 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/geom"
+	"cnfetdk/internal/layout"
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/place"
+	"cnfetdk/internal/synth"
+)
+
+// cacheSchema salts every stage cache key with the flow's computation
+// version. Bump it whenever a change alters what any stage computes
+// without altering its inputs (a solver fix, a model recalibration, a
+// placement heuristic change): persisted artifact-store entries keyed
+// under the old salt then read as misses instead of stale results.
+// Codec format changes are versioned separately, in each codec's @vN
+// name suffix; on-disk container changes in store.Namespace.
+const cacheSchema = "cnfetdk/flow@v1"
+
+// The registered codecs of the flow's serializable stage results. Every
+// stage Kit.Run schedules declares one of these (or a per-kit placement
+// codec below), which is what lets the artifact store's disk tier serve
+// a stage in a process that never computed it.
+var (
+	codecNetlist  = pipeline.RegisterCodec(pipeline.JSONCodec[*synth.Netlist]("flow/netlist@v1"))
+	codecWireCaps = pipeline.RegisterCodec(pipeline.JSONCodec[map[string]float64]("flow/wirecaps@v1"))
+	codecScalar   = pipeline.RegisterCodec(pipeline.JSONCodec[float64]("flow/scalar@v1"))
+	codecImmunity = pipeline.RegisterCodec(pipeline.JSONCodec[*ImmunityResult]("flow/immunity@v1"))
+	codecLiberty  = pipeline.RegisterCodec(pipeline.JSONCodec[string]("flow/liberty@v1"))
+	codecGDS      = pipeline.RegisterCodec(pipeline.RawCodec("flow/gds@v1"))
+)
+
+// placedCellJSON is the serialized form of one placed cell: everything
+// but the library cell pointer, which decode re-resolves by name.
+type placedCellJSON struct {
+	Inst synth.Instance `json:"inst"`
+	X    geom.Coord     `json:"x"`
+	Y    geom.Coord     `json:"y"`
+	W    geom.Coord     `json:"w"`
+	H    geom.Coord     `json:"h"`
+}
+
+// placementJSON is the serialized form of a placement.
+type placementJSON struct {
+	Name        string           `json:"name"`
+	Scheme      layout.Scheme    `json:"scheme"`
+	Cells       []placedCellJSON `json:"cells"`
+	Width       geom.Coord       `json:"width"`
+	Height      geom.Coord       `json:"height"`
+	NaturalArea float64          `json:"natural_area"`
+}
+
+// placementCodec serializes *place.Placement against a specific library:
+// cell pointers are stored as names and re-resolved on decode, which is
+// sound because library construction is deterministic and the stage key
+// already pins the technology and its design rules. A decode against a
+// library missing the named cell fails, which the store treats as a miss
+// and recomputes.
+func placementCodec(lib *cells.Library) pipeline.Codec {
+	return pipeline.NewCodec("flow/placement@v1",
+		func(v any) ([]byte, error) {
+			p, ok := v.(*place.Placement)
+			if !ok {
+				return nil, fmt.Errorf("flow: placement codec: encoding %T", v)
+			}
+			out := placementJSON{
+				Name: p.Name, Scheme: p.Scheme,
+				Width: p.Width, Height: p.Height, NaturalArea: p.NaturalArea,
+				Cells: make([]placedCellJSON, len(p.Cells)),
+			}
+			for i, pc := range p.Cells {
+				out.Cells[i] = placedCellJSON{Inst: pc.Inst, X: pc.X, Y: pc.Y, W: pc.W, H: pc.H}
+			}
+			return json.Marshal(out)
+		},
+		func(data []byte) (any, error) {
+			var in placementJSON
+			if err := json.Unmarshal(data, &in); err != nil {
+				return nil, err
+			}
+			p := &place.Placement{
+				Name: in.Name, Scheme: in.Scheme,
+				Width: in.Width, Height: in.Height, NaturalArea: in.NaturalArea,
+				Cells: make([]place.PlacedCell, len(in.Cells)),
+			}
+			for i, pc := range in.Cells {
+				c, err := lib.Get(pc.Inst.Cell)
+				if err != nil {
+					return nil, fmt.Errorf("flow: placement codec: %w", err)
+				}
+				p.Cells[i] = place.PlacedCell{Inst: pc.Inst, Cell: c, X: pc.X, Y: pc.Y, W: pc.W, H: pc.H}
+			}
+			return p, nil
+		})
+}

@@ -25,6 +25,7 @@ import (
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/rules"
 	"cnfetdk/internal/spice"
+	"cnfetdk/internal/store"
 	"cnfetdk/internal/synth"
 )
 
@@ -47,11 +48,15 @@ type Kit struct {
 	CNFET *cells.Library
 	CMOS  *cells.Library
 
-	libs    map[rules.Tech]*cells.Library
-	cache   *pipeline.Cache
-	trace   *pipeline.Trace
-	workers int
-	wireCap float64
+	libs map[rules.Tech]*cells.Library
+	// rulesKey digests each library's full design-rule struct once at
+	// construction; stage keys embed the digest instead of re-formatting
+	// the 12-field struct on every (possibly fully cached) Run.
+	rulesKey map[rules.Tech]string
+	cache    *pipeline.Cache
+	trace    *pipeline.Trace
+	workers  int
+	wireCap  float64
 }
 
 // Options tunes kit construction and flow execution; prefer the
@@ -67,10 +72,22 @@ type Options struct {
 	// WireCapPerNM overrides the default interconnect capacitance model
 	// (F per nm of HPWL); 0 selects the package default.
 	WireCapPerNM float64
-	// CacheEntries bounds the kit's memo cache (0 = unbounded); set it
-	// on long-running servers so client-varied requests cannot grow the
-	// cache without limit.
+	// CacheEntries bounds the kit's in-memory stage cache (0 =
+	// unbounded), evicted least-recently-used; set it on long-running
+	// servers so client-varied requests cannot grow the cache without
+	// limit.
 	CacheEntries int
+	// StoreDir, when non-empty, layers a persistent content-addressed
+	// artifact store under the memory cache at this directory: stage
+	// results survive the process, so a fresh kit (a daemon restart, a
+	// new CLI invocation, a resumed sweep) warm-starts from results an
+	// earlier one computed. The directory may be shared by concurrent
+	// processes.
+	StoreDir string
+	// StoreBudget bounds the disk store's total bytes; past it the
+	// oldest entries are evicted (0 = unbounded). Ignored without
+	// StoreDir.
+	StoreBudget int64
 }
 
 // Option is a functional kit-construction option.
@@ -87,9 +104,19 @@ func WithTrace(t *pipeline.Trace) Option { return func(o *Options) { o.Trace = t
 // (F per nm of estimated net length).
 func WithWireCap(fPerNM float64) Option { return func(o *Options) { o.WireCapPerNM = fPerNM } }
 
-// WithCacheLimit bounds the kit's memo cache to n completed entries,
-// evicted oldest-first (n <= 0 keeps it unbounded).
+// WithCacheLimit bounds the kit's in-memory stage cache to n completed
+// entries, evicted least-recently-used (n <= 0 keeps it unbounded).
 func WithCacheLimit(n int) Option { return func(o *Options) { o.CacheEntries = n } }
+
+// WithStore layers a persistent artifact store at dir under the kit's
+// memory cache: serializable stage results are written through to disk
+// and served back — byte-identically — to any later kit opened on the
+// same directory, including in other processes.
+func WithStore(dir string) Option { return func(o *Options) { o.StoreDir = dir } }
+
+// WithStoreBudget bounds the persistent store to maxBytes, evicting the
+// oldest entries past it (0 = unbounded; needs WithStore).
+func WithStoreBudget(maxBytes int64) Option { return func(o *Options) { o.StoreBudget = maxBytes } }
 
 // kitTechs is the technology table one constructor serves.
 var kitTechs = []rules.Tech{rules.CNFET, rules.CMOS}
@@ -105,12 +132,22 @@ func New(ctx context.Context, opts ...Option) (*Kit, error) {
 	if o.WireCapPerNM == 0 {
 		o.WireCapPerNM = WireCapPerNM
 	}
+	mem := pipeline.NewMemory(o.CacheEntries)
+	var st pipeline.Store = mem
+	if o.StoreDir != "" {
+		disk, err := store.Open(o.StoreDir, store.WithBudget(o.StoreBudget))
+		if err != nil {
+			return nil, fmt.Errorf("flow: artifact store: %w", err)
+		}
+		st = pipeline.NewTiered(mem, disk)
+	}
 	k := &Kit{
-		libs:    map[rules.Tech]*cells.Library{},
-		cache:   pipeline.NewCacheBound(o.CacheEntries),
-		trace:   o.Trace,
-		workers: o.Workers,
-		wireCap: o.WireCapPerNM,
+		libs:     map[rules.Tech]*cells.Library{},
+		rulesKey: map[rules.Tech]string{},
+		cache:    pipeline.NewCacheStore(st),
+		trace:    o.Trace,
+		workers:  o.Workers,
+		wireCap:  o.WireCapPerNM,
 	}
 	g := pipeline.NewGraph(nil, o.Workers).Trace(o.Trace)
 	for _, tech := range kitTechs {
@@ -128,7 +165,9 @@ func New(ctx context.Context, opts ...Option) (*Kit, error) {
 		return nil, err
 	}
 	for _, tech := range kitTechs {
-		k.libs[tech] = res["lib/"+strings.ToLower(tech.String())].Value.(*cells.Library)
+		lib := res["lib/"+strings.ToLower(tech.String())].Value.(*cells.Library)
+		k.libs[tech] = lib
+		k.rulesKey[tech] = pipeline.Key("rules", lib.Rules)
 	}
 	k.CNFET, k.CMOS = k.libs[rules.CNFET], k.libs[rules.CMOS]
 	return k, nil
@@ -170,6 +209,15 @@ func (k *Kit) Trace() *pipeline.Trace { return k.trace }
 
 // CacheLen reports how many stage results the kit's memo cache holds.
 func (k *Kit) CacheLen() int { return k.cache.Len() }
+
+// CacheStats snapshots the kit's artifact store: memory-tier counters
+// always, disk-tier counters when the kit was built WithStore.
+func (k *Kit) CacheStats() pipeline.StoreStats { return k.cache.Stats() }
+
+// PurgeCache drops every completed stage result from every store tier
+// (memory and, when configured, disk). In-flight computations finish and
+// re-populate normally.
+func (k *Kit) PurgeCache() error { return k.cache.Purge() }
 
 // BuildCircuit instantiates a netlist into a spice circuit, tying primary
 // inputs to the given node names (callers add sources) and loading each

@@ -183,8 +183,10 @@ func (r *Request) Validate() error {
 // — only what determines the netlist, so requests that differ in
 // placement, analyses or models still share the synthesized-netlist
 // cache entry (and every stage adds exactly the inputs it consumes).
+// cacheSchema salts every key, so bumping the flow's computation version
+// retires persisted artifact-store entries wholesale.
 func (r *Request) identity() []any {
-	base := []any{r.Circuit, r.Netlist, r.Name}
+	base := []any{cacheSchema, r.Circuit, r.Netlist, r.Name}
 	if len(r.Exprs) > 0 {
 		outs := make([]string, 0, len(r.Exprs))
 		for o := range r.Exprs {

@@ -69,8 +69,13 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 	needPlace := want[AnalysisArea] || want[AnalysisDelay] || want[AnalysisEnergy] || want[AnalysisGDS]
 
 	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
+	// add is AddFunc plus the stage's result codec — what makes the
+	// result persistable in the artifact store's disk tier.
+	add := func(name, key string, codec pipeline.Codec, deps []string, run func(map[string]any) (any, error)) {
+		g.Add(pipeline.Stage{Name: name, Key: key, Codec: codec, Deps: deps, Run: run})
+	}
 
-	g.AddFunc("netlist", req.stageKey("netlist"), nil, func(map[string]any) (any, error) {
+	add("netlist", req.stageKey("netlist"), codecNetlist, nil, func(map[string]any) (any, error) {
 		nl, err := build()
 		if err != nil {
 			return nil, err
@@ -91,6 +96,12 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 
+		// rk pins the library's full design-rule set (digested once at
+		// kit construction) into every per-tech stage key: with
+		// persistent stores, entries must survive only as long as every
+		// input that shaped them.
+		rk := k.rulesKey[tech]
+
 		// The resolved scheme is a per-tech stage input: CMOS always
 		// places as rows, so CNFET-only placement changes leave every
 		// CMOS cache entry valid.
@@ -100,15 +111,15 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		}
 		placeStage := "place/" + tn
 		if needPlace {
-			g.AddFunc(placeStage, req.stageKey("place", tn, lib.Rules.LambdaNM, scheme, rows), []string{"netlist"}, func(d map[string]any) (any, error) {
+			add(placeStage, req.stageKey("place", tn, rk, scheme, rows), placementCodec(lib), []string{"netlist"}, func(d map[string]any) (any, error) {
 				return placeScheme(lib, d["netlist"].(*synth.Netlist), scheme, rows)
 			})
 		}
 		if want[AnalysisDelay] {
-			g.AddFunc("wire/"+tn, req.stageKey("wire", tn, lib.Rules.LambdaNM, scheme, rows, wireCap), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("wire/"+tn, req.stageKey("wire", tn, rk, scheme, rows, wireCap), codecWireCaps, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
 				return WireCapsWith(d[placeStage].(*place.Placement), d["netlist"].(*synth.Netlist), lib.Rules.LambdaNM, wireCap), nil
 			})
-			g.AddFunc("delay/"+tn, req.stageKey(append([]any{"delay", tn, scheme, rows, wireCap}, stimKey...)...), []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
+			add("delay/"+tn, req.stageKey(append([]any{"delay", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
 				dly, err := k.runDelay(lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim)
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s delay: %w", tech, err)
@@ -117,7 +128,7 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			})
 		}
 		if want[AnalysisEnergy] {
-			g.AddFunc("energy/"+tn, req.stageKey(append([]any{"energy", tn, scheme, rows, wireCap}, stimKey...)...), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("energy/"+tn, req.stageKey(append([]any{"energy", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
 				e, err := k.runEnergy(lib, tech, d["netlist"].(*synth.Netlist), d[placeStage].(*place.Placement), stim, wireCap)
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s energy: %w", tech, err)
@@ -126,17 +137,17 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			})
 		}
 		if want[AnalysisImmunity] && tech == rules.CNFET {
-			g.AddFunc("immunity/"+tn, req.stageKey("immunity", tn, req.MCTubes, mcAngle, req.Seed), []string{"netlist"}, func(d map[string]any) (any, error) {
+			add("immunity/"+tn, req.stageKey("immunity", tn, rk, req.MCTubes, mcAngle, req.Seed), codecImmunity, []string{"netlist"}, func(d map[string]any) (any, error) {
 				return k.runImmunity(ctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed)
 			})
 		}
 		if want[AnalysisLiberty] {
-			g.AddFunc("liberty/"+tn, req.stageKey("liberty", tn), []string{"netlist"}, func(d map[string]any) (any, error) {
+			add("liberty/"+tn, req.stageKey("liberty", tn, rk), codecLiberty, []string{"netlist"}, func(d map[string]any) (any, error) {
 				return k.runLiberty(ctx, lib, d["netlist"].(*synth.Netlist))
 			})
 		}
 		if want[AnalysisGDS] {
-			g.AddFunc("gds/"+tn, req.stageKey("gds", tn, scheme, rows), []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("gds/"+tn, req.stageKey("gds", tn, rk, scheme, rows), codecGDS, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
 				nl := d["netlist"].(*synth.Netlist)
 				var buf bytes.Buffer
 				top := gdsTopName(nl.Name, tech, scheme)

@@ -16,7 +16,12 @@ type Stage struct {
 	Name string
 	Deps []string
 	Key  string // content key for memoization; "" disables caching
-	Run  func(deps map[string]any) (any, error)
+	// Codec, when set on a memoized stage, declares the result
+	// serializable: the graph consults the cache store's persistent tier
+	// before running the stage and writes the computed result through to
+	// it. Stages without a codec memoize in memory only.
+	Codec Codec
+	Run   func(deps map[string]any) (any, error)
 }
 
 // Result is the outcome of one stage of a graph run.
@@ -124,7 +129,7 @@ func (g *Graph) RunCtx(ctx context.Context) (map[string]Result, error) {
 				// Cancelled before the worker picked the stage up: fail
 				// it without running (or touching the cache).
 			} else if g.cache != nil && s.Key != "" {
-				value, cached, err = g.cache.DoCtx(ctx, s.Key, func() (any, error) { return s.Run(deps) })
+				value, cached, err = g.cache.DoCodecCtx(ctx, s.Key, s.Codec, func() (any, error) { return s.Run(deps) })
 			} else {
 				value, err = s.Run(deps)
 			}

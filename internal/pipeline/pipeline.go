@@ -153,7 +153,7 @@ func Key(parts ...any) string {
 	return hex.EncodeToString(h.Sum(nil))[:24]
 }
 
-// cacheEntry is one memoized computation; done guards value/err.
+// cacheEntry is one in-flight computation; done guards value/err.
 type cacheEntry struct {
 	done  chan struct{}
 	value any
@@ -163,61 +163,36 @@ type cacheEntry struct {
 // Cache is a content-keyed memo cache with singleflight semantics:
 // concurrent Do calls for one key run the function once and share the
 // result. Errors are not cached, so a failed stage re-runs on retry.
-// An optional entry bound evicts the oldest completed entries, keeping
-// long-running servers from accumulating results without limit.
+// Completed values live in a pluggable Store — an unbounded or LRU
+// memory tier by default, optionally layered over a persistent disk tier
+// (NewTiered) so a fresh process warm-starts from results an earlier one
+// computed. The Cache itself owns only the in-flight bookkeeping.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	order   []string // successful-insertion order, for bounded eviction
-	max     int      // max completed entries (0 = unbounded)
+	mu       sync.Mutex
+	inflight map[string]*cacheEntry
+	store    Store
 }
 
-// NewCache builds an empty unbounded cache.
-func NewCache() *Cache { return &Cache{entries: map[string]*cacheEntry{}} }
+// NewCache builds an empty cache over an unbounded memory store.
+func NewCache() *Cache { return NewCacheStore(NewMemory(0)) }
+
+// NewCacheStore builds a cache over an explicit artifact store.
+func NewCacheStore(s Store) *Cache {
+	return &Cache{inflight: map[string]*cacheEntry{}, store: s}
+}
 
 // NewCacheBound builds a cache holding at most maxEntries completed
-// values; older entries are evicted FIFO (maxEntries <= 0 is unbounded).
-func NewCacheBound(maxEntries int) *Cache {
-	c := NewCache()
-	c.max = maxEntries
-	return c
-}
-
-// noteInsert records a successful insertion and enforces the bound; call
-// with mu held.
-func (c *Cache) noteInsert(key string) {
-	if c.max <= 0 {
-		return
-	}
-	c.order = append(c.order, key)
-	// One bounded pass: ineligible entries (in flight, or the one just
-	// inserted) re-queue rather than block eviction forever.
-	for i, scan := 0, len(c.order); i < scan && len(c.entries) > c.max; i++ {
-		old := c.order[0]
-		c.order = c.order[1:]
-		if old == key {
-			c.order = append(c.order, old)
-			continue
-		}
-		e, ok := c.entries[old]
-		if !ok {
-			continue // already evicted (error path) — stale order entry
-		}
-		select {
-		case <-e.done:
-			delete(c.entries, old)
-		default:
-			// Still computing; its waiters hold the entry pointer, so
-			// keep it until it settles.
-			c.order = append(c.order, old)
-		}
-	}
-}
+// values in memory, evicted least-recently-used.
+//
+// Deprecated: use NewCacheStore(NewMemory(maxEntries)), which names the
+// memory tier explicitly; this alias survives for callers of the old
+// FIFO-bounded constructor.
+func NewCacheBound(maxEntries int) *Cache { return NewCacheStore(NewMemory(maxEntries)) }
 
 // Do returns the memoized value for key, computing it with fn on first
 // use. The second result reports whether the value was served from cache.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
-	return c.DoCtx(context.Background(), key, fn)
+	return c.DoCodecCtx(context.Background(), key, nil, fn)
 }
 
 // DoCtx is Do with cancellation: an already-cancelled context returns
@@ -228,12 +203,21 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
 // cancelled fn — is evicted, never cached, so the cache holds only
 // complete successful values.
 func (c *Cache) DoCtx(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	return c.DoCodecCtx(ctx, key, nil, fn)
+}
+
+// DoCodecCtx is DoCtx for a stage whose result type has a Codec: the
+// store's persistent tier is consulted before fn runs (a disk hit counts
+// as cached) and the computed value is written through to it after. The
+// slow-tier lookup runs under the same singleflight protection as fn
+// itself, so concurrent misses of one key cost one disk read.
+func (c *Cache) DoCodecCtx(ctx context.Context, key string, codec Codec, fn func() (any, error)) (any, bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
 		c.mu.Lock()
-		if e, ok := c.entries[key]; ok {
+		if e, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
 			select {
 			case <-e.done:
@@ -244,41 +228,65 @@ func (c *Cache) DoCtx(ctx context.Context, key string, fn func() (any, error)) (
 				return e.value, true, nil
 			}
 			// The in-flight computation failed. Evict the dead entry
-			// (whichever waiter gets there first) and retry with a
-			// fresh computation.
+			// (whichever of the owner and the waiters gets there first)
+			// and retry with a fresh computation.
 			c.mu.Lock()
-			if c.entries[key] == e {
-				delete(c.entries, key)
+			if c.inflight[key] == e {
+				delete(c.inflight, key)
 			}
 			c.mu.Unlock()
 			continue
 		}
+		if v, ok := c.store.Probe(key); ok {
+			c.mu.Unlock()
+			return v, true, nil
+		}
 		e := &cacheEntry{done: make(chan struct{})}
-		c.entries[key] = e
+		c.inflight[key] = e
 		c.mu.Unlock()
 
-		e.value, e.err = fn()
+		fromStore := false
+		if codec != nil {
+			e.value, fromStore = c.store.Load(key, codec)
+		}
+		if !fromStore {
+			e.value, e.err = fn()
+		}
 		close(e.done)
+		if e.err == nil && !fromStore {
+			// Write through before releasing the key: later callers keep
+			// hitting the settled in-flight entry until the store holds
+			// the value, so there is no window where a completed result
+			// is invisible.
+			c.store.Save(key, codec, e.value)
+		}
 		c.mu.Lock()
+		if c.inflight[key] == e {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
 		if e.err != nil {
-			if c.entries[key] == e {
-				delete(c.entries, key)
-			}
-			c.mu.Unlock()
 			return nil, false, e.err
 		}
-		c.noteInsert(key)
-		c.mu.Unlock()
-		return e.value, false, nil
+		return e.value, fromStore, nil
 	}
 }
 
-// Len reports how many successful entries the cache holds.
+// Len reports how many entries the cache holds: completed values resident
+// in the store's memory tier plus computations still in flight.
 func (c *Cache) Len() int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := len(c.inflight)
+	c.mu.Unlock()
+	return n + c.store.Len()
 }
+
+// Stats snapshots the underlying store's per-tier counters.
+func (c *Cache) Stats() StoreStats { return c.store.Stats() }
+
+// Purge drops every completed entry from every store tier; in-flight
+// computations finish and re-populate normally.
+func (c *Cache) Purge() error { return c.store.Purge() }
 
 // StageReport is the timing/error record of one executed stage.
 type StageReport struct {

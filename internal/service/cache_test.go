@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cnfetdk/internal/flow"
+)
+
+// cacheBody is the GET /v1/cache (and POST /v1/cache/purge) shape.
+type cacheBody struct {
+	Mem struct {
+		Entries int64 `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"mem"`
+	Disk *struct {
+		Entries int64 `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+		Hits    int64 `json:"hits"`
+		Puts    int64 `json:"puts"`
+	} `json:"disk"`
+	Persistent bool `json:"persistent"`
+	Purged     bool `json:"purged"`
+}
+
+func getCache(t *testing.T, s *Server, method, path string) cacheBody {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s %s = %d: %s", method, path, rec.Code, rec.Body.String())
+	}
+	var body cacheBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return body
+}
+
+func TestCacheStatsMemoryOnly(t *testing.T) {
+	s := testServer(t)
+	postJob(t, s, `{"circuit":"mux2","techs":["cnfet"],"analyses":["area"]}`)
+	body := getCache(t, s, http.MethodGet, "/v1/cache")
+	if body.Persistent || body.Disk != nil {
+		t.Fatalf("store without -store must not report a disk tier: %+v", body)
+	}
+	if body.Mem.Entries == 0 {
+		t.Fatal("job run must populate the memory tier")
+	}
+}
+
+func TestCacheStatsAndPurgeWithDisk(t *testing.T) {
+	kit, err := flow.New(context.Background(), flow.WithStore(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(kit)
+	rec := postJob(t, s, `{"circuit":"mux2","techs":["cnfet"],"analyses":["area"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("job = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := getCache(t, s, http.MethodGet, "/v1/cache")
+	if !body.Persistent || body.Disk == nil {
+		t.Fatalf("disk-backed store must report its tier: %+v", body)
+	}
+	if body.Disk.Puts == 0 || body.Disk.Bytes == 0 {
+		t.Fatalf("job run persisted nothing: %+v", body.Disk)
+	}
+
+	purged := getCache(t, s, http.MethodPost, "/v1/cache/purge")
+	if !purged.Purged {
+		t.Fatalf("purge response: %+v", purged)
+	}
+	after := getCache(t, s, http.MethodGet, "/v1/cache")
+	if after.Mem.Entries != 0 || after.Disk == nil || after.Disk.Entries != 0 {
+		t.Fatalf("purge left entries: %+v", after)
+	}
+}
+
+func TestCachePurgeRequiresPost(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cache/purge", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatalf("GET purge = %d, want a method error", rec.Code)
+	}
+}

@@ -12,6 +12,10 @@
 //	GET    /v1/sweeps/{id} — poll one sweep's progress / final report
 //	DELETE /v1/sweeps/{id} — cancel a running sweep
 //	GET    /v1/circuits    — list the named-circuit registry
+//	GET    /v1/cache       — artifact-store statistics (per-tier
+//	                         hits/misses/bytes/evictions)
+//	POST   /v1/cache/purge — drop every completed stage result from
+//	                         every store tier
 //	GET    /healthz        — liveness plus kit/cache statistics
 //
 // Errors are structured JSON ({"error": {"code", "message"}}) with the
@@ -104,6 +108,8 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	s.mux.HandleFunc("POST /v1/cache/purge", s.handleCachePurge)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -205,6 +211,35 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"circuits": s.circuits})
+}
+
+// handleCacheStats serves the artifact store's per-tier counters: the
+// memory LRU always, the persistent disk tier when the daemon runs with
+// -store. "persistent" tells clients whether warm-start survives a
+// restart.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	st := s.kit.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mem":        st.Mem,
+		"disk":       st.Disk,
+		"persistent": st.Disk != nil,
+		"entries":    s.kit.CacheLen(),
+	})
+}
+
+// handleCachePurge drops every completed stage result from every store
+// tier and answers with the post-purge statistics.
+func (s *Server) handleCachePurge(w http.ResponseWriter, r *http.Request) {
+	if err := s.kit.PurgeCache(); err != nil {
+		writeError(w, http.StatusInternalServerError, "purge_failed", err.Error())
+		return
+	}
+	st := s.kit.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"purged": true,
+		"mem":    st.Mem,
+		"disk":   st.Disk,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockDir takes a non-blocking advisory exclusive lock on path, creating
+// the lock file if needed. It returns a release function and whether the
+// lock was acquired; contention (another process holds it) reports ok =
+// false rather than blocking, because every caller treats the lock as
+// "may I run this maintenance scan" rather than "I must".
+func lockDir(path string) (release func(), ok bool) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return func() {}, false
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return func() {}, false
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, true
+}

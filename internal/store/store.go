@@ -1,0 +1,343 @@
+// Package store is the persistent tier of the pipeline's artifact store:
+// a content-addressed, disk-backed blob store for encoded stage results.
+// Entries are sha256-addressed files written atomically (tempfile +
+// rename), self-describing (magic, format version, codec name, full
+// content key, payload checksum), and loaded defensively — any mismatch
+// makes the entry a miss that the pipeline recomputes and overwrites, so
+// a truncated write, a bit flip or a format change can never corrupt a
+// result, only cost a recompute.
+//
+// One store directory may be shared by concurrent processes: writes are
+// atomic renames, readers tolerate entries vanishing mid-scan, and the
+// size-budget eviction scan is serialized across processes with an
+// advisory file lock (flock). The on-disk layout is namespaced by format
+// version (store.Namespace), so a process running an older or newer
+// format sees an independent keyspace instead of undecodable entries.
+//
+// See DESIGN.md ("Artifact store") for how this tier composes with the
+// in-memory LRU under pipeline.Tiered.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cnfetdk/internal/pipeline"
+)
+
+// Namespace is the on-disk format version: entries live under
+// <root>/<Namespace>/, so bumping it (with entryVersion) retires every
+// old entry without ever parsing one with the wrong reader.
+const Namespace = "v1"
+
+// entryMagic and entryVersion head every entry file.
+var entryMagic = [4]byte{'C', 'N', 'F', 'S'}
+
+const entryVersion = 1
+
+// entrySuffix names completed entries; temporaries use tmpPattern and are
+// ignored by scans.
+const (
+	entrySuffix = ".art"
+	tmpPattern  = ".tmp-*"
+	lockName    = ".lock"
+)
+
+// Disk is the persistent blob tier. All operations are best-effort by
+// design: Put failures and corrupt entries increment the Errors counter
+// and otherwise surface as misses, because losing a cache write must
+// never fail the computation that produced it. Safe for concurrent use
+// within a process and, via atomic renames + flock-serialized eviction,
+// across processes sharing one directory.
+type Disk struct {
+	dir    string // <root>/<Namespace>
+	budget int64  // payload-byte budget (0 = unbounded)
+
+	// entries/bytes track this process's view of the resident set; they
+	// are re-synced from a directory walk whenever eviction runs.
+	entries atomic.Int64
+	bytes   atomic.Int64
+
+	hits, misses, puts, evictions, errors atomic.Int64
+
+	evictMu sync.Mutex // one eviction scan at a time within the process
+}
+
+// Option tunes Open.
+type Option func(*Disk)
+
+// WithBudget bounds the store's total payload bytes: a Put that pushes
+// the resident size beyond the budget triggers an oldest-first eviction
+// scan back under it (0 = unbounded).
+func WithBudget(maxBytes int64) Option {
+	return func(d *Disk) { d.budget = maxBytes }
+}
+
+// Open creates (or reopens) the store rooted at dir, placing entries in
+// the current format namespace underneath it. The directory is created
+// if missing; an unusable path (an existing regular file, an unwritable
+// parent) is an error — after a successful Open, a directory that later
+// turns read-only degrades to a read-only cache instead of failing jobs.
+func Open(dir string, opts ...Option) (*Disk, error) {
+	d := &Disk{dir: filepath.Join(dir, Namespace)}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	entries, bytes := d.scanResident()
+	d.entries.Store(entries)
+	d.bytes.Store(bytes)
+	return d, nil
+}
+
+// Dir returns the namespaced directory entries live in.
+func (d *Disk) Dir() string { return d.dir }
+
+// entryPath maps a content key to its file: two-level fan-out on the
+// sha256 of the key so one directory never accumulates every entry.
+func (d *Disk) entryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(d.dir, name[:2], name[2:]+entrySuffix)
+}
+
+// encodeEntry renders the self-describing entry file:
+//
+//	magic[4] version[1] codecLen[u16] keyLen[u32] payloadLen[u64]
+//	codec... key... payloadSHA256[32] payload...
+func encodeEntry(key, codec string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(entryMagic[:])
+	buf.WriteByte(entryVersion)
+	var hdr [14]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(codec)))
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(key)))
+	binary.LittleEndian.PutUint64(hdr[6:14], uint64(len(payload)))
+	buf.Write(hdr[:])
+	buf.WriteString(codec)
+	buf.WriteString(key)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// decodeEntry parses and verifies an entry file; any structural or
+// checksum mismatch returns an error (the caller treats it as corrupt).
+func decodeEntry(blob []byte, wantKey string) (codec string, payload []byte, err error) {
+	if len(blob) < 4+1+14 || !bytes.Equal(blob[:4], entryMagic[:]) {
+		return "", nil, fmt.Errorf("store: bad entry header")
+	}
+	if blob[4] != entryVersion {
+		return "", nil, fmt.Errorf("store: entry version %d, want %d", blob[4], entryVersion)
+	}
+	codecLen := int(binary.LittleEndian.Uint16(blob[5:7]))
+	keyLen := int(binary.LittleEndian.Uint32(blob[7:11]))
+	payloadLen := binary.LittleEndian.Uint64(blob[11:19])
+	rest := blob[19:]
+	if uint64(len(rest)) != uint64(codecLen)+uint64(keyLen)+32+payloadLen {
+		return "", nil, fmt.Errorf("store: truncated entry")
+	}
+	codec = string(rest[:codecLen])
+	key := string(rest[codecLen : codecLen+keyLen])
+	if key != wantKey {
+		return "", nil, fmt.Errorf("store: key mismatch (hash collision or misfiled entry)")
+	}
+	var sum [32]byte
+	copy(sum[:], rest[codecLen+keyLen:])
+	payload = rest[codecLen+keyLen+32:]
+	if sha256.Sum256(payload) != sum {
+		return "", nil, fmt.Errorf("store: payload checksum mismatch")
+	}
+	return codec, payload, nil
+}
+
+// Get implements pipeline.BlobStore: it loads, verifies and returns the
+// entry for key. A missing file is a plain miss; an unreadable or corrupt
+// one counts an error, is deleted best-effort, and reads as a miss so the
+// pipeline recomputes it.
+func (d *Disk) Get(key string) (string, []byte, bool) {
+	path := d.entryPath(key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			d.errors.Add(1)
+		}
+		d.misses.Add(1)
+		return "", nil, false
+	}
+	codec, payload, err := decodeEntry(blob, key)
+	if err != nil {
+		// Corrupt: drop the entry so the recompute's Put replaces it
+		// cleanly, and fall back to a miss.
+		d.errors.Add(1)
+		d.misses.Add(1)
+		if os.Remove(path) == nil {
+			d.entries.Add(-1)
+			d.bytes.Add(-int64(len(blob)))
+		}
+		return "", nil, false
+	}
+	d.hits.Add(1)
+	return codec, payload, true
+}
+
+// Put implements pipeline.BlobStore: an atomic tempfile+rename write of
+// the entry, followed by budget eviction if the store grew past it.
+// Failures (read-only directory, full disk) count as errors and are
+// otherwise swallowed — the value stays served from memory.
+func (d *Disk) Put(key, codec string, payload []byte) {
+	path := d.entryPath(key)
+	blob := encodeEntry(key, codec, payload)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		d.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPattern)
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	// Renaming over an existing entry (same key, concurrent writer) is
+	// fine: content-addressed keys make both bytes equivalent.
+	prev, _ := os.Stat(path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	d.puts.Add(1)
+	if prev == nil {
+		d.entries.Add(1)
+		d.bytes.Add(int64(len(blob)))
+	} else {
+		d.bytes.Add(int64(len(blob)) - prev.Size())
+	}
+	if d.budget > 0 && d.bytes.Load() > d.budget {
+		d.evict()
+	}
+}
+
+// residentEntry is one completed entry seen by a directory scan.
+type residentEntry struct {
+	path  string
+	size  int64
+	mtime int64
+}
+
+// walkEntries lists completed entries (ignoring temporaries and the lock
+// file), tolerating files vanishing mid-scan.
+func (d *Disk) walkEntries() []residentEntry {
+	var out []residentEntry
+	filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || filepath.Ext(path) != entrySuffix {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil // vanished under us (concurrent eviction)
+		}
+		out = append(out, residentEntry{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	return out
+}
+
+// scanResident totals the current entry population.
+func (d *Disk) scanResident() (entries, bytes int64) {
+	for _, e := range d.walkEntries() {
+		entries++
+		bytes += e.size
+	}
+	return entries, bytes
+}
+
+// evict walks the store and removes oldest-first (by mtime) until the
+// resident bytes fit the budget again. The scan re-measures the
+// directory rather than trusting in-process counters, so concurrent
+// processes sharing the store converge instead of double-counting; the
+// advisory flock keeps two processes from evicting the same tail at
+// once (a second process skips its scan — the first one's suffices).
+func (d *Disk) evict() {
+	d.evictMu.Lock()
+	defer d.evictMu.Unlock()
+	unlock, ok := lockDir(filepath.Join(d.dir, lockName))
+	if !ok {
+		return // another process is already evicting
+	}
+	defer unlock()
+
+	entries := d.walkEntries()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	n := int64(len(entries))
+	for _, e := range entries {
+		if total <= d.budget {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			n--
+			d.evictions.Add(1)
+		}
+	}
+	d.entries.Store(n)
+	d.bytes.Store(total)
+}
+
+// Len implements pipeline.BlobStore.
+func (d *Disk) Len() int { return int(d.entries.Load()) }
+
+// Stats implements pipeline.BlobStore.
+func (d *Disk) Stats() pipeline.TierStats {
+	return pipeline.TierStats{
+		Entries:   d.entries.Load(),
+		Bytes:     d.bytes.Load(),
+		Hits:      d.hits.Load(),
+		Misses:    d.misses.Load(),
+		Puts:      d.puts.Load(),
+		Evictions: d.evictions.Load(),
+		Errors:    d.errors.Load(),
+	}
+}
+
+// Purge removes every entry (and stale temporaries) in the namespace,
+// keeping the directory itself usable.
+func (d *Disk) Purge() error {
+	var firstErr error
+	filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || filepath.Base(path) == lockName {
+			return nil
+		}
+		if rerr := os.Remove(path); rerr != nil && !os.IsNotExist(rerr) && firstErr == nil {
+			firstErr = rerr
+		}
+		return nil
+	})
+	if firstErr == nil {
+		d.entries.Store(0)
+		d.bytes.Store(0)
+	}
+	return firstErr
+}
