@@ -28,8 +28,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cnfetdk/internal/pipeline"
 )
@@ -49,8 +51,15 @@ const entryVersion = 1
 const (
 	entrySuffix = ".art"
 	tmpPattern  = ".tmp-*"
+	tmpPrefix   = ".tmp-"
 	lockName    = ".lock"
 )
+
+// tmpMaxAge is how old a temporary must be before Open/evict treat it as
+// abandoned by a crashed writer and delete it. A live Put holds its
+// temporary for milliseconds, so an hour leaves enormous margin against
+// clipping another process's in-flight write.
+const tmpMaxAge = time.Hour
 
 // Disk is the persistent blob tier. All operations are best-effort by
 // design: Put failures and corrupt entries increment the Errors counter
@@ -60,7 +69,7 @@ const (
 // across processes sharing one directory.
 type Disk struct {
 	dir    string // <root>/<Namespace>
-	budget int64  // payload-byte budget (0 = unbounded)
+	budget int64  // entry-file byte budget (0 = unbounded)
 
 	// entries/bytes track this process's view of the resident set; they
 	// are re-synced from a directory walk whenever eviction runs.
@@ -75,9 +84,10 @@ type Disk struct {
 // Option tunes Open.
 type Option func(*Disk)
 
-// WithBudget bounds the store's total payload bytes: a Put that pushes
-// the resident size beyond the budget triggers an oldest-first eviction
-// scan back under it (0 = unbounded).
+// WithBudget bounds the store's total on-disk bytes, measured over whole
+// entry files (header, codec name, key and checksum included, not just
+// payloads): a Put that pushes the resident size beyond the budget
+// triggers an oldest-first eviction scan back under it (0 = unbounded).
 func WithBudget(maxBytes int64) Option {
 	return func(d *Disk) { d.budget = maxBytes }
 }
@@ -95,6 +105,7 @@ func Open(dir string, opts ...Option) (*Disk, error) {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	d.removeStaleTemps()
 	entries, bytes := d.scanResident()
 	d.entries.Store(entries)
 	d.bytes.Store(bytes)
@@ -143,20 +154,30 @@ func decodeEntry(blob []byte, wantKey string) (codec string, payload []byte, err
 		return "", nil, fmt.Errorf("store: entry version %d, want %d", blob[4], entryVersion)
 	}
 	codecLen := int(binary.LittleEndian.Uint16(blob[5:7]))
-	keyLen := int(binary.LittleEndian.Uint32(blob[7:11]))
+	keyLen := binary.LittleEndian.Uint32(blob[7:11])
 	payloadLen := binary.LittleEndian.Uint64(blob[11:19])
 	rest := blob[19:]
-	if uint64(len(rest)) != uint64(codecLen)+uint64(keyLen)+32+payloadLen {
+	// Bound the variable-length fields against the blob before any
+	// slicing or int conversion: summing all three declared lengths and
+	// comparing the total to len(rest) would let a crafted header wrap
+	// the uint64 sum back into range and pass with out-of-bounds parts.
+	// codecLen+keyLen+32 cannot wrap (< 2^33), and once it fits in
+	// len(rest) every field converts to int safely on 32-bit too.
+	if uint64(codecLen)+uint64(keyLen)+32 > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("store: truncated entry")
+	}
+	metaLen := codecLen + int(keyLen) + 32
+	if uint64(len(rest)-metaLen) != payloadLen {
 		return "", nil, fmt.Errorf("store: truncated entry")
 	}
 	codec = string(rest[:codecLen])
-	key := string(rest[codecLen : codecLen+keyLen])
+	key := string(rest[codecLen : codecLen+int(keyLen)])
 	if key != wantKey {
 		return "", nil, fmt.Errorf("store: key mismatch (hash collision or misfiled entry)")
 	}
 	var sum [32]byte
-	copy(sum[:], rest[codecLen+keyLen:])
-	payload = rest[codecLen+keyLen+32:]
+	copy(sum[:], rest[metaLen-32:metaLen])
+	payload = rest[metaLen:]
 	if sha256.Sum256(payload) != sum {
 		return "", nil, fmt.Errorf("store: payload checksum mismatch")
 	}
@@ -261,6 +282,24 @@ func (d *Disk) walkEntries() []residentEntry {
 	return out
 }
 
+// removeStaleTemps deletes temporaries abandoned by writers that died
+// between CreateTemp and Rename — otherwise they escape both resident
+// accounting and budget eviction (neither looks past entrySuffix) and
+// accumulate forever. Only clearly stale files (older than tmpMaxAge)
+// go, so a concurrent process's in-flight Put is never clipped.
+func (d *Disk) removeStaleTemps() {
+	cutoff := time.Now().Add(-tmpMaxAge)
+	filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasPrefix(de.Name(), tmpPrefix) {
+			return nil
+		}
+		if info, ierr := de.Info(); ierr == nil && info.ModTime().Before(cutoff) {
+			os.Remove(path)
+		}
+		return nil
+	})
+}
+
 // scanResident totals the current entry population.
 func (d *Disk) scanResident() (entries, bytes int64) {
 	for _, e := range d.walkEntries() {
@@ -281,10 +320,18 @@ func (d *Disk) evict() {
 	defer d.evictMu.Unlock()
 	unlock, ok := lockDir(filepath.Join(d.dir, lockName))
 	if !ok {
-		return // another process is already evicting
+		// Another process is already evicting; its scan suffices. Still
+		// resync our counters from a (read-only, lock-free) walk so d.bytes
+		// reflects that eviction's progress — otherwise a stale over-budget
+		// figure would re-trigger this scan on every subsequent Put.
+		entries, bytes := d.scanResident()
+		d.entries.Store(entries)
+		d.bytes.Store(bytes)
+		return
 	}
 	defer unlock()
 
+	d.removeStaleTemps()
 	entries := d.walkEntries()
 	var total int64
 	for _, e := range entries {
@@ -306,10 +353,16 @@ func (d *Disk) evict() {
 	d.bytes.Store(total)
 }
 
-// Len implements pipeline.BlobStore.
+// Len implements pipeline.BlobStore. See Stats for the accuracy caveat
+// on shared directories.
 func (d *Disk) Len() int { return int(d.entries.Load()) }
 
-// Stats implements pipeline.BlobStore.
+// Stats implements pipeline.BlobStore. Hits, Misses, Puts, Evictions and
+// Errors are exact per-process operation counts. Entries and Bytes are
+// this process's view of the shared resident set: when several processes
+// write one directory, concurrent renames in the stat-then-rename window
+// can skew them, and they resync only when an eviction scan runs (never,
+// on an unbounded store) — treat them as approximate there.
 func (d *Disk) Stats() pipeline.TierStats {
 	return pipeline.TierStats{
 		Entries:   d.entries.Load(),

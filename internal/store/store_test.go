@@ -1,12 +1,14 @@
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // findEntry returns the single entry file for key, failing if absent.
@@ -70,6 +72,18 @@ func TestCorruptEntriesFallBackToMiss(t *testing.T) {
 		mod  func(blob []byte) []byte
 	}{
 		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"wrapped-lengths", func(b []byte) []byte {
+			// keyLen = 0xFFFFFFFF with a payloadLen chosen so the uint64
+			// sum of all declared lengths wraps back to exactly len(rest).
+			// A validation that only compares that sum would pass and then
+			// panic slicing 4 GiB out of a 100-byte blob; decodeEntry must
+			// bound each length individually and reject this.
+			rest := uint64(len(b) - 19)
+			codecLen := uint64(binary.LittleEndian.Uint16(b[5:7]))
+			binary.LittleEndian.PutUint32(b[7:11], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint64(b[11:19], rest-codecLen-0xFFFFFFFF-32)
+			return b
+		}},
 		{"payload-flip", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }},
 		{"bad-magic", func(b []byte) []byte { b[0] = 'X'; return b }},
 		{"future-version", func(b []byte) []byte { b[4] = entryVersion + 1; return b }},
@@ -228,6 +242,41 @@ func bumpMtimes(t *testing.T, d *Disk) {
 		if err := os.Chtimes(e.path, mt, mt); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestOpenRemovesStaleTemps: temporaries left by a writer that died
+// mid-Put are swept on Open once clearly abandoned, while a fresh
+// temporary (another process's in-flight write) is left alone.
+func TestOpenRemovesStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := filepath.Join(d.Dir(), "ab")
+	if err := os.MkdirAll(fan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(fan, ".tmp-dead-writer")
+	fresh := filepath.Join(fan, ".tmp-in-flight")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial entry bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temporary survived Open, stat err = %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temporary must survive Open: %v", err)
 	}
 }
 
