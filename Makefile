@@ -19,7 +19,12 @@ STORE_DIR     ?= .cnfet-store
 # Measured 75.6% when recorded — keep it at least here.
 COVER_MIN     ?= 75.0
 
-.PHONY: all build test race vet fmt cover bench bench-check bench-baseline clean-store ci
+# Spice-dominated benchmarks profiled by bench-profile (the solver hot
+# path: characterization, critical-line certification, cold sweeps, the
+# full-adder flow).
+PROFILE_BENCH ?= CharacterizationSequential|Fig4AOI31|SweepColdPoints|StoreDiskCold
+
+.PHONY: all build test race vet fmt cover bench bench-check bench-baseline bench-profile clean-store ci
 
 all: build test
 
@@ -64,6 +69,15 @@ bench-check:
 bench-baseline:
 	$(GO) test -bench . -benchmem -count=$(BENCH_COUNT) -run '^$$' | tee $(BENCH_TXT)
 	$(GO) run ./cmd/benchreg -in $(BENCH_TXT) -out $(BENCH_BASELINE)
+
+# bench-profile produces CPU and allocation pprof artifacts from the
+# spice-dominated benchmarks (bench-cpu.pprof / bench-mem.pprof, plus
+# the cnfetdk.test binary pprof needs to symbolize them). The CI bench
+# job uploads all three; locally:
+#   go tool pprof cnfetdk.test bench-cpu.pprof
+bench-profile:
+	$(GO) test -bench '$(PROFILE_BENCH)' -run '^$$' -count=1 \
+		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof -o cnfetdk.test
 
 # clean-store wipes the local persistent artifact store (the default
 # -store directory of cnfetd/cnfetsweep/fasynth). Safe: everything in it

@@ -70,6 +70,7 @@ func genCell(b *testing.B, f string, style layout.Style, w int) *layout.Cell {
 // BenchmarkTable1AreaComparison regenerates Table 1: area saving of the
 // compact layouts over the etched-region layouts of ref [6].
 func BenchmarkTable1AreaComparison(b *testing.B) {
+	b.ReportAllocs()
 	cells := []struct {
 		name, f string
 		paper   [4]float64 // paper's percentages at 3/4/6/10λ
@@ -111,6 +112,7 @@ func BenchmarkTable1AreaComparison(b *testing.B) {
 // Monte Carlo failure rate of the conventional NAND2 layout against the
 // certified-immune compact layout.
 func BenchmarkFig2Immunity(b *testing.B) {
+	b.ReportAllocs()
 	vuln := genCell(b, "AB", layout.StyleVulnerable, 4)
 	comp := genCell(b, "AB", layout.StyleCompact, 4)
 	var failRate float64
@@ -135,6 +137,7 @@ func BenchmarkFig2Immunity(b *testing.B) {
 // BenchmarkFig3NAND3 regenerates the Fig 3 comparison: NAND3 etched vs
 // compact, both immune, 16.67% smaller at 4λ.
 func BenchmarkFig3NAND3(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		etched := genCell(b, "ABC", layout.StyleEtched, 4)
@@ -156,6 +159,7 @@ func BenchmarkFig3NAND3(b *testing.B) {
 // AOI31 (ABC+D)' basic layout with its intermediate-contact PUN and the
 // symmetric width assignment (PDN chain 3x, PUN 2x).
 func BenchmarkFig4AOI31(b *testing.B) {
+	b.ReportAllocs()
 	var contacts float64
 	for i := 0; i < b.N; i++ {
 		c := genCell(b, "ABC+D", layout.StyleCompact, 4)
@@ -182,6 +186,7 @@ func BenchmarkFig4AOI31(b *testing.B) {
 // BenchmarkFig6Schemes assembles the NAND2 standard cell both ways and
 // reports the scheme heights (scheme 2 collapses the cell height).
 func BenchmarkFig6Schemes(b *testing.B) {
+	b.ReportAllocs()
 	var h1, h2 float64
 	for i := 0; i < b.N; i++ {
 		c := genCell(b, "AB", layout.StyleCompact, 4)
@@ -199,6 +204,7 @@ func BenchmarkFig6Schemes(b *testing.B) {
 // BenchmarkFig7FO4Sweep regenerates the Fig 7 series (delay gain vs CNT
 // count) with the calibrated model and reports the optimum.
 func BenchmarkFig7FO4Sweep(b *testing.B) {
+	b.ReportAllocs()
 	p := device.DefaultFO4()
 	var peak float64
 	var optPitch float64
@@ -225,6 +231,7 @@ func BenchmarkFig7FO4Sweep(b *testing.B) {
 // BenchmarkCase1Inverter regenerates the case study 1 numbers: single-tube
 // gains, optimum gains, pitch band and inverter area gain vs width.
 func BenchmarkCase1Inverter(b *testing.B) {
+	b.ReportAllocs()
 	p := device.DefaultFO4()
 	k := kit(b)
 	var d1, e1, dOpt, eOpt, area float64
@@ -251,6 +258,7 @@ func BenchmarkCase1Inverter(b *testing.B) {
 
 // BenchmarkCase2FullAdder runs the full case study 2 (placement + spice).
 func BenchmarkCase2FullAdder(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	var res *flow.FullAdderResult
 	for i := 0; i < b.N; i++ {
@@ -273,6 +281,7 @@ func BenchmarkCase2FullAdder(b *testing.B) {
 // BenchmarkFig8Placement reports the utilization story behind Fig 8:
 // normalized scheme-1 rows vs natural-height scheme-2 shelves.
 func BenchmarkFig8Placement(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	nl := synth.FullAdder()
 	var u1, u2 float64
@@ -298,6 +307,7 @@ func BenchmarkFig8Placement(b *testing.B) {
 // BenchmarkFig9GDS streams the scheme-2 full adder to GDSII and reads it
 // back (the paper's Fig 9 layout snapshot as a byte stream).
 func BenchmarkFig9GDS(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	nl := synth.FullAdder()
 	p2, err := place.Shelves(k.CNFET, nl, 0)
@@ -325,6 +335,7 @@ func BenchmarkFig9GDS(b *testing.B) {
 // BenchmarkHeadlineGains reports the abstract's headline numbers: EDP gain
 // above 8 at the optimum (>10 across the sweep) and EDAP ~12x.
 func BenchmarkHeadlineGains(b *testing.B) {
+	b.ReportAllocs()
 	p := device.DefaultFO4()
 	k := kit(b)
 	var edp, edap float64
@@ -348,6 +359,7 @@ func BenchmarkHeadlineGains(b *testing.B) {
 // pitch is a technology parameter: sweeping the screening scale moves the
 // optimum (their 65nm low-k/poly: 5nm; Deng's 32nm high-k: 4nm).
 func BenchmarkAblationScreening(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		base := device.DefaultFO4()
@@ -371,6 +383,7 @@ func BenchmarkAblationScreening(b *testing.B) {
 // BenchmarkAblationVerticalGating quantifies the manufacturability cost
 // the compact layouts remove: vias-on-gate across the Table 1 cells.
 func BenchmarkAblationVerticalGating(b *testing.B) {
+	b.ReportAllocs()
 	var viasOld, viasNew float64
 	for i := 0; i < b.N; i++ {
 		viasOld, viasNew = 0, 0
@@ -392,6 +405,7 @@ func BenchmarkAblationVerticalGating(b *testing.B) {
 // pipeline engine: the full CNFET library (gate synthesis, compact layout
 // generation, DRC) on a single worker.
 func BenchmarkLibraryBuildSequential(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cells.NewLibraryOpts(rules.CNFET, cells.BuildOptions{Workers: 1}); err != nil {
 			b.Fatal(err)
@@ -402,6 +416,7 @@ func BenchmarkLibraryBuildSequential(b *testing.B) {
 // BenchmarkLibraryBuildPipelined is the same build fanned out across one
 // worker per CPU; with GOMAXPROCS>1 it must beat the sequential path.
 func BenchmarkLibraryBuildPipelined(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cells.NewLibraryOpts(rules.CNFET, cells.BuildOptions{Workers: 0}); err != nil {
 			b.Fatal(err)
@@ -412,6 +427,7 @@ func BenchmarkLibraryBuildPipelined(b *testing.B) {
 // BenchmarkCharacterizationSequential sweeps the full CNFET datasheet
 // (one SPICE transient per cell) on a single worker.
 func BenchmarkCharacterizationSequential(b *testing.B) {
+	b.ReportAllocs()
 	lib := kit(b).CNFET
 	for i := 0; i < b.N; i++ {
 		if _, err := lib.DatasheetWorkers(1); err != nil {
@@ -423,6 +439,7 @@ func BenchmarkCharacterizationSequential(b *testing.B) {
 // BenchmarkCharacterizationPipelined is the same datasheet sweep with the
 // per-cell SPICE jobs fanned out across the worker pool.
 func BenchmarkCharacterizationPipelined(b *testing.B) {
+	b.ReportAllocs()
 	lib := kit(b).CNFET
 	for i := 0; i < b.N; i++ {
 		if _, err := lib.DatasheetWorkers(0); err != nil {
@@ -435,6 +452,7 @@ func BenchmarkCharacterizationPipelined(b *testing.B) {
 // a warm kit cache: every stage (placement, SPICE, energy) is served from
 // the content-keyed memo cache.
 func BenchmarkFlowCachedRerun(b *testing.B) {
+	b.ReportAllocs()
 	k, err := flow.NewKit()
 	if err != nil {
 		b.Fatal(err)
@@ -474,6 +492,7 @@ func benchSweepSpec() sweep.Spec {
 // 12-point sweep serves all stages from cache — the scenario-exploration
 // hot path.
 func BenchmarkSweepSharedCache(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	spec := benchSweepSpec()
 	var hits, total int
@@ -496,6 +515,7 @@ func BenchmarkSweepSharedCache(b *testing.B) {
 // against a fresh (empty) cache each iteration, so no prefix stage is
 // ever shared. The gap to BenchmarkSweepSharedCache is the batching win.
 func BenchmarkSweepColdPoints(b *testing.B) {
+	b.ReportAllocs()
 	spec := benchSweepSpec()
 	points, err := spec.Expand()
 	if err != nil {
@@ -533,6 +553,7 @@ func storeBenchRequest() flow.Request {
 // write-through overhead; the delta against BenchmarkStoreDiskWarm is
 // the cross-process warm-start win.
 func BenchmarkStoreDiskCold(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		k, err := flow.New(ctx, flow.WithStore(b.TempDir()))
@@ -550,6 +571,7 @@ func BenchmarkStoreDiskCold(b *testing.B) {
 // morally) over a store directory populated once, so every stage is
 // decoded from the disk tier instead of recomputed.
 func BenchmarkStoreDiskWarm(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	dir := b.TempDir()
 	seed, err := flow.New(ctx, flow.WithStore(dir))
@@ -581,6 +603,7 @@ func BenchmarkStoreDiskWarm(b *testing.B) {
 // BenchmarkMonteCarloSequential checks 4000 tubes on the NAND3 compact
 // cell on a single worker — the reference for the sharded path below.
 func BenchmarkMonteCarloSequential(b *testing.B) {
+	b.ReportAllocs()
 	c := genCell(b, "ABC", layout.StyleCompact, 4)
 	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
 	rng := rand.New(rand.NewSource(9))
@@ -597,6 +620,7 @@ func BenchmarkMonteCarloSequential(b *testing.B) {
 // BenchmarkMonteCarloPipelined is the same batch sharded across one
 // worker per CPU; the report is bit-identical to the sequential run.
 func BenchmarkMonteCarloPipelined(b *testing.B) {
+	b.ReportAllocs()
 	c := genCell(b, "ABC", layout.StyleCompact, 4)
 	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
 	rng := rand.New(rand.NewSource(9))
@@ -613,6 +637,7 @@ func BenchmarkMonteCarloPipelined(b *testing.B) {
 // BenchmarkMonteCarloThroughput measures the immunity checker itself —
 // tubes verified per second on the NAND3 compact cell.
 func BenchmarkMonteCarloThroughput(b *testing.B) {
+	b.ReportAllocs()
 	c := genCell(b, "ABC", layout.StyleCompact, 4)
 	ch := immunity.NewChecker(c.PUN, c.Gate.PUN, c.Gate.Inputs)
 	rng := rand.New(rand.NewSource(9))
@@ -629,6 +654,7 @@ func BenchmarkMonteCarloThroughput(b *testing.B) {
 // BenchmarkFunctionalYield measures the full-cell yield analysis used in
 // the Fig 2 experiment.
 func BenchmarkFunctionalYield(b *testing.B) {
+	b.ReportAllocs()
 	c := genCell(b, "AB", layout.StyleCompact, 6)
 	cc := immunity.NewCellChecker(c)
 	params := cnt.DefaultParams()
@@ -651,6 +677,7 @@ func BenchmarkFunctionalYield(b *testing.B) {
 // design scales to many minimum-to-medium cells — the regime the paper
 // says scheme 2 targets.
 func BenchmarkScalingRippleCarry(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	var gain2, gain4 float64
 	for i := 0; i < b.N; i++ {
@@ -685,6 +712,7 @@ func BenchmarkScalingRippleCarry(b *testing.B) {
 // regardless of layout style, so functional yield collapses as the
 // metallic fraction grows — quantifying why removal must happen upstream.
 func BenchmarkExtensionMetallicYield(b *testing.B) {
+	b.ReportAllocs()
 	c := genCell(b, "AB", layout.StyleCompact, 6)
 	cc := immunity.NewCellChecker(c)
 	var y0, y20 float64
@@ -713,6 +741,7 @@ func BenchmarkExtensionMetallicYield(b *testing.B) {
 // BenchmarkSTAFullAdder times the static-timing path of the kit: NLDM
 // characterization reuse + graph traversal, versus the full transient.
 func BenchmarkSTAFullAdder(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	nl := synth.FullAdder()
 	used := map[string]bool{}
@@ -745,6 +774,7 @@ func BenchmarkSTAFullAdder(b *testing.B) {
 // account IR drops and routing complexity"): the scheme-2 full adder is
 // smaller but needs more wire and vias than the CMOS-like scheme 1.
 func BenchmarkRoutingSchemes(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	nl := synth.FullAdder()
 	var wl1, wl2 float64
@@ -781,6 +811,7 @@ func BenchmarkRoutingSchemes(b *testing.B) {
 // BenchmarkMixedSchemePlacement evaluates the paper's concluding idea: a
 // per-cell combination of scheme 1 and scheme 2.
 func BenchmarkMixedSchemePlacement(b *testing.B) {
+	b.ReportAllocs()
 	k := kit(b)
 	nl := synth.FullAdder()
 	var aMixed, aS2 float64
@@ -810,6 +841,7 @@ func BenchmarkMixedSchemePlacement(b *testing.B) {
 // gate or leave the active region. The compact layout stays at zero for
 // every bound — its immunity is unconditional, not a small-angle artifact.
 func BenchmarkAngleSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	vuln := genCell(b, "AB", layout.StyleVulnerable, 4)
 	comp := genCell(b, "AB", layout.StyleCompact, 4)
 	var at5, at25 float64

@@ -85,6 +85,11 @@ func main() {
 	}
 	deltas, failed := benchreg.Compare(&base, cur, re, *maxRegress)
 	benchreg.Format(os.Stdout, deltas)
+	for _, d := range deltas {
+		if d.Warning != "" {
+			fmt.Fprintf(os.Stderr, "benchreg: warning: %s: %s\n", d.Name, d.Warning)
+		}
+	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchreg: FAIL — gated benchmark regressed beyond %+.0f%% against %s\n",
 			100**maxRegress, *baseline)

@@ -10,6 +10,7 @@
 //	cnfetd -j 4                  # bound the worker pool
 //	cnfetd -store .cnfet-store   # persist stage results across restarts
 //	cnfetd -store .cnfet-store -store-budget 268435456  # cap it at 256MiB
+//	cnfetd -pprof                # expose /debug/pprof/ (trusted listeners only)
 //
 // Routes:
 //
@@ -50,6 +51,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +71,7 @@ func main() {
 	storeBudget := flag.Int64("store-budget", 0, "artifact-store size budget in bytes, oldest entries evicted past it (0 = unbounded)")
 	sweepPoints := flag.Int("sweep-points", 1024, "per-sweep expansion cap")
 	sweepStore := flag.Int("sweep-store", 64, "how many sweeps the status store retains")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling aid only — do not enable on a daemon reachable by untrusted clients)")
 	flag.Parse()
 
 	log.SetPrefix("cnfetd: ")
@@ -116,8 +119,24 @@ func main() {
 	svc := service.NewServer(kit,
 		service.WithBaseContext(jobCtx),
 		service.WithSweepLimits(*sweepPoints, *sweepStore))
+	var handler http.Handler = svc
+	if *pprofOn {
+		// Opt-in profiling endpoints on the service mux (the import does
+		// not expose them by itself — cnfetd never serves the default
+		// mux). pprof leaks operational detail and can be driven hard;
+		// enable it only where the listener is trusted.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+		log.Printf("pprof endpoints enabled at /debug/pprof/ — not for untrusted exposure")
+	}
 	srv := &http.Server{
-		Handler:     svc,
+		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return jobCtx },
 		// Slow-client bounds; no WriteTimeout because legitimate jobs
 		// (liberty characterization, streamed sweeps) can run long

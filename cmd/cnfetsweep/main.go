@@ -12,6 +12,7 @@
 //	           -techs cnfet -csv points.csv
 //	cnfetsweep -spec - < sweep.json        # spec from stdin
 //	cnfetsweep -spec sweep.json -store .cnfet-store  # resumable sweep
+//	cnfetsweep -spec sweep.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Axis flags are comma-separated; -techs sweeps technology *sets*
 // separated by "/" ("cnfet/cnfet,cmos" is a two-element axis). -zip
@@ -41,6 +42,7 @@ import (
 	"strings"
 
 	"cnfetdk/internal/flow"
+	"cnfetdk/internal/prof"
 	"cnfetdk/internal/sweep"
 )
 
@@ -64,7 +66,16 @@ func main() {
 	csvPath := flag.String("csv", "", "write the per-point table as CSV")
 	canonical := flag.Bool("canonical", false, "emit the canonical (trace-free, deterministic) report JSON")
 	quiet := flag.Bool("q", false, "suppress the progress and summary output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = stop // flushed by fatal() too: error exits keep their profiles
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -136,9 +147,14 @@ func main() {
 	}
 	if rep.Failed > 0 {
 		fmt.Fprintf(os.Stderr, "cnfetsweep: %d/%d points failed\n", rep.Failed, len(rep.Points))
+		stopProf() // os.Exit bypasses the deferred stop
 		os.Exit(2)
 	}
 }
+
+// stopProf finishes any active profiles; every os.Exit path must call it
+// (defers do not run), so fatal() routes through it.
+var stopProf = func() {}
 
 type specFlags struct {
 	specPath, name, circuits, techs, placements, wirecaps string
@@ -357,5 +373,6 @@ func sortedKeys(m map[string]bool) []string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cnfetsweep:", err)
+	stopProf()
 	os.Exit(1)
 }

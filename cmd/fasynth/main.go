@@ -13,6 +13,7 @@
 //	fasynth -timing           # print per-stage pipeline timing
 //	fasynth -j 4              # bound the worker pool
 //	fasynth -store .cnfet-store  # reuse stage results across invocations
+//	fasynth -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the flow
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/prof"
 	"cnfetdk/internal/report"
 )
 
@@ -34,7 +36,16 @@ func main() {
 	timing := flag.Bool("timing", false, "print per-stage pipeline timing on exit")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
 	storeDir := flag.String("store", "", "persistent artifact-store directory; repeated invocations skip completed stages")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	stopProf = stop // flushed by fail() too: error exits keep their profiles
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -135,7 +146,12 @@ func main() {
 	}
 }
 
+// stopProf finishes any active profiles; every os.Exit path must call it
+// (defers do not run), so fail() routes through it.
+var stopProf = func() {}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fasynth:", err)
+	stopProf()
 	os.Exit(1)
 }

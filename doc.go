@@ -65,12 +65,28 @@
 // architecture, caching keys, cancellation semantics and determinism
 // rules.
 //
+// Underneath all of it, the SPICE solver core (internal/spice) is built
+// for steady-state-zero allocation: Newton/LU scratch and waveform
+// storage live in a reusable spice.Workspace
+// (Circuit.TransientWith, cells.Library.CharacterizeWith), the static
+// linear part of the MNA system is stamped once per timestep
+// configuration and copy-restored each iteration, and the FET
+// linearization uses exact analytic derivatives of the logistic×tanh
+// model sharing one exp/tanh with the current evaluation (validated
+// against central differences to 1e-9). The immunity checker reuses
+// per-fork tube scratch the same way. See DESIGN.md ("Solver core").
+//
 // The benchmark harness in bench_test.go regenerates each experiment of
 // the paper plus sequential-vs-pipelined engine comparisons:
 //
 //	go test -bench=. -benchmem .
 //
-// CI gates performance with internal/benchreg: `make bench-check` reduces
-// a count=5 run to medians (BENCH_CURRENT.json) and fails on >30% ns/op
-// regression against the committed BENCH_BASELINE.json.
+// CI gates performance with internal/benchreg: `make bench-check`
+// reduces a count=5 run to medians (BENCH_CURRENT.json) and fails on
+// >30% median ns/op or allocs/op regression against the committed
+// BENCH_BASELINE.json, warning (not silently passing) when a gated
+// memory field is missing on either side; `make bench-profile` emits
+// cpu/mem pprof artifacts from the spice-dominated benchmarks, and the
+// CLIs take -cpuprofile/-memprofile (cnfetsweep, fasynth) and -pprof
+// (cnfetd, opt-in net/http/pprof for trusted listeners only).
 package cnfetdk

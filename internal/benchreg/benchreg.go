@@ -15,12 +15,15 @@ import (
 )
 
 // Result is the median outcome of one benchmark across its repeated
-// counts.
+// counts. BPerOp and AllocsPerOp are pointers so a benchmark that
+// legitimately allocates nothing (0) is distinguishable from one whose
+// run never reported memory stats (nil): a nil field is never gated, and
+// Compare surfaces it as a warning instead of silently passing.
 type Result struct {
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int      `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // File is the serialized benchmark summary (BENCH_CURRENT.json /
@@ -32,11 +35,14 @@ type File struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// run is one parsed benchmark line.
+// run is one parsed benchmark line. The has* flags record whether the
+// line actually carried the memory columns (b.ReportAllocs / -benchmem).
 type run struct {
 	nsPerOp     float64
 	bPerOp      float64
+	hasB        bool
 	allocsPerOp float64
+	hasAllocs   bool
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
@@ -81,8 +87,10 @@ func Parse(r io.Reader) (*File, map[string][]float64, error) {
 				one.nsPerOp = v
 			case "B/op":
 				one.bPerOp = v
+				one.hasB = true
 			case "allocs/op":
 				one.allocsPerOp = v
+				one.hasAllocs = true
 			}
 		}
 		if one.nsPerOp == 0 {
@@ -101,18 +109,27 @@ func Parse(r io.Reader) (*File, map[string][]float64, error) {
 	for _, name := range order {
 		rs := runs[name]
 		ns := make([]float64, len(rs))
-		bs := make([]float64, len(rs))
-		as := make([]float64, len(rs))
+		var bs, as []float64
 		for i, r := range rs {
-			ns[i], bs[i], as[i] = r.nsPerOp, r.bPerOp, r.allocsPerOp
+			ns[i] = r.nsPerOp
+			if r.hasB {
+				bs = append(bs, r.bPerOp)
+			}
+			if r.hasAllocs {
+				as = append(as, r.allocsPerOp)
+			}
 		}
 		raw[name] = append([]float64(nil), ns...)
-		f.Benchmarks[name] = Result{
-			Runs:        len(rs),
-			NsPerOp:     median(ns),
-			BPerOp:      median(bs),
-			AllocsPerOp: median(as),
+		res := Result{Runs: len(rs), NsPerOp: median(ns)}
+		if len(bs) > 0 {
+			m := median(bs)
+			res.BPerOp = &m
 		}
+		if len(as) > 0 {
+			m := median(as)
+			res.AllocsPerOp = &m
+		}
+		f.Benchmarks[name] = res
 	}
 	return f, raw, nil
 }
@@ -142,20 +159,26 @@ type Delta struct {
 	BaseNsPerOp     float64
 	CurNsPerOp      float64
 	Ratio           float64 // cur/base - 1 (positive = slower)
-	BaseAllocs      float64
-	CurAllocs       float64
+	BaseAllocs      *float64
+	CurAllocs       *float64
 	AllocRatio      float64 // cur/base - 1 (positive = more allocations)
 	NsRegressed     bool
 	AllocsRegressed bool
 	Regressed       bool
 	Missing         bool // in the gated baseline set but absent from the current run
+	// Warning flags a gated benchmark whose allocs/op could not be
+	// gated because the field is missing from the baseline or the
+	// current run; it is surfaced instead of passing silently.
+	Warning string
 }
 
 // Compare gates the current summary against a baseline: benchmarks whose
 // names match filter (the gated set) fail when their median ns/op or
 // allocs/op regresses by more than maxRegress (0.30 = +30%; allocs get
 // allocSlop absolute headroom on top) or when they vanished from the
-// current run. Ungated benchmarks still appear in the returned rows
+// current run. A gated benchmark missing its allocs/op field in either
+// file is not alloc-gated, but the row carries a Warning so the gap is
+// visible. Ungated benchmarks still appear in the returned rows
 // (informational), sorted by name.
 func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64) (deltas []Delta, failed bool) {
 	names := make([]string, 0, len(baseline.Benchmarks))
@@ -182,12 +205,23 @@ func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64)
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp/base.NsPerOp - 1
 		}
-		if base.AllocsPerOp > 0 {
-			d.AllocRatio = cur.AllocsPerOp/base.AllocsPerOp - 1
+		if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			ba, ca := *base.AllocsPerOp, *cur.AllocsPerOp
+			if ba > 0 {
+				d.AllocRatio = ca/ba - 1
+			}
+			d.AllocsRegressed = ca > ba*(1+maxRegress)+allocSlop
+		} else if gated {
+			switch {
+			case base.AllocsPerOp == nil && cur.AllocsPerOp == nil:
+				d.Warning = "allocs/op missing from baseline and current run; allocs not gated"
+			case base.AllocsPerOp == nil:
+				d.Warning = "allocs/op missing from baseline; allocs not gated"
+			default:
+				d.Warning = "allocs/op missing from current run; allocs not gated"
+			}
 		}
 		d.NsRegressed = d.Ratio > maxRegress
-		d.AllocsRegressed = base.AllocsPerOp > 0 &&
-			cur.AllocsPerOp > base.AllocsPerOp*(1+maxRegress)+allocSlop
 		if gated && (d.NsRegressed || d.AllocsRegressed) {
 			d.Regressed = true
 			failed = true
@@ -195,6 +229,14 @@ func Compare(baseline, current *File, filter *regexp.Regexp, maxRegress float64)
 		deltas = append(deltas, d)
 	}
 	return deltas, failed
+}
+
+// fmtAllocs renders an optional allocs/op median ("?" when unreported).
+func fmtAllocs(p *float64) string {
+	if p == nil {
+		return "?"
+	}
+	return fmt.Sprintf("%.0f", *p)
 }
 
 // Format renders comparison rows as an aligned table.
@@ -216,9 +258,12 @@ func Format(w io.Writer, deltas []Delta) {
 					verdict += " (ns/op)"
 				}
 			}
-			fmt.Fprintf(w, "%-36s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %7.0f -> %7.0f allocs/op  %+7.1f%%  %s\n",
+			if d.Warning != "" {
+				verdict += "  WARN: " + d.Warning
+			}
+			fmt.Fprintf(w, "%-36s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %7s -> %7s allocs/op  %+7.1f%%  %s\n",
 				d.Name, d.BaseNsPerOp, d.CurNsPerOp, 100*d.Ratio,
-				d.BaseAllocs, d.CurAllocs, 100*d.AllocRatio, verdict)
+				fmtAllocs(d.BaseAllocs), fmtAllocs(d.CurAllocs), 100*d.AllocRatio, verdict)
 		}
 	}
 }

@@ -36,12 +36,15 @@ func TestParseMedians(t *testing.T) {
 	if lib.Runs != 3 || lib.NsPerOp != 395000 {
 		t.Fatalf("library median = %+v, want 3 runs at 395000 ns/op", lib)
 	}
-	if lib.BPerOp != 120 || lib.AllocsPerOp != 5 {
+	if lib.BPerOp == nil || *lib.BPerOp != 120 || lib.AllocsPerOp == nil || *lib.AllocsPerOp != 5 {
 		t.Fatalf("library mem medians = %+v", lib)
 	}
 	fig7 := f.Benchmarks["Fig7FO4Sweep"]
 	if fig7.NsPerOp != 10500 {
 		t.Fatalf("fig7 median = %+v (custom metrics must not confuse the parser)", fig7)
+	}
+	if fig7.BPerOp != nil || fig7.AllocsPerOp != nil {
+		t.Fatalf("fig7 never reported memory columns; medians must be nil, got %+v", fig7)
 	}
 	if len(raw["LibraryBuildPipelined"]) != 3 {
 		t.Fatalf("raw runs = %v", raw)
@@ -99,21 +102,27 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+func f64(v float64) *float64 { return &v }
+
 func TestCompareGatesAllocs(t *testing.T) {
 	base := &File{Benchmarks: map[string]Result{
-		"StoreDiskWarm":   {Runs: 5, NsPerOp: 1000, AllocsPerOp: 100},
-		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 5},
+		"StoreDiskWarm":   {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(100)},
+		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(5)},
 		"NoAllocBaseline": {Runs: 5, NsPerOp: 1000},
+		"ZeroAllocs":      {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(0)},
 	}}
 	cur := &File{Benchmarks: map[string]Result{
 		// ns/op steady, allocs/op +50%: an allocation regression alone
 		// must fail the gate.
-		"StoreDiskWarm": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 150},
+		"StoreDiskWarm": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(150)},
 		// 5 -> 8 allocs is over +30% but within the absolute slop:
 		// tiny counts must not flake the gate.
-		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 8},
-		// No baseline allocs recorded: never alloc-gated.
-		"NoAllocBaseline": {Runs: 5, NsPerOp: 1000, AllocsPerOp: 9000},
+		"FlowCachedRerun": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(8)},
+		// No baseline allocs recorded: not alloc-gated, but loudly so.
+		"NoAllocBaseline": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(9000)},
+		// A genuinely zero-alloc baseline is a value, not a gap: growth
+		// beyond the absolute slop must still gate.
+		"ZeroAllocs": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(40)},
 	}}
 	deltas, failed := Compare(base, cur, nil, 0.30)
 	if !failed {
@@ -129,14 +138,37 @@ func TestCompareGatesAllocs(t *testing.T) {
 	if d := byName["FlowCachedRerun"]; d.Regressed {
 		t.Fatalf("small absolute alloc growth must pass via slop: %+v", d)
 	}
-	if d := byName["NoAllocBaseline"]; d.Regressed {
-		t.Fatalf("benchmarks without baseline allocs must not alloc-gate: %+v", d)
+	if d := byName["NoAllocBaseline"]; d.Regressed || d.Warning == "" {
+		t.Fatalf("a missing baseline field must warn instead of gating or passing silently: %+v", d)
+	}
+	if d := byName["ZeroAllocs"]; !d.Regressed || d.Warning != "" {
+		t.Fatalf("0 allocs/op is a real baseline and must gate: %+v", d)
 	}
 
 	var buf bytes.Buffer
 	Format(&buf, deltas)
-	if out := buf.String(); !strings.Contains(out, "allocs/op") || !strings.Contains(out, "FAIL (allocs/op)") {
+	out := buf.String()
+	if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "FAIL (allocs/op)") {
 		t.Fatalf("format output misses the alloc verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN") {
+		t.Fatalf("format output misses the missing-field warning:\n%s", out)
+	}
+}
+
+func TestCompareMissingCurrentAllocsWarns(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{
+		"Hot": {Runs: 5, NsPerOp: 1000, AllocsPerOp: f64(10)},
+	}}
+	cur := &File{Benchmarks: map[string]Result{
+		"Hot": {Runs: 5, NsPerOp: 1000},
+	}}
+	deltas, failed := Compare(base, cur, nil, 0.30)
+	if failed {
+		t.Fatalf("missing current allocs must not fail the gate: %+v", deltas)
+	}
+	if len(deltas) != 1 || !strings.Contains(deltas[0].Warning, "current run") {
+		t.Fatalf("want a current-run warning, got %+v", deltas)
 	}
 }
 

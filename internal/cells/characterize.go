@@ -51,6 +51,16 @@ func sensitizingVector(g *logic.Expr, inputs []string, probe string) (map[string
 // to OUT with a fixed capacitive load, and the supply energy per output
 // cycle, via a transient simulation.
 func (l *Library) Characterize(c *Cell, input string, loadF float64) (Timing, error) {
+	return l.CharacterizeWith(nil, c, input, loadF)
+}
+
+// CharacterizeWith is Characterize reusing a caller-owned spice workspace:
+// a load sweep over one cell runs thousands of Newton solves on
+// same-shaped systems, and threading one workspace through the sweep keeps
+// the solver scratch and waveforms off the garbage collector. Pass nil for
+// a one-shot measurement. The workspace is not safe for concurrent use;
+// give each worker its own.
+func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, loadF float64) (Timing, error) {
 	env, err := sensitizingVector(c.Gate.PullDown, c.Gate.Inputs, input)
 	if err != nil {
 		return Timing{}, err
@@ -80,7 +90,7 @@ func (l *Library) Characterize(c *Cell, input string, loadF float64) (Timing, er
 	if loadF > 0 {
 		ckt.AddC("cload", "out", "0", loadF)
 	}
-	res, err := ckt.Transient(period, 4000, spice.DefaultOptions())
+	res, err := ckt.TransientWith(ws, period, 4000, spice.DefaultOptions())
 	if err != nil {
 		return Timing{}, fmt.Errorf("cells: %s transient: %w", c.FullName(), err)
 	}

@@ -19,7 +19,13 @@ import (
 // under the old salt then read as misses instead of stale results.
 // Codec format changes are versioned separately, in each codec's @vN
 // name suffix; on-disk container changes in store.Namespace.
-const cacheSchema = "cnfetdk/flow@v1"
+// v2: the spice solver core switched the MNA assembly to a static/
+// nonlinear stamping split and the FET linearization to analytic
+// derivatives — converged results agree within solver tolerance but the
+// low-order bits of simulated stage payloads (delays, energies,
+// waveform-derived metrics) can shift, so v1 artifacts must not be
+// served against v2 computations.
+const cacheSchema = "cnfetdk/flow@v2"
 
 // The registered codecs of the flow's serializable stage results. Every
 // stage Kit.Run schedules declares one of these (or a per-kit placement

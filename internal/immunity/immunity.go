@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"cnfetdk/internal/cnt"
 	"cnfetdk/internal/geom"
@@ -35,7 +35,9 @@ import (
 )
 
 // Checker verifies one pull network's geometry against its intended
-// conduction behaviour.
+// conduction behaviour. A Checker is not safe for concurrent use (the
+// memo caches and tube scratch below are unsynchronized); parallel runs
+// fork one checker per shard instead.
 type Checker struct {
 	Geom   *layout.NetGeom
 	Net    *network.Network
@@ -43,6 +45,16 @@ type Checker struct {
 
 	conduct map[[2]string]*logic.Table
 	cubeTab map[string]*logic.Table
+
+	// Per-tube scratch, reused across CheckTube calls so batch runs
+	// (Monte Carlo shards, critical-line enumeration) stop allocating in
+	// steady state.
+	seqBuf  []crossing
+	clipBuf []geom.Span
+	gateBuf []crossing
+	condBuf []CondSpan
+	litsBuf []logic.Literal
+	keyBuf  []byte
 }
 
 // NewChecker builds a checker for one network. inputs orders the truth
@@ -84,8 +96,10 @@ type crossing struct {
 }
 
 // trace computes the ordered crossing sequence of a tube, plus the maximal
-// intervals of the tube covered by active material.
+// intervals of the tube covered by active material. Both returned slices
+// are checker-owned scratch, valid until the next trace.
 func (c *Checker) trace(line geom.Line) (seq []crossing, covered []geom.Span) {
+	seq = c.seqBuf[:0]
 	for _, e := range c.Geom.Elements {
 		switch e.Kind {
 		case layout.ElemContact, layout.ElemGate, layout.ElemEtch:
@@ -101,26 +115,45 @@ func (c *Checker) trace(line geom.Line) (seq []crossing, covered []geom.Span) {
 			kind: e.Kind, net: e.Net, in: e.Input, neg: e.Neg,
 		})
 	}
-	sort.Slice(seq, func(i, j int) bool { return seq[i].t < seq[j].t })
+	c.seqBuf = seq
+	slices.SortFunc(seq, func(a, b crossing) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		}
+		return 0
+	})
 
-	var spans []geom.Span
+	spans := c.clipBuf[:0]
 	for _, r := range c.Geom.Active {
 		if sp, ok := line.ClipToRect(r); ok {
 			spans = append(spans, sp)
 		}
 	}
+	c.clipBuf = spans
 	covered = mergeSpans(spans)
 	return seq, covered
 }
 
-// mergeSpans merges overlapping/abutting parameter intervals.
+// mergeSpans merges overlapping/abutting parameter intervals in place and
+// returns the merged prefix.
 func mergeSpans(spans []geom.Span) []geom.Span {
 	if len(spans) == 0 {
 		return nil
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].T0 < spans[j].T0 })
+	slices.SortFunc(spans, func(a, b geom.Span) int {
+		switch {
+		case a.T0 < b.T0:
+			return -1
+		case a.T0 > b.T0:
+			return 1
+		}
+		return 0
+	})
 	const eps = 1e-9
-	out := []geom.Span{spans[0]}
+	out := spans[:1]
 	for _, s := range spans[1:] {
 		last := &out[len(out)-1]
 		if s.T0 <= last.T1+eps {
@@ -171,14 +204,24 @@ func (c *Checker) conductTable(u, v string) *logic.Table {
 	return t
 }
 
-// cubeTable returns (caching) the truth table of a conduction cube.
+// cubeTable returns (caching) the truth table of a conduction cube. The
+// cache key is built in checker-owned scratch, so a hit costs no
+// allocation (the map lookup through string(keyBuf) does not copy).
 func (c *Checker) cubeTable(cu logic.Cube) *logic.Table {
-	key := cu.String()
-	if t, ok := c.cubeTab[key]; ok {
+	key := c.keyBuf[:0]
+	for _, l := range cu.Lits {
+		key = append(key, l.Input...)
+		if l.Neg {
+			key = append(key, '\'')
+		}
+		key = append(key, '&')
+	}
+	c.keyBuf = key
+	if t, ok := c.cubeTab[string(key)]; ok {
 		return t
 	}
 	t := logic.TableOfCube(cu, c.Inputs)
-	c.cubeTab[key] = t
+	c.cubeTab[string(key)] = t
 	return t
 }
 
@@ -195,12 +238,29 @@ type CondSpan struct {
 // touches with continuous active coverage and no etch crossing in between.
 // The cube collects the crossed gates with device polarity applied
 // (p-FETs conduct on 0, n-FETs on 1, complemented inputs flipped);
-// metallic tubes ignore gates entirely.
+// metallic tubes ignore gates entirely. The returned spans and their
+// cubes are freshly allocated and safe to retain.
 func (c *Checker) CondSpans(line geom.Line, metallic bool) []CondSpan {
+	spans := c.condSpans(line, metallic)
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]CondSpan, len(spans))
+	for i, sp := range spans {
+		sp.Cube = copyCube(sp.Cube)
+		out[i] = sp
+	}
+	return out
+}
+
+// condSpans is CondSpans into checker-owned scratch: the returned slice
+// and the cubes inside it are valid until the next tube is traced.
+func (c *Checker) condSpans(line geom.Line, metallic bool) []CondSpan {
 	seq, covered := c.trace(line)
-	var out []CondSpan
+	out := c.condBuf[:0]
+	c.litsBuf = c.litsBuf[:0]
 	lastContact := -1
-	var gates []crossing
+	gates := c.gateBuf[:0]
 	for i, cr := range seq {
 		switch cr.kind {
 		case layout.ElemEtch:
@@ -225,34 +285,53 @@ func (c *Checker) CondSpans(line geom.Line, metallic bool) []CondSpan {
 			gates = gates[:0]
 		}
 	}
+	c.gateBuf = gates
+	c.condBuf = out
 	return out
 }
 
+// buildCube folds the crossed gates into a conduction cube whose literals
+// live in the checker's scratch arena (copyCube before retaining). The
+// gate count per span is tiny, so duplicate literals are dropped by
+// linear scan instead of a map.
 func (c *Checker) buildCube(gates []crossing, metallic bool) logic.Cube {
-	var cube logic.Cube
-	if metallic {
-		return cube
+	if metallic || len(gates) == 0 {
+		return logic.Cube{}
 	}
-	seen := map[string]bool{}
+	start := len(c.litsBuf)
 	for _, g := range gates {
 		neg := c.Net.Type == network.PFET
 		if g.neg {
 			neg = !neg
 		}
-		key := fmt.Sprintf("%s/%v", g.in, neg)
-		if !seen[key] {
-			seen[key] = true
-			cube.Lits = append(cube.Lits, logic.Literal{Input: g.in, Neg: neg})
+		dup := false
+		for _, l := range c.litsBuf[start:] {
+			if l.Input == g.in && l.Neg == neg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.litsBuf = append(c.litsBuf, logic.Literal{Input: g.in, Neg: neg})
 		}
 	}
-	return cube
+	return logic.Cube{Lits: c.litsBuf[start:]}
+}
+
+// copyCube deep-copies a scratch-arena cube so it can outlive the tube.
+func copyCube(cu logic.Cube) logic.Cube {
+	if len(cu.Lits) == 0 {
+		return logic.Cube{}
+	}
+	return logic.Cube{Lits: append([]logic.Literal(nil), cu.Lits...)}
 }
 
 // CheckTube analyses one tube (semiconducting unless metallic) and returns
-// any violating spans.
+// any violating spans. The verdict path is allocation-free for a clean
+// tube; violations (the rare case) are copied out of the scratch arena.
 func (c *Checker) CheckTube(line geom.Line, metallic bool) []Violation {
 	var out []Violation
-	for _, sp := range c.CondSpans(line, metallic) {
+	for _, sp := range c.condSpans(line, metallic) {
 		if sp.NetA == sp.NetB {
 			continue
 		}
@@ -268,7 +347,7 @@ func (c *Checker) CheckTube(line geom.Line, metallic bool) []Violation {
 				reason = "metallic tube short"
 			}
 		}
-		out = append(out, Violation{Tube: line, NetA: sp.NetA, NetB: sp.NetB, Cube: sp.Cube, Reason: reason})
+		out = append(out, Violation{Tube: line, NetA: sp.NetA, NetB: sp.NetB, Cube: copyCube(sp.Cube), Reason: reason})
 	}
 	return out
 }

@@ -16,6 +16,7 @@ import (
 	"cnfetdk/internal/layout"
 	"cnfetdk/internal/logic"
 	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/spice"
 )
 
 // LUT is a one-dimensional NLDM table: delay (s) vs output load (F).
@@ -141,8 +142,14 @@ func CharacterizeCtx(ctx context.Context, lib *cells.Library, loads []float64, c
 	outs, err := pipeline.MapCtx(ctx, workers, jobs, func(_ int, j arcJob) (arcOut, error) {
 		c := lib.MustGet(j.cell)
 		out := arcOut{arc: Arc{Input: j.input}}
+		out.arc.Table.LoadsF = make([]float64, 0, len(loads))
+		out.arc.Table.DelaysS = make([]float64, 0, len(loads))
+		// One solver workspace per arc: the load sweep's transients are
+		// same-shaped, so all but the first reuse its scratch and
+		// waveform storage instead of churning the GC.
+		var ws spice.Workspace
 		for _, load := range loads {
-			t, err := lib.Characterize(c, j.input, load)
+			t, err := lib.CharacterizeWith(&ws, c, j.input, load)
 			if err != nil {
 				return out, fmt.Errorf("liberty: %s/%s: %w", j.cell, j.input, err)
 			}

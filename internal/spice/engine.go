@@ -25,34 +25,93 @@ func DefaultOptions() Options {
 	return Options{MaxNewton: 100, VTol: 1e-6, Gmin: 1e-12, MaxStep: 0.5}
 }
 
-// state is a scratch MNA system.
+// state is a scratch MNA system. The linear part of the system (resistor
+// conductances, capacitor trapezoidal companions, voltage-source
+// incidence, Gmin ties) is stamped once per (deltaT, Gmin) configuration
+// into aStatic; each Newton iteration copy-restores it and re-applies only
+// the FET Norton linearizations. The per-time-point RHS (source waveform
+// values, capacitor history currents) is likewise stamped once per time
+// point into bStep. Every slice lives for the life of the state and is
+// reused across iterations and timesteps, so a solve in steady state
+// allocates nothing.
 type state struct {
-	c      *Circuit
-	opt    Options
-	n      int // node unknowns excluding ground
-	m      int // voltage-source branch currents
-	dim    int
-	a      []float64
-	b      []float64
+	c   *Circuit
+	opt Options
+	n   int // node unknowns excluding ground
+	m   int // voltage-source branch currents
+	dim int
+
+	aStatic []float64 // static linear stamps, valid for (deltaT, opt.Gmin)
+	bStep   []float64 // per-time-point RHS (sources at t, capacitor history)
+	a       []float64 // working matrix, copy-restored then destroyed by lu
+	b       []float64 // working RHS, copy-restored then destroyed by lu
+	perm    []int     // caller-owned pivot scratch for lu
+
 	x      []float64 // current solution estimate (node voltages + branch currents)
-	deltaT float64   // 0 for DC
 	xPrev  []float64 // previous timestep solution
 	iPrev  []float64 // previous capacitor currents (trapezoidal)
+	deltaT float64   // 0 for DC
 	t      float64
+
+	staticOK bool // aStatic matches the current (deltaT, opt.Gmin)
 }
 
-func newState(c *Circuit, opt Options) *state {
+// init sizes the scratch for a circuit, reusing any capacity the state
+// already holds, and resets the solution estimate to zero.
+func (s *state) init(c *Circuit, opt Options) {
 	n := c.NodeCount() - 1
 	m := len(c.VSources)
-	s := &state{
-		c: c, opt: opt, n: n, m: m, dim: n + m,
-		a:     make([]float64, (n+m)*(n+m)),
-		b:     make([]float64, n+m),
-		x:     make([]float64, n+m),
-		xPrev: make([]float64, n+m),
-		iPrev: make([]float64, len(c.Capacitors)),
+	dim := n + m
+	s.c, s.opt = c, opt
+	s.n, s.m, s.dim = n, m, dim
+	s.aStatic = growFloats(s.aStatic, dim*dim)
+	s.bStep = growFloats(s.bStep, dim)
+	s.a = growFloats(s.a, dim*dim)
+	s.b = growFloats(s.b, dim)
+	s.x = growFloats(s.x, dim)
+	s.xPrev = growFloats(s.xPrev, dim)
+	s.iPrev = growFloats(s.iPrev, len(c.Capacitors))
+	zeroFloats(s.x)
+	zeroFloats(s.xPrev)
+	zeroFloats(s.iPrev)
+	if cap(s.perm) < dim {
+		s.perm = make([]int, dim)
 	}
-	return s
+	s.perm = s.perm[:dim]
+	s.deltaT, s.t = 0, 0
+	s.staticOK = false
+}
+
+// growFloats returns a slice of length n, reusing s's capacity when it
+// suffices. Contents are unspecified; callers overwrite or zero them.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// setGmin updates the robustness conductance, invalidating the static
+// stamps when it actually changes (gmin stepping).
+func (s *state) setGmin(g float64) {
+	if s.opt.Gmin != g {
+		s.opt.Gmin = g
+		s.staticOK = false
+	}
+}
+
+// setDeltaT switches between DC (0) and transient companion stamping.
+func (s *state) setDeltaT(dt float64) {
+	if s.deltaT != dt {
+		s.deltaT = dt
+		s.staticOK = false
+	}
 }
 
 // idx maps a node index to a matrix row (-1 for ground).
@@ -66,71 +125,90 @@ func (s *state) v(node int) float64 {
 	return s.x[node-1]
 }
 
-func (s *state) stampG(a, b int, g float64) {
+// stampGInto stamps a conductance between nodes a and b into matrix m.
+func (s *state) stampGInto(m []float64, a, b int, g float64) {
 	ia, ib := s.idx(a), s.idx(b)
 	if ia >= 0 {
-		s.a[ia*s.dim+ia] += g
+		m[ia*s.dim+ia] += g
 	}
 	if ib >= 0 {
-		s.a[ib*s.dim+ib] += g
+		m[ib*s.dim+ib] += g
 	}
 	if ia >= 0 && ib >= 0 {
-		s.a[ia*s.dim+ib] -= g
-		s.a[ib*s.dim+ia] -= g
+		m[ia*s.dim+ib] -= g
+		m[ib*s.dim+ia] -= g
 	}
 }
 
-func (s *state) stampI(a, b int, i float64) {
-	// Current i flows from a to b externally (injected into b).
+// stampIInto stamps a current flowing from a to b externally (injected
+// into b) into RHS vector rhs.
+func (s *state) stampIInto(rhs []float64, a, b int, i float64) {
 	if ia := s.idx(a); ia >= 0 {
-		s.b[ia] -= i
+		rhs[ia] -= i
 	}
 	if ib := s.idx(b); ib >= 0 {
-		s.b[ib] += i
+		rhs[ib] += i
 	}
 }
 
-// assemble builds the linearized MNA system around the current estimate.
-func (s *state) assemble() {
-	for i := range s.a {
-		s.a[i] = 0
-	}
-	for i := range s.b {
-		s.b[i] = 0
-	}
+// stampStatic assembles the linear, configuration-dependent part of the
+// MNA matrix: resistors, capacitor trapezoidal companion conductances,
+// voltage-source incidence, and the per-FET Gmin ties. It depends only on
+// (deltaT, opt.Gmin), never on the Newton estimate or the time point, so
+// newton copy-restores it instead of re-stamping.
+func (s *state) stampStatic() {
+	zeroFloats(s.aStatic)
 	c := s.c
 	for _, r := range c.Resistors {
-		s.stampG(r.A, r.B, 1/r.R)
+		s.stampGInto(s.aStatic, r.A, r.B, 1/r.R)
 	}
-	for ci, cap := range c.Capacitors {
-		if s.deltaT > 0 {
-			// Trapezoidal companion: geq = 2C/dt, Ieq accounts history.
-			geq := 2 * cap.C / s.deltaT
-			vPrev := s.prevV(cap.A) - s.prevV(cap.B)
-			ieq := geq*vPrev + s.iPrev[ci]
-			s.stampG(cap.A, cap.B, geq)
-			s.stampI(cap.B, cap.A, ieq) // inject ieq from B to A
+	if s.deltaT > 0 {
+		for _, cap := range c.Capacitors {
+			// Trapezoidal companion conductance geq = 2C/dt.
+			s.stampGInto(s.aStatic, cap.A, cap.B, 2*cap.C/s.deltaT)
 		}
-		// DC: open circuit.
 	}
+	// DC: capacitors are open circuits.
 	for vi, vs := range c.VSources {
 		row := s.n + vi
 		ip, in := s.idx(vs.P), s.idx(vs.N)
 		if ip >= 0 {
-			s.a[ip*s.dim+row] += 1
-			s.a[row*s.dim+ip] += 1
+			s.aStatic[ip*s.dim+row] += 1
+			s.aStatic[row*s.dim+ip] += 1
 		}
 		if in >= 0 {
-			s.a[in*s.dim+row] -= 1
-			s.a[row*s.dim+in] -= 1
+			s.aStatic[in*s.dim+row] -= 1
+			s.aStatic[row*s.dim+in] -= 1
 		}
-		s.b[row] += vs.W.At(s.t)
+	}
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		s.stampGInto(s.aStatic, f.D, 0, s.opt.Gmin)
+		s.stampGInto(s.aStatic, f.S, 0, s.opt.Gmin)
+	}
+	s.staticOK = true
+}
+
+// stampStep assembles the per-time-point RHS: voltage-source waveform
+// values, current sources, and the capacitor trapezoidal history. It
+// depends on (t, xPrev, iPrev) — all fixed across the Newton iterations
+// of one time point — so newton computes it once per solve.
+func (s *state) stampStep() {
+	zeroFloats(s.bStep)
+	c := s.c
+	if s.deltaT > 0 {
+		for ci, cap := range c.Capacitors {
+			geq := 2 * cap.C / s.deltaT
+			vPrev := s.prevV(cap.A) - s.prevV(cap.B)
+			ieq := geq*vPrev + s.iPrev[ci]
+			s.stampIInto(s.bStep, cap.B, cap.A, ieq) // inject ieq from B to A
+		}
+	}
+	for vi, vs := range c.VSources {
+		s.bStep[s.n+vi] += vs.W.At(s.t)
 	}
 	for _, is := range c.ISources {
-		s.stampI(is.P, is.N, is.W.At(s.t))
-	}
-	for _, f := range c.FETs {
-		s.stampFET(f)
+		s.stampIInto(s.bStep, is.P, is.N, is.W.At(s.t))
 	}
 }
 
@@ -143,18 +221,13 @@ func (s *state) prevV(node int) float64 {
 
 // stampFET linearizes the FET around the present estimate:
 // I(v) ≈ I0 + gG·(vg-vg0) + gD·(vd-vd0) + gS·(vs-vs0).
-func (s *state) stampFET(f FET) {
+// Only the Norton equivalent is stamped here; the FET's Gmin ties live in
+// the static matrix.
+func (s *state) stampFET(f *FET) {
 	vg, vd, vs := s.v(f.G), s.v(f.D), s.v(f.S)
-	id, dIg, dId, dIs := fetEvalNumeric(f.P, vg, vd, vs)
+	id, dIg, dId, dIs := fetEval(f.P, vg, vd, vs)
 	// Norton equivalent: current source + conductances.
 	ieq := id - dIg*vg - dId*vd - dIs*vs
-	// Current id flows D -> S (leaves D node).
-	addA := func(r, c int, v float64) {
-		ri, ci := s.idx(r), s.idx(c)
-		if ri >= 0 && ci >= 0 {
-			s.a[ri*s.dim+ci] += v
-		}
-	}
 	// KCL at D: +id; at S: -id.
 	if di := s.idx(f.D); di >= 0 {
 		s.b[di] -= ieq
@@ -162,22 +235,87 @@ func (s *state) stampFET(f FET) {
 	if si := s.idx(f.S); si >= 0 {
 		s.b[si] += ieq
 	}
-	addA(f.D, f.G, dIg)
-	addA(f.D, f.D, dId)
-	addA(f.D, f.S, dIs)
-	addA(f.S, f.G, -dIg)
-	addA(f.S, f.D, -dId)
-	addA(f.S, f.S, -dIs)
-	// Gmin for robustness.
-	s.stampG(f.D, 0, s.opt.Gmin)
-	s.stampG(f.S, 0, s.opt.Gmin)
+	s.addA(f.D, f.G, dIg)
+	s.addA(f.D, f.D, dId)
+	s.addA(f.D, f.S, dIs)
+	s.addA(f.S, f.G, -dIg)
+	s.addA(f.S, f.D, -dId)
+	s.addA(f.S, f.S, -dIs)
 }
 
-// fetEvalNumeric computes the drain current and numerically differentiated
-// terminal derivatives. The analytic derivation with source/drain swap and
-// polarity mirroring is error-prone; central differences on the smooth
-// model are exact enough for Newton and unconditionally consistent with
-// the current evaluation.
+// addA adds v at (r, c) of the working matrix when both map to unknowns.
+func (s *state) addA(r, c int, v float64) {
+	ri, ci := s.idx(r), s.idx(c)
+	if ri >= 0 && ci >= 0 {
+		s.a[ri*s.dim+ci] += v
+	}
+}
+
+// fetEval computes the drain current and its exact terminal derivatives.
+//
+// The smooth model is I = sign · ISat · g(u) · tanh(vds'/VSat) in the
+// source-swapped frame (vds' >= 0), with g the logistic gate factor at
+// u = (vgs' - Vt)/SS. Writing F(vgs, vds) for the current as a function of
+// the polarity-mapped terminal differences, the chain rule through the
+// swap (vgs' = vgs - vds, vds' = -vds when vds < 0) gives
+//
+//	vds >= 0:  ∂F/∂vgs = ISat·g′/SS·tanh,   ∂F/∂vds = ISat·g·sech²/VSat
+//	vds <  0:  ∂F/∂vgs = -ISat·g′/SS·tanh,  ∂F/∂vds = ISat·(g′/SS·tanh + g·sech²/VSat)
+//
+// (g′, tanh, sech² evaluated at the swapped arguments). Both polarities
+// then map identically onto the terminals: dI/dvg = ∂F/∂vgs,
+// dI/dvd = ∂F/∂vds, dI/dvs = -(∂F/∂vgs + ∂F/∂vds) — the p-device mirrors
+// the argument mapping and the output sign, and the two flips cancel.
+// One exp and one tanh serve the current and all three derivatives, where
+// central differences cost six extra model evaluations; the parity test
+// pins the two against each other to 1e-9 over a dense grid.
+func fetEval(p device.FETParams, vg, vd, vs float64) (id, dIg, dId, dIs float64) {
+	vgs := vg - vs
+	vds := vd - vs
+	if p.Polarity == device.PType {
+		vgs = vs - vg
+		vds = vs - vd
+	}
+	sign := 1.0
+	if vds < 0 {
+		// Symmetric device: treat the lower terminal as the source.
+		vgs -= vds
+		vds = -vds
+		sign = -1
+	}
+	u := (vgs - p.Vt) / p.SS
+	var g, gp float64
+	switch {
+	case u > 40:
+		g = 1
+	case u < -40:
+		g = 0
+	default:
+		g = 1 / (1 + math.Exp(-u))
+		gp = g * (1 - g)
+	}
+	th := math.Tanh(vds / p.VSat)
+	dgs := p.ISat * gp / p.SS * th           // |∂F/∂vgs| contribution
+	dds := p.ISat * g * (1 - th*th) / p.VSat // saturation-slope contribution
+	f := sign * p.ISat * g * th
+	var f1, f2 float64
+	if sign > 0 {
+		f1, f2 = dgs, dds
+	} else {
+		f1, f2 = -dgs, dgs+dds
+	}
+	id = f
+	if p.Polarity == device.PType {
+		id = -f
+	}
+	return id, f1, f2, -f1 - f2
+}
+
+// fetEvalNumeric computes the drain current and centrally-differenced
+// terminal derivatives. It is the independent reference the analytic
+// fetEval is validated against (see TestFETDerivativeParity); the solver
+// itself uses fetEval, which shares one exp/tanh evaluation across the
+// current and all three derivatives.
 func fetEvalNumeric(p device.FETParams, vg, vd, vs float64) (id, dIg, dId, dIs float64) {
 	id = fetCurrent(p, vg, vd, vs)
 	const h = 1e-6
@@ -221,21 +359,31 @@ func fetCurrent(p device.FETParams, vg, vd, vs float64) float64 {
 	return i
 }
 
-// newton iterates the nonlinear solve at the present time point.
+// newton iterates the nonlinear solve at the present time point. The
+// static stamps and the per-time-point RHS are assembled once; each
+// iteration copy-restores them and re-applies only the FET
+// linearizations, then factorizes in the preallocated working system —
+// the loop allocates nothing.
 func (s *state) newton() error {
+	if !s.staticOK {
+		s.stampStatic()
+	}
+	s.stampStep()
 	for it := 0; it < s.opt.MaxNewton; it++ {
-		s.assemble()
-		// Solve A dx = b with x embedded: we assemble full equations in
-		// terms of absolute unknowns, so solve directly for x_new.
-		a := append([]float64(nil), s.a...)
-		b := append([]float64(nil), s.b...)
-		if err := lu(a, b, s.dim); err != nil {
+		copy(s.a, s.aStatic)
+		copy(s.b, s.bStep)
+		for i := range s.c.FETs {
+			s.stampFET(&s.c.FETs[i])
+		}
+		// We assemble full equations in terms of absolute unknowns, so
+		// the solve yields x_new directly.
+		if err := lu(s.a, s.b, s.perm, s.dim); err != nil {
 			return err
 		}
 		// Damped update and convergence check on node voltages.
 		conv := true
 		for i := 0; i < s.dim; i++ {
-			d := b[i] - s.x[i]
+			d := s.b[i] - s.x[i]
 			if i < s.n {
 				if math.Abs(d) > s.opt.VTol {
 					conv = false
@@ -255,17 +403,29 @@ func (s *state) newton() error {
 	return fmt.Errorf("spice: Newton did not converge at t=%.3e", s.t)
 }
 
+// Workspace holds the solver scratch and waveform storage one goroutine
+// reuses across repeated solves: characterization sweeps and Monte Carlo
+// loops run thousands of near-identical transients, and reusing the
+// workspace keeps them off the garbage collector entirely. The zero value
+// is ready to use. A Workspace is not safe for concurrent use; give each
+// worker its own.
+type Workspace struct {
+	st  state
+	res Result
+}
+
 // OP computes the DC operating point. It first tries a direct solve, then
 // falls back to gmin stepping.
 func (c *Circuit) OP(opt Options) ([]float64, error) {
-	s := newState(c, opt)
-	s.deltaT = 0
+	var ws Workspace
+	s := &ws.st
+	s.init(c, opt)
 	if err := s.newton(); err == nil {
 		return s.x, nil
 	}
 	// Gmin stepping: start heavily damped and relax.
 	for _, g := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, opt.Gmin} {
-		s.opt.Gmin = g
+		s.setGmin(g)
 		if err := s.newton(); err != nil {
 			return nil, fmt.Errorf("gmin step %g: %w", g, err)
 		}
@@ -284,44 +444,75 @@ type Result struct {
 	IV [][]float64
 }
 
+// reset sizes the result for a run of steps+1 samples over the circuit,
+// reusing the waveform storage of a previous run when it is big enough.
+func (r *Result) reset(c *Circuit, steps int) {
+	r.Circuit = c
+	samples := steps + 1
+	r.Times = growFloats(r.Times, samples)
+	nNodes := c.NodeCount() - 1
+	r.V = growWaves(r.V, nNodes, samples)
+	r.IV = growWaves(r.IV, len(c.VSources), samples)
+}
+
+// growWaves sizes an outer×samples waveform matrix, reusing capacity.
+func growWaves(w [][]float64, outer, samples int) [][]float64 {
+	if cap(w) < outer {
+		w = make([][]float64, outer)
+	} else {
+		w = w[:outer]
+	}
+	for i := range w {
+		w[i] = growFloats(w[i], samples)
+	}
+	return w
+}
+
 // Transient runs a fixed-step trapezoidal transient from 0 to tstop with
 // the given number of steps. The DC operating point at t=0 initializes
 // state.
 func (c *Circuit) Transient(tstop float64, steps int, opt Options) (*Result, error) {
-	s := newState(c, opt)
-	s.t = 0
-	s.deltaT = 0
+	return c.TransientWith(nil, tstop, steps, opt)
+}
+
+// TransientWith is Transient reusing a caller-owned workspace: the solver
+// scratch and the returned Result's waveform storage live in ws, so a
+// loop of same-shaped solves stops allocating after the first. The
+// returned Result aliases ws and is only valid until the next solve on
+// the same workspace; pass nil for a one-shot solve.
+func (c *Circuit) TransientWith(ws *Workspace, tstop float64, steps int, opt Options) (*Result, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	s := &ws.st
+	s.init(c, opt)
 	if err := s.newton(); err != nil {
 		// Retry via gmin ramp.
 		for _, g := range []float64{1e-3, 1e-5, 1e-7, 1e-9, opt.Gmin} {
-			s.opt.Gmin = g
+			s.setGmin(g)
 			if err2 := s.newton(); err2 != nil {
 				return nil, fmt.Errorf("spice: OP for transient: %w", err2)
 			}
 		}
-		s.opt.Gmin = opt.Gmin
+		s.setGmin(opt.Gmin)
 	}
 	dt := tstop / float64(steps)
-	res := &Result{Circuit: c}
-	nNodes := c.NodeCount() - 1
-	res.V = make([][]float64, nNodes)
-	res.IV = make([][]float64, len(c.VSources))
-	record := func() {
-		res.Times = append(res.Times, s.t)
-		for i := 0; i < nNodes; i++ {
-			res.V[i] = append(res.V[i], s.x[i])
+	res := &ws.res
+	res.reset(c, steps)
+	record := func(k int) {
+		res.Times[k] = s.t
+		for i := 0; i < s.n; i++ {
+			res.V[i][k] = s.x[i]
 		}
 		for i := range c.VSources {
-			res.IV[i] = append(res.IV[i], s.x[s.n+i])
+			res.IV[i][k] = s.x[s.n+i]
 		}
 	}
-	record()
+	record(0)
 	copy(s.xPrev, s.x)
 	// Initialize capacitor currents at 0 (consistent DC).
-	for i := range s.iPrev {
-		s.iPrev[i] = 0
-	}
-	s.deltaT = dt
+	zeroFloats(s.iPrev)
+	s.setDeltaT(dt)
 	for k := 1; k <= steps; k++ {
 		s.t = float64(k) * dt
 		if err := s.newton(); err != nil {
@@ -336,7 +527,7 @@ func (c *Circuit) Transient(tstop float64, steps int, opt Options) (*Result, err
 			s.iPrev[ci] = geq*(vNew-vPrev) - s.iPrev[ci]
 		}
 		copy(s.xPrev, s.x)
-		record()
+		record(k)
 	}
 	return res, nil
 }

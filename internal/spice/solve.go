@@ -7,12 +7,12 @@ import (
 
 // lu performs in-place dense LU factorization with partial pivoting and
 // solves A·x = b. A is row-major n×n and is destroyed; b is overwritten
-// with the solution.
-func lu(a []float64, b []float64, n int) error {
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
+// with the solution. perm is caller-owned pivot scratch (len >= n) so the
+// solve itself never allocates; on return perm[k] records the row chosen
+// as the pivot at elimination step k (perm[k] == k when no swap happened),
+// which the pivoting tests use as evidence.
+func lu(a []float64, b []float64, perm []int, n int) error {
+	perm = perm[:n]
 	for k := 0; k < n; k++ {
 		// Pivot.
 		p, best := k, math.Abs(a[k*n+k])
@@ -24,6 +24,7 @@ func lu(a []float64, b []float64, n int) error {
 		if best == 0 || math.IsNaN(best) {
 			return errors.New("spice: singular matrix")
 		}
+		perm[k] = p
 		if p != k {
 			for j := 0; j < n; j++ {
 				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]

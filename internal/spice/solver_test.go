@@ -1,0 +1,234 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"cnfetdk/internal/device"
+)
+
+// TestFETDerivativeParity pins the analytic fetEval derivatives against
+// the central-difference reference over a dense (vgs, vds, polarity)
+// grid spanning deep sub-threshold, the logistic transition, saturation,
+// and both signs of vds (the source-swap fold). The currents must agree
+// exactly (same formula) and every terminal derivative to 1e-9.
+func TestFETDerivativeParity(t *testing.T) {
+	models := []device.FETParams{
+		device.CMOSFET("mn", device.NType, 1),
+		device.CMOSFET("mp", device.PType, 1.4),
+		device.CNFET("cn", device.NType, 9, device.GateWidthNM, device.DefaultFO4()),
+		device.CNFET("cp", device.PType, 9, device.GateWidthNM, device.DefaultFO4()),
+	}
+	const tol = 1e-9
+	points := 0
+	for _, p := range models {
+		for _, vs := range []float64{0, 0.4} {
+			for vg := -1.5; vg <= 1.5+1e-12; vg += 0.05 {
+				for vd := -1.2; vd <= 1.2+1e-12; vd += 0.05 {
+					id, ag, ad, as := fetEval(p, vg, vd+vs, vs)
+					nid, ng, nd, ns := fetEvalNumeric(p, vg, vd+vs, vs)
+					if id != nid {
+						t.Fatalf("%s: current mismatch at vg=%.2f vd=%.2f vs=%.2f: %g vs %g",
+							p.Name, vg, vd+vs, vs, id, nid)
+					}
+					for _, chk := range []struct {
+						name      string
+						got, want float64
+					}{
+						{"dI/dvg", ag, ng}, {"dI/dvd", ad, nd}, {"dI/dvs", as, ns},
+					} {
+						if math.Abs(chk.got-chk.want) > tol {
+							t.Fatalf("%s: %s at vg=%.2f vd=%.2f vs=%.2f: analytic %.12g vs numeric %.12g (|Δ|=%.3g)",
+								p.Name, chk.name, vg, vd+vs, vs, chk.got, chk.want, math.Abs(chk.got-chk.want))
+						}
+					}
+					points++
+				}
+			}
+		}
+	}
+	if points < 10000 {
+		t.Fatalf("parity grid too sparse: %d points", points)
+	}
+}
+
+// TestFETDerivativeSumRule checks the structural identity the Norton
+// stamp relies on: dI/dvg + dI/dvd + dI/dvs = 0 (shifting all terminals
+// together changes nothing).
+func TestFETDerivativeSumRule(t *testing.T) {
+	p := device.CMOSFET("mn", device.NType, 1)
+	for vg := -1.0; vg <= 1.0; vg += 0.13 {
+		for vd := -1.0; vd <= 1.0; vd += 0.17 {
+			_, ag, ad, as := fetEval(p, vg, vd, 0.1)
+			if s := ag + ad + as; math.Abs(s) > 1e-18 {
+				t.Fatalf("terminal derivatives must sum to 0, got %g at vg=%.2f vd=%.2f", s, vg, vd)
+			}
+		}
+	}
+}
+
+// TestLUPivotingZeroDiagonal solves a system whose first pivot is 0: only
+// a row swap makes it solvable, and perm must record the swap.
+func TestLUPivotingZeroDiagonal(t *testing.T) {
+	a := []float64{
+		0, 1,
+		1, 0,
+	}
+	b := []float64{2, 3}
+	perm := make([]int, 2)
+	if err := lu(a, b, perm, 2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-3) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [3 2]", b)
+	}
+	if perm[0] != 1 {
+		t.Fatalf("perm = %v: the zero diagonal must force a pivot swap at step 0", perm)
+	}
+}
+
+// TestLUNearSingularPivoting checks that partial pivoting keeps a
+// badly-scaled system accurate: with a 1e-14 leading entry, eliminating
+// without swapping would lose all precision.
+func TestLUNearSingularPivoting(t *testing.T) {
+	eps := 1e-14
+	// [[eps, 1], [1, 1]] x = [1, 2]; exact: x2 = (2eps-1)/(eps-1), x1 = 2-x2.
+	a := []float64{
+		eps, 1,
+		1, 1,
+	}
+	x2 := (2*eps - 1) / (eps - 1)
+	x1 := 2 - x2
+	b := []float64{1, 2}
+	perm := make([]int, 2)
+	if err := lu(a, b, perm, 2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-x1) > 1e-9 || math.Abs(b[1]-x2) > 1e-9 {
+		t.Fatalf("x = %v, want [%v %v]", b, x1, x2)
+	}
+	if perm[0] != 1 {
+		t.Fatalf("perm = %v: the tiny pivot must be swapped away", perm)
+	}
+}
+
+// TestLUThreeByThree solves a dense 3x3 with a known solution.
+func TestLUThreeByThree(t *testing.T) {
+	// A = [[2,1,1],[4,-6,0],[-2,7,2]], x = [1,2,3] -> b = A·x.
+	a := []float64{
+		2, 1, 1,
+		4, -6, 0,
+		-2, 7, 2,
+	}
+	b := []float64{7, -8, 18}
+	perm := make([]int, 3)
+	if err := lu(a, b, perm, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(b[i]-want) > 1e-12 {
+			t.Fatalf("x = %v, want [1 2 3]", b)
+		}
+	}
+}
+
+// TestLUSingular rejects exactly-singular and NaN-poisoned systems.
+func TestLUSingular(t *testing.T) {
+	cases := []struct {
+		name string
+		a    []float64
+	}{
+		{"zero-column", []float64{
+			0, 1,
+			0, 1,
+		}},
+		{"dependent-rows", []float64{
+			1, 2,
+			2, 4,
+		}},
+		{"nan", []float64{
+			math.NaN(), 1,
+			1, 1,
+		}},
+	}
+	for _, tc := range cases {
+		b := []float64{1, 1}
+		perm := make([]int, 2)
+		if err := lu(append([]float64(nil), tc.a...), b, perm, 2); err == nil {
+			t.Fatalf("%s: singular system must fail", tc.name)
+		}
+	}
+}
+
+// TestTransientWithReuseMatchesOneShot runs the same transient through a
+// reused workspace (after warming it on a different circuit shape) and
+// through the one-shot path; the waveforms must be identical.
+func TestTransientWithReuseMatchesOneShot(t *testing.T) {
+	build := func() *Circuit {
+		c := New()
+		c.AddV("vdd", "vdd", "0", DC(device.Vdd))
+		c.AddV("vin", "n0", "0", Pulse{V0: 0, V1: 1, Delay: 20e-12, Rise: 5e-12, Fall: 5e-12, W: 1, Period: 2})
+		addInverter(c, "i1", "n0", "n1", nfet(t), pfet(t))
+		addInverter(c, "i2", "n1", "n2", nfet(t), pfet(t))
+		c.AddC("cl", "n2", "0", 1e-15)
+		return c
+	}
+	want, err := build().Transient(400e-12, 800, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &Workspace{}
+	// Warm the workspace on a bigger, different circuit so reuse has to
+	// resize and re-zero correctly.
+	big := New()
+	big.AddV("vdd", "vdd", "0", DC(device.Vdd))
+	big.AddV("vin", "n0", "0", Pulse{V0: 0, V1: 1, Rise: 5e-12, Fall: 5e-12, W: 1, Period: 2})
+	for i := 0; i < 4; i++ {
+		addInverter(big, "b", nodeN(i), nodeN(i+1), nfet(t), pfet(t))
+	}
+	if _, err := big.TransientWith(ws, 200e-12, 500, opts()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := build().TransientWith(ws, 400e-12, 800, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Times) != len(want.Times) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got.Times), len(want.Times))
+	}
+	for i := range want.V {
+		for k := range want.V[i] {
+			if got.V[i][k] != want.V[i][k] {
+				t.Fatalf("V[%d][%d]: reused workspace %g vs fresh %g", i, k, got.V[i][k], want.V[i][k])
+			}
+		}
+	}
+	for i := range want.IV {
+		for k := range want.IV[i] {
+			if got.IV[i][k] != want.IV[i][k] {
+				t.Fatalf("IV[%d][%d]: reused workspace %g vs fresh %g", i, k, got.IV[i][k], want.IV[i][k])
+			}
+		}
+	}
+}
+
+// TestTransientResultPreSized verifies Transient sizes the waveforms to
+// steps+1 up front instead of growing them by appends.
+func TestTransientResultPreSized(t *testing.T) {
+	c := New()
+	c.AddV("vs", "in", "0", DC(1))
+	c.AddR("r", "in", "out", 1e3)
+	c.AddC("c", "out", "0", 1e-12)
+	res, err := c.Transient(1e-9, 250, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 251 || cap(res.Times) != 251 {
+		t.Fatalf("Times len/cap = %d/%d, want exactly steps+1", len(res.Times), cap(res.Times))
+	}
+	for i := range res.V {
+		if len(res.V[i]) != 251 {
+			t.Fatalf("V[%d] has %d samples", i, len(res.V[i]))
+		}
+	}
+}
