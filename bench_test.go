@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -29,6 +30,7 @@ import (
 	"cnfetdk/internal/report"
 	"cnfetdk/internal/route"
 	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
 	"cnfetdk/internal/sta"
 	"cnfetdk/internal/sweep"
 	"cnfetdk/internal/synth"
@@ -872,4 +874,121 @@ func BenchmarkAngleSensitivity(b *testing.B) {
 	}
 	b.ReportMetric(100*at5, "fail-%-at-5deg")
 	b.ReportMetric(100*at25, "fail-%-at-25deg")
+}
+
+// delayBench builds a registry circuit's delay testbench — the same
+// construction the flow's delay analysis uses: the instantiated netlist
+// plus sorted static DC sources and the stimulus pulse.
+func delayBench(b *testing.B, k *flow.Kit, name string) *spice.Circuit {
+	b.Helper()
+	c, err := flow.LookupCircuit(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := c.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckt, _, err := k.BuildCircuit(k.CNFET, nl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	period := 4000e-12
+	statics := make([]string, 0, len(c.Stimulus.Static))
+	for in := range c.Stimulus.Static {
+		statics = append(statics, in)
+	}
+	sort.Strings(statics)
+	for _, in := range statics {
+		level := 0.0
+		if c.Stimulus.Static[in] {
+			level = device.Vdd
+		}
+		ckt.AddV("vin."+in, in, "0", spice.DC(level))
+	}
+	ckt.AddV("vin."+c.Stimulus.Pulse, c.Stimulus.Pulse, "0", spice.Pulse{
+		V0: 0, V1: device.Vdd, Delay: period / 4,
+		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
+	})
+	return ckt
+}
+
+// transientBenchCases is the solver-scaling ladder: the full adder sits
+// below the sparse crossover (dim 32), the adders and multiplier above
+// it (116/228/294 unknowns). Step counts shrink with size so every case
+// stays in benchmark-friendly territory; per-step cost is what the
+// dense-vs-sparse comparison measures.
+var transientBenchCases = []struct {
+	name  string
+	steps int
+}{
+	{"fulladder", 400},
+	{"rca4", 200},
+	{"rca8", 100},
+	{"mult4", 50},
+}
+
+func benchTransientSolver(b *testing.B, kind spice.SolverKind) {
+	k := kit(b)
+	for _, tc := range transientBenchCases {
+		b.Run("n="+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			ckt := delayBench(b, k, tc.name)
+			opt := spice.DefaultOptions()
+			opt.Solver = kind
+			period := 4000e-12 * float64(tc.steps) / 8000
+			ws := &spice.Workspace{}
+			if _, err := ckt.TransientWith(ws, period, tc.steps, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ckt.TransientWith(ws, period, tc.steps, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tc.steps), "steps")
+		})
+	}
+}
+
+// BenchmarkTransientDense forces the dense LU path across the registry
+// size ladder — the pre-sparse baseline.
+func BenchmarkTransientDense(b *testing.B) { benchTransientSolver(b, spice.SolverDense) }
+
+// BenchmarkTransientSparse is the same ladder through the sparse
+// symbolic/numeric solver; compare ns/op case by case against
+// BenchmarkTransientDense.
+func BenchmarkTransientSparse(b *testing.B) { benchTransientSolver(b, spice.SolverSparse) }
+
+// BenchmarkCharacterizationArcLoop measures one cell arc's load sweep
+// the pre-batch way: load-by-load CharacterizeWith through one reused
+// workspace.
+func BenchmarkCharacterizationArcLoop(b *testing.B) {
+	b.ReportAllocs()
+	lib := kit(b).CNFET
+	c := lib.MustGet("NAND2_1X")
+	loads := liberty.DefaultLoads(lib.ReferenceLoad())
+	ws := &spice.Workspace{}
+	for i := 0; i < b.N; i++ {
+		for _, load := range loads {
+			if _, err := lib.CharacterizeWith(ws, c, "A", load); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCharacterizationArcBatch is the same sweep through the
+// plan-sharing batch API liberty now uses.
+func BenchmarkCharacterizationArcBatch(b *testing.B) {
+	b.ReportAllocs()
+	lib := kit(b).CNFET
+	c := lib.MustGet("NAND2_1X")
+	loads := liberty.DefaultLoads(lib.ReferenceLoad())
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.CharacterizeBatch(c, "A", loads, spice.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

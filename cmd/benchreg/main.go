@@ -27,9 +27,11 @@ import (
 )
 
 // defaultFilter gates the staged-pipeline and flow hot paths: library
-// build fan-out, characterization, Monte Carlo sharding, the cached
-// flow rerun, the sweep engine and the disk-backed artifact store.
-const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk`
+// build fan-out, characterization (including the arc batch-vs-loop
+// pair), Monte Carlo sharding, the cached flow rerun, the sweep engine,
+// the disk-backed artifact store, and the dense/sparse transient solver
+// ladder.
+const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk|Transient`
 
 func main() {
 	in := flag.String("in", "-", "benchmark output to read (\"-\" = stdin)")

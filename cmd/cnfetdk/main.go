@@ -36,12 +36,13 @@ func main() {
 	scheme := flag.Int("scheme", 2, "CNFET layout scheme (1 or 2)")
 	gds := flag.String("gds", "", "output GDS path")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
+	analyses := flag.String("analyses", "area", "comma-separated analyses (area,delay,energy,immunity)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	req, err := buildRequest(*circuit, exprs, *in, *name, *scheme)
+	req, err := buildRequest(*circuit, exprs, *in, *name, *scheme, *analyses)
 	if err != nil {
 		fail(err)
 	}
@@ -62,6 +63,12 @@ func main() {
 		fmt.Printf("CMOS reference: %.0f λ² (CNFET gain %.2fx)\n",
 			cm.AreaLam2, res.Gains["area"])
 	}
+	if cn.DelayS > 0 {
+		fmt.Printf("delay: %.1f ps\n", cn.DelayS*1e12)
+	}
+	if cn.EnergyJ > 0 {
+		fmt.Printf("energy: %.2f fJ/cycle\n", cn.EnergyJ*1e15)
+	}
 
 	if *gds != "" {
 		// A CNFET-only follow-up job renders the stream; its netlist
@@ -81,10 +88,14 @@ func main() {
 }
 
 // buildRequest assembles the service request from the CLI surface.
-func buildRequest(circuit string, exprs exprList, inPath, name string, scheme int) (flow.Request, error) {
+func buildRequest(circuit string, exprs exprList, inPath, name string, scheme int, analyses string) (flow.Request, error) {
 	req := flow.Request{
-		Techs:    []string{"cnfet", "cmos"},
-		Analyses: []flow.Analysis{flow.AnalysisArea},
+		Techs: []string{"cnfet", "cmos"},
+	}
+	for _, a := range strings.Split(analyses, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			req.Analyses = append(req.Analyses, flow.Analysis(a))
+		}
 	}
 	if scheme == 1 {
 		req.Placement = "rows"

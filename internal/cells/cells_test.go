@@ -260,3 +260,61 @@ func TestCharacterizeUnsensitizableInput(t *testing.T) {
 		t.Fatal("characterizing a nonexistent pin must fail")
 	}
 }
+
+// TestCharacterizeBatchMatchesSequential pins the batch API against the
+// load-by-load reference path: under the same options the batch must be
+// byte-identical (same circuits, same solver, deterministic arithmetic),
+// and forcing the sparse solver onto the sweep must agree within
+// far-below-engineering tolerance.
+func TestCharacterizeBatchMatchesSequential(t *testing.T) {
+	l := lib(t, rules.CNFET)
+	c := l.MustGet("NAND2_1X")
+	ref := l.ReferenceLoad()
+	loads := []float64{ref * 0.5, ref, ref * 2}
+
+	seq := make([]Timing, len(loads))
+	ws := &spice.Workspace{}
+	for i, load := range loads {
+		tm, err := l.CharacterizeWith(ws, c, "A", load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = tm
+	}
+
+	batch, err := l.CharacterizeBatch(c, "A", loads, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(loads) {
+		t.Fatalf("batch rows = %d, want %d", len(batch), len(loads))
+	}
+	for i := range loads {
+		if batch[i].DelayS != seq[i].DelayS || batch[i].EnergyJ != seq[i].EnergyJ {
+			t.Fatalf("load %d: batch (%v, %v) != sequential (%v, %v)",
+				i, batch[i].DelayS, batch[i].EnergyJ, seq[i].DelayS, seq[i].EnergyJ)
+		}
+	}
+
+	sOpt := spice.DefaultOptions()
+	sOpt.Solver = spice.SolverSparse
+	sparse, err := l.CharacterizeBatch(c, "A", loads, sOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loads {
+		if d := sparse[i].DelayS - seq[i].DelayS; d > 1e-15 || d < -1e-15 {
+			t.Fatalf("load %d: sparse delay %v vs dense %v (diff %v)",
+				i, sparse[i].DelayS, seq[i].DelayS, d)
+		}
+	}
+}
+
+// TestCharacterizeBatchEmptyLoads: a zero-length sweep is a no-op.
+func TestCharacterizeBatchEmptyLoads(t *testing.T) {
+	l := lib(t, rules.CNFET)
+	ts, err := l.CharacterizeBatch(l.MustGet("INV_1X"), "A", nil, spice.DefaultOptions())
+	if err != nil || ts != nil {
+		t.Fatalf("empty sweep: got (%v, %v), want (nil, nil)", ts, err)
+	}
+}

@@ -54,23 +54,32 @@ func (l *Library) Characterize(c *Cell, input string, loadF float64) (Timing, er
 	return l.CharacterizeWith(nil, c, input, loadF)
 }
 
-// CharacterizeWith is Characterize reusing a caller-owned spice workspace:
-// a load sweep over one cell runs thousands of Newton solves on
-// same-shaped systems, and threading one workspace through the sweep keeps
-// the solver scratch and waveforms off the garbage collector. Pass nil for
-// a one-shot measurement. The workspace is not safe for concurrent use;
-// give each worker its own.
-func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, loadF float64) (Timing, error) {
+// Characterization testbench constants: the stimulus period and the
+// fixed-step count of one arc's transient. Exported so batch drivers
+// outside the package (immunity's tube-variation sampler) run exactly
+// the measurement CharacterizeWith runs.
+const (
+	ArcPeriod = 2000e-12
+	ArcSteps  = 4000
+)
+
+// ArcCircuit builds the characterization testbench of one (cell, input,
+// load) arc: a VDD rail, a pulse source on net "in" driving the probed
+// input, side inputs tied to a sensitizing vector, the cell instance
+// with its output on net "out", and the load capacitor. It returns the
+// circuit and the VDD source index for supply-energy probing. Sweeping
+// only loadF (> 0) yields structure-identical circuits — the property
+// plan-sharing batches rely on.
+func (l *Library) ArcCircuit(c *Cell, input string, loadF float64) (*spice.Circuit, int, error) {
 	env, err := sensitizingVector(c.Gate.PullDown, c.Gate.Inputs, input)
 	if err != nil {
-		return Timing{}, err
+		return nil, 0, err
 	}
 	ckt := spice.New()
 	vddIdx := ckt.AddV("vdd", "VDD", "0", spice.DC(device.Vdd))
-	period := 2000e-12
 	ckt.AddV("vin", "in", "0", spice.Pulse{
-		V0: 0, V1: device.Vdd, Delay: period / 4,
-		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
+		V0: 0, V1: device.Vdd, Delay: ArcPeriod / 4,
+		Rise: 5e-12, Fall: 5e-12, W: ArcPeriod / 2, Period: ArcPeriod,
 	})
 	conns := map[string]string{"OUT": "out"}
 	for _, n := range c.Gate.Inputs {
@@ -85,12 +94,32 @@ func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, l
 		conns[n] = level
 	}
 	if err := l.Instantiate(ckt, "x1", c, conns); err != nil {
-		return Timing{}, err
+		return nil, 0, err
 	}
 	if loadF > 0 {
 		ckt.AddC("cload", "out", "0", loadF)
 	}
-	res, err := ckt.TransientWith(ws, period, 4000, spice.DefaultOptions())
+	return ckt, vddIdx, nil
+}
+
+// CharacterizeWith is Characterize reusing a caller-owned spice workspace:
+// a load sweep over one cell runs thousands of Newton solves on
+// same-shaped systems, and threading one workspace through the sweep keeps
+// the solver scratch and waveforms off the garbage collector. Pass nil for
+// a one-shot measurement. The workspace is not safe for concurrent use;
+// give each worker its own.
+func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, loadF float64) (Timing, error) {
+	return l.characterizeArc(ws, c, input, loadF, spice.DefaultOptions())
+}
+
+// characterizeArc runs one arc's testbench through the given workspace
+// and solver options and measures the Timing row.
+func (l *Library) characterizeArc(ws *spice.Workspace, c *Cell, input string, loadF float64, opt spice.Options) (Timing, error) {
+	ckt, vddIdx, err := l.ArcCircuit(c, input, loadF)
+	if err != nil {
+		return Timing{}, err
+	}
+	res, err := ckt.TransientWith(ws, ArcPeriod, ArcSteps, opt)
 	if err != nil {
 		return Timing{}, fmt.Errorf("cells: %s transient: %w", c.FullName(), err)
 	}
@@ -98,11 +127,41 @@ func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, l
 	if err != nil {
 		return Timing{}, fmt.Errorf("cells: %s delay: %w", c.FullName(), err)
 	}
-	e := res.SupplyEnergy(vddIdx, 0, period)
+	e := res.SupplyEnergy(vddIdx, 0, ArcPeriod)
 	return Timing{
 		Cell: c.FullName(), Input: input, LoadF: loadF,
 		DelayS: d, EnergyJ: e,
 	}, nil
+}
+
+// CharacterizeBatch measures one arc across a whole load sweep as a
+// plan-sharing batch: the sweep's testbenches differ only in the load
+// value, so the symbolic plan is computed once from the first load's
+// circuit and every lane refactorizes numerically into its own storage.
+// Results are byte-identical with load-by-load CharacterizeWith calls
+// (the plan depends only on topology). opt selects the solver path —
+// liberty passes the defaults; benchmarks force a path to compare.
+func (l *Library) CharacterizeBatch(c *Cell, input string, loads []float64, opt spice.Options) ([]Timing, error) {
+	if len(loads) == 0 {
+		return nil, nil
+	}
+	proto, _, err := l.ArcCircuit(c, input, loads[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := spice.NewBatch(len(loads), proto, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %s/%s batch plan: %w", c.FullName(), input, err)
+	}
+	out := make([]Timing, len(loads))
+	for i, load := range loads {
+		t, err := l.characterizeArc(b.Lane(i), c, input, load, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
 }
 
 // ReferenceLoad returns the library's characterization load: four times

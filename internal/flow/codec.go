@@ -25,7 +25,11 @@ import (
 // low-order bits of simulated stage payloads (delays, energies,
 // waveform-derived metrics) can shift, so v1 artifacts must not be
 // served against v2 computations.
-const cacheSchema = "cnfetdk/flow@v2"
+// v3: the solver core gained a sparse LU path with a fill-reducing
+// ordering — the elimination order differs from dense partial-pivot LU,
+// so converged waveforms (and everything derived from them) drift in
+// the low-order FP bits on circuits above the dense/sparse crossover.
+const cacheSchema = "cnfetdk/flow@v3"
 
 // The registered codecs of the flow's serializable stage results. Every
 // stage Kit.Run schedules declares one of these (or a per-kit placement

@@ -20,6 +20,10 @@ type Circuit struct {
 	// Spec returns the Boolean specification for exhaustive logic
 	// verification (nil skips verification).
 	Spec func() map[string]*logic.Expr
+	// SpecSamples bounds the verification to a deterministic sample of
+	// that many input vectors (0 = exhaustive). Wide circuits (rca8's
+	// 17 inputs) set it so the netlist stage stays sub-second.
+	SpecSamples int
 	// Stimulus is the default delay/energy stimulus: static input
 	// levels plus one pulsed input, chosen so primary outputs toggle.
 	Stimulus Stimulus
@@ -99,6 +103,36 @@ func init() {
 			"A0": true, "A1": true, "A2": true, "A3": true,
 			"B0": false, "B1": false, "B2": false, "B3": false,
 		}, Pulse: "C0"},
+	})
+	RegisterCircuit(Circuit{
+		Name:        "rca8",
+		Description: "8-bit ripple-carry adder (8 structural full adders)",
+		Build:       func() (*synth.Netlist, error) { return synth.RippleCarryAdder(8), nil },
+		Spec:        func() map[string]*logic.Expr { return synth.RippleCarryAdderSpec(8) },
+		// 17 inputs: exhaustive verification is 131072 vectors, so the
+		// spec check runs on a deterministic 4096-vector sample.
+		SpecSamples: 4096,
+		// A=11111111, B=0: a pulse on C0 ripples through all eight
+		// carry stages to C8 — the longest chain the solver sees short
+		// of the multiplier.
+		Stimulus: Stimulus{Static: map[string]bool{
+			"A0": true, "A1": true, "A2": true, "A3": true,
+			"A4": true, "A5": true, "A6": true, "A7": true,
+			"B0": false, "B1": false, "B2": false, "B3": false,
+			"B4": false, "B5": false, "B6": false, "B7": false,
+		}, Pulse: "C0"},
+	})
+	RegisterCircuit(Circuit{
+		Name:        "mult4",
+		Description: "4-bit ripple-carry array multiplier (AND array + HA/FA rows)",
+		Build:       func() (*synth.Netlist, error) { return synth.ArrayMultiplier(4), nil },
+		Spec:        func() map[string]*logic.Expr { return synth.ArrayMultiplierSpec(4) },
+		// A=1111, B=B0: P = 15·B0, so toggling B0 toggles P0..P3
+		// through the partial-product array and two adder rows.
+		Stimulus: Stimulus{Static: map[string]bool{
+			"A0": true, "A1": true, "A2": true, "A3": true,
+			"B1": false, "B2": false, "B3": false,
+		}, Pulse: "B0"},
 	})
 	RegisterCircuit(Circuit{
 		Name:        "mux2",

@@ -34,7 +34,7 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	build, spec, stim, rows, err := k.resolveCircuit(req)
+	build, spec, specSamples, stim, rows, err := k.resolveCircuit(req)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 		if spec != nil {
-			if err := nl.Verify(spec); err != nil {
+			if err := nl.VerifySampled(spec, specSamples); err != nil {
 				return nil, fmt.Errorf("flow: %s: %w", nl.Name, err)
 			}
 		}
@@ -232,9 +232,10 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 	return res, nil
 }
 
-// resolveCircuit picks the netlist builder, specification, stimulus and
-// row-count hint for a normalized request.
-func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error), spec map[string]*logic.Expr, stim Stimulus, rows int, err error) {
+// resolveCircuit picks the netlist builder, specification (with its
+// sample bound; 0 = exhaustive), stimulus and row-count hint for a
+// normalized request.
+func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error), spec map[string]*logic.Expr, specSamples int, stim Stimulus, rows int, err error) {
 	if req.Stimulus != nil {
 		stim = *req.Stimulus
 	}
@@ -242,7 +243,7 @@ func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error),
 	case req.Circuit != "":
 		c, lerr := LookupCircuit(req.Circuit)
 		if lerr != nil {
-			return nil, nil, stim, 0, lerr
+			return nil, nil, 0, stim, 0, lerr
 		}
 		if c.Spec != nil {
 			spec = c.Spec()
@@ -250,7 +251,7 @@ func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error),
 		if req.Stimulus == nil {
 			stim = c.Stimulus
 		}
-		return c.Build, spec, stim, c.Rows, nil
+		return c.Build, spec, c.SpecSamples, stim, c.Rows, nil
 	case len(req.Exprs) > 0:
 		name := req.Name
 		if name == "" {
@@ -260,23 +261,23 @@ func (k *Kit) resolveCircuit(req Request) (build func() (*synth.Netlist, error),
 		for out, src := range req.Exprs {
 			e, perr := logic.Parse(src)
 			if perr != nil {
-				return nil, nil, stim, 0, fmt.Errorf("%w: expr %s: %v", ErrBadRequest, out, perr)
+				return nil, nil, 0, stim, 0, fmt.Errorf("%w: expr %s: %v", ErrBadRequest, out, perr)
 			}
 			outputs[out] = e
 		}
 		// Synthesize exhaustively verifies the mapped netlist against
 		// these same outputs, so returning them as a spec would only
 		// duplicate the check; nil skips the netlist stage's re-verify.
-		return func() (*synth.Netlist, error) { return synth.Synthesize(name, outputs) }, nil, stim, 0, nil
+		return func() (*synth.Netlist, error) { return synth.Synthesize(name, outputs) }, nil, 0, stim, 0, nil
 	default:
 		nl, perr := synth.Parse(strings.NewReader(req.Netlist))
 		if perr != nil {
-			return nil, nil, stim, 0, fmt.Errorf("%w: netlist: %v", ErrBadRequest, perr)
+			return nil, nil, 0, stim, 0, fmt.Errorf("%w: netlist: %v", ErrBadRequest, perr)
 		}
 		if req.Name != "" {
 			nl.Name = req.Name
 		}
-		return func() (*synth.Netlist, error) { return nl, nil }, nil, stim, 0, nil
+		return func() (*synth.Netlist, error) { return nl, nil }, nil, 0, stim, 0, nil
 	}
 }
 

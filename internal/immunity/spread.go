@@ -1,0 +1,106 @@
+package immunity
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/spice"
+)
+
+// DelaySpread is the tube-count variation companion to the geometric
+// immunity checks: while VerifyImmunity asks whether mispositioned
+// tubes can break a cell's logic function, DelaySpread asks how much
+// count variation — some of a device's tubes missing or non-conducting,
+// the central imperfection of Hills et al.'s co-optimization study —
+// spreads the cell's timing.
+type DelaySpread struct {
+	Cell    string
+	Input   string
+	Samples int
+	// DelaysS holds the per-sample arc delays in lane order (the order
+	// is deterministic for a fixed seed regardless of worker count).
+	DelaysS []float64
+	MeanS   float64
+	MinS    float64
+	MaxS    float64
+	SigmaS  float64
+}
+
+// DelaySpreadCtx Monte Carlo samples the tube-count yield of one cell
+// arc: each lane rebuilds the arc's characterization testbench with
+// every FET's drive scaled by an independent yield draw from
+// [yieldMin, 1] (first-order: drive current is proportional to the
+// number of conducting tubes), then simulates the arc transient and
+// measures the propagation delay. All lanes are structure-identical, so
+// they run through one plan-sharing spice.Batch — the symbolic solver
+// work is paid once, each lane refactorizes numerically — fanned across
+// the pipeline worker pool. The per-lane seed derives from seed and the
+// lane index, so the sample is reproducible at any worker count.
+func DelaySpreadCtx(ctx context.Context, lib *cells.Library, cellName, input string, samples int, yieldMin float64, seed int64, workers int, opt spice.Options) (*DelaySpread, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("immunity: delay spread needs samples > 0")
+	}
+	if yieldMin <= 0 || yieldMin > 1 {
+		return nil, fmt.Errorf("immunity: yieldMin %g outside (0, 1]", yieldMin)
+	}
+	c, err := lib.Get(cellName)
+	if err != nil {
+		return nil, err
+	}
+	load := lib.ReferenceLoad()
+	proto, _, err := lib.ArcCircuit(c, input, load)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := spice.NewBatch(samples, proto, opt)
+	if err != nil {
+		return nil, fmt.Errorf("immunity: %s/%s batch plan: %w", cellName, input, err)
+	}
+	lanes := make([]int, samples)
+	for i := range lanes {
+		lanes[i] = i
+	}
+	delays, err := pipeline.MapCtx(ctx, workers, lanes, func(i int, _ int) (float64, error) {
+		ckt, _, err := lib.ArcCircuit(c, input, load)
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9))
+		for j := range ckt.FETs {
+			y := yieldMin + (1-yieldMin)*rng.Float64()
+			ckt.FETs[j].P.ISat *= y
+		}
+		res, err := ckt.TransientWith(batch.Lane(i), cells.ArcPeriod, cells.ArcSteps, opt)
+		if err != nil {
+			return 0, fmt.Errorf("immunity: %s/%s sample %d: %w", cellName, input, i, err)
+		}
+		d, err := res.PropDelay("in", "out", device.Vdd)
+		if err != nil {
+			return 0, fmt.Errorf("immunity: %s/%s sample %d: %w", cellName, input, i, err)
+		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &DelaySpread{Cell: cellName, Input: input, Samples: samples, DelaysS: delays}
+	out.MinS, out.MaxS = delays[0], delays[0]
+	sum := 0.0
+	for _, d := range delays {
+		sum += d
+		out.MinS = math.Min(out.MinS, d)
+		out.MaxS = math.Max(out.MaxS, d)
+	}
+	out.MeanS = sum / float64(samples)
+	ss := 0.0
+	for _, d := range delays {
+		ss += (d - out.MeanS) * (d - out.MeanS)
+	}
+	out.SigmaS = math.Sqrt(ss / float64(samples))
+	return out, nil
+}

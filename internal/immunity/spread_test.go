@@ -1,0 +1,110 @@
+package immunity
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+)
+
+func cnfetLib(t *testing.T) *cells.Library {
+	t.Helper()
+	l, err := cells.NewLibrary(rules.CNFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestDelaySpreadDeterministicAcrossWorkers pins the reproducibility
+// contract: the per-lane seed derives from (seed, lane), so the sample
+// set is identical at any worker-pool width. The solver is forced sparse
+// so the run exercises the plan-sharing batch path end to end.
+func TestDelaySpreadDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	lib := cnfetLib(t)
+	opt := spice.DefaultOptions()
+	opt.Solver = spice.SolverSparse
+	const samples = 6
+	s1, err := DelaySpreadCtx(context.Background(), lib, "NAND2_1X", "A", samples, 0.7, 42, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := DelaySpreadCtx(context.Background(), lib, "NAND2_1X", "A", samples, 0.7, 42, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.DelaysS) != samples || len(s4.DelaysS) != samples {
+		t.Fatalf("sample counts: %d and %d, want %d", len(s1.DelaysS), len(s4.DelaysS), samples)
+	}
+	for i := range s1.DelaysS {
+		if s1.DelaysS[i] != s4.DelaysS[i] {
+			t.Fatalf("sample %d differs across worker counts: %v vs %v", i, s1.DelaysS[i], s4.DelaysS[i])
+		}
+	}
+	if !(s1.MinS <= s1.MeanS && s1.MeanS <= s1.MaxS) {
+		t.Fatalf("stats out of order: min %v mean %v max %v", s1.MinS, s1.MeanS, s1.MaxS)
+	}
+	if s1.SigmaS < 0 {
+		t.Fatalf("negative sigma %v", s1.SigmaS)
+	}
+	// Reduced drive only slows the cell: spread must sit at or above the
+	// nominal (yield = 1) delay.
+	nom, err := lib.Characterize(lib.MustGet("NAND2_1X"), "A", lib.ReferenceLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MinS < nom.DelayS*(1-1e-9) {
+		t.Fatalf("min delay %v below nominal %v — yield scaling sped the cell up", s1.MinS, nom.DelayS)
+	}
+}
+
+// TestDelaySpreadUnitYieldMatchesNominal: with yieldMin = 1 every draw
+// is exactly 1, so every lane simulates the unmodified testbench and the
+// spread collapses onto the nominal characterization delay.
+func TestDelaySpreadUnitYieldMatchesNominal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	lib := cnfetLib(t)
+	s, err := DelaySpreadCtx(context.Background(), lib, "INV_1X", "A", 3, 1.0, 7, 2, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, err := lib.Characterize(lib.MustGet("INV_1X"), "A", lib.ReferenceLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range s.DelaysS {
+		if math.Abs(d-nom.DelayS) > 1e-15 {
+			t.Fatalf("sample %d delay %v != nominal %v at unit yield", i, d, nom.DelayS)
+		}
+	}
+	if s.SigmaS != 0 {
+		t.Fatalf("sigma %v at unit yield, want 0", s.SigmaS)
+	}
+}
+
+// TestDelaySpreadValidation covers the argument checks.
+func TestDelaySpreadValidation(t *testing.T) {
+	lib := cnfetLib(t)
+	ctx := context.Background()
+	opt := spice.DefaultOptions()
+	if _, err := DelaySpreadCtx(ctx, lib, "INV_1X", "A", 0, 0.8, 1, 1, opt); err == nil {
+		t.Fatal("samples = 0 accepted")
+	}
+	if _, err := DelaySpreadCtx(ctx, lib, "INV_1X", "A", 2, 0, 1, 1, opt); err == nil {
+		t.Fatal("yieldMin = 0 accepted")
+	}
+	if _, err := DelaySpreadCtx(ctx, lib, "INV_1X", "A", 2, 1.5, 1, 1, opt); err == nil {
+		t.Fatal("yieldMin > 1 accepted")
+	}
+	if _, err := DelaySpreadCtx(ctx, lib, "NOPE_1X", "A", 2, 0.8, 1, 1, opt); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}

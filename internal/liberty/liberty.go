@@ -142,20 +142,20 @@ func CharacterizeCtx(ctx context.Context, lib *cells.Library, loads []float64, c
 	outs, err := pipeline.MapCtx(ctx, workers, jobs, func(_ int, j arcJob) (arcOut, error) {
 		c := lib.MustGet(j.cell)
 		out := arcOut{arc: Arc{Input: j.input}}
+		// The load sweep runs as one plan-sharing batch: the sweep's
+		// testbenches are structure-identical, so the symbolic solver
+		// work is paid once per arc and each load point refactorizes
+		// numerically in its own lane.
+		ts, err := lib.CharacterizeBatch(c, j.input, loads, spice.DefaultOptions())
+		if err != nil {
+			return out, fmt.Errorf("liberty: %s/%s: %w", j.cell, j.input, err)
+		}
 		out.arc.Table.LoadsF = make([]float64, 0, len(loads))
 		out.arc.Table.DelaysS = make([]float64, 0, len(loads))
-		// One solver workspace per arc: the load sweep's transients are
-		// same-shaped, so all but the first reuse its scratch and
-		// waveform storage instead of churning the GC.
-		var ws spice.Workspace
-		for _, load := range loads {
-			t, err := lib.CharacterizeWith(&ws, c, j.input, load)
-			if err != nil {
-				return out, fmt.Errorf("liberty: %s/%s: %w", j.cell, j.input, err)
-			}
-			out.arc.Table.LoadsF = append(out.arc.Table.LoadsF, load)
+		for i, t := range ts {
+			out.arc.Table.LoadsF = append(out.arc.Table.LoadsF, loads[i])
 			out.arc.Table.DelaysS = append(out.arc.Table.DelaysS, t.DelayS)
-			if load == ref && j.first {
+			if loads[i] == ref && j.first {
 				out.energyJ = t.EnergyJ
 				out.hasE = true
 			}

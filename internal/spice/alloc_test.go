@@ -33,6 +33,33 @@ func TestTransientSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTransientSparseSteadyStateZeroAlloc pins the same guarantee on the
+// sparse path: the circuit is far below the automatic crossover, so the
+// solver is forced sparse, and a warm workspace — plan, factor storage
+// and scratch all sized by the first run — must refactorize and solve
+// without a single allocation per transient.
+func TestTransientSparseSteadyStateZeroAlloc(t *testing.T) {
+	c := New()
+	c.AddV("vdd", "vdd", "0", DC(device.Vdd))
+	c.AddV("vin", "n0", "0", Pulse{V0: 0, V1: 1, Delay: 20e-12, Rise: 5e-12, Fall: 5e-12, W: 1, Period: 2})
+	addInverter(c, "i1", "n0", "n1", nfet(t), pfet(t))
+	addInverter(c, "i2", "n1", "n2", nfet(t), pfet(t))
+	c.AddC("cl", "n2", "0", 1e-15)
+
+	opt := opts()
+	opt.Solver = SolverSparse
+	ws := &Workspace{}
+	run := func() {
+		if _, err := c.TransientWith(ws, 200e-12, 400, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: symbolic plan + numeric storage built once
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("sparse steady-state transient allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
 // TestOPSteadyStateAllocsBounded pins the one-shot OP path: it may
 // allocate its workspace but nothing per Newton iteration, so the count
 // must not scale with the iteration-heavy solve.

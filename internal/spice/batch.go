@@ -1,0 +1,49 @@
+package spice
+
+// Batch is a set of solver lanes sharing one symbolic factorization
+// plan. Workloads like liberty load sweeps and Monte Carlo tube
+// sampling solve many transients whose circuits are structure-identical
+// — only element values differ — so the symbolic work (row matching,
+// fill-reducing ordering, fill pattern, stamp slots) is paid once on a
+// prototype here, and every lane only refactorizes numerically.
+//
+// Each lane is an independent Workspace with its own numeric storage;
+// the shared plan is immutable after NewBatch, so different goroutines
+// may drive different lanes concurrently (one goroutine per lane — a
+// single lane is still not safe for concurrent use). Results from a
+// plan-shared lane are byte-identical with an independent solve of the
+// same circuit: the plan depends only on the topology, so a lane and a
+// standalone workspace factor in exactly the same arithmetic order.
+type Batch struct {
+	ws []Workspace
+}
+
+// NewBatch prepares lanes workspaces for solves of circuits shaped like
+// proto under opt. When proto's dimension takes the sparse path, the
+// symbolic plan is computed here and pre-seeded into every lane; on the
+// dense path there is no symbolic state to share and the lanes are
+// plain independent workspaces. A lane handed a circuit whose topology
+// differs from the prototype's is still correct — the solver verifies
+// the structural signature and plans that lane independently.
+func NewBatch(lanes int, proto *Circuit, opt Options) (*Batch, error) {
+	b := &Batch{ws: make([]Workspace, lanes)}
+	n := proto.NodeCount() - 1
+	m := len(proto.VSources)
+	if wantSparse(opt.Solver, n+m) {
+		pl, err := newPlan(proto, n, m)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.ws {
+			b.ws[i].st.pl = pl
+		}
+	}
+	return b, nil
+}
+
+// Lanes returns the number of lanes.
+func (b *Batch) Lanes() int { return len(b.ws) }
+
+// Lane returns lane i's workspace, for use with Circuit.TransientWith
+// and friends.
+func (b *Batch) Lane(i int) *Workspace { return &b.ws[i] }

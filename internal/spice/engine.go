@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +19,10 @@ type Options struct {
 	Gmin float64
 	// MaxStep clamps Newton voltage updates (damping).
 	MaxStep float64
+	// Solver picks the linear solver: SolverAuto (the zero value)
+	// switches from dense to sparse at sparseCrossover unknowns;
+	// SolverDense and SolverSparse force a path (tests, benchmarks).
+	Solver SolverKind
 }
 
 // DefaultOptions returns robust defaults.
@@ -47,6 +52,19 @@ type state struct {
 	b       []float64 // working RHS, copy-restored then destroyed by lu
 	perm    []int     // caller-owned pivot scratch for lu
 
+	// The sparse path (sparse == true): the same static/working split
+	// over the plan's value arrays instead of dense dim×dim storage.
+	// The plan is the per-topology symbolic factorization; it survives
+	// init across structure-identical circuits, and Batch pre-seeds it
+	// so every lane shares one.
+	sparse    bool
+	pl        *plan
+	aStaticSp []float64 // static stamps over the plan's A-pattern
+	aSp       []float64 // working values, copy-restored per iteration
+	lx, ux    []float64 // numeric factors over the plan's L/U patterns
+	dg        []float64 // pivots
+	wv        []float64 // dim-sized factorization/solve scratch
+
 	x      []float64 // current solution estimate (node voltages + branch currents)
 	xPrev  []float64 // previous timestep solution
 	iPrev  []float64 // previous capacitor currents (trapezoidal)
@@ -57,16 +75,42 @@ type state struct {
 }
 
 // init sizes the scratch for a circuit, reusing any capacity the state
-// already holds, and resets the solution estimate to zero.
-func (s *state) init(c *Circuit, opt Options) {
+// already holds, and resets the solution estimate to zero. On the
+// sparse path it also resolves the symbolic plan: a plan left from a
+// previous solve is kept when the new circuit has the identical
+// topology (load sweeps and Monte Carlo lanes rebuild fresh but
+// structure-identical circuits), so repeated solves plan once.
+func (s *state) init(c *Circuit, opt Options) error {
 	n := c.NodeCount() - 1
 	m := len(c.VSources)
 	dim := n + m
 	s.c, s.opt = c, opt
 	s.n, s.m, s.dim = n, m, dim
-	s.aStatic = growFloats(s.aStatic, dim*dim)
+	s.sparse = wantSparse(opt.Solver, dim)
+	if s.sparse {
+		if s.pl == nil || s.pl.dim != dim || !s.pl.matches(c, n, m) {
+			pl, err := newPlan(c, n, m)
+			if err != nil {
+				return err
+			}
+			s.pl = pl
+		}
+		nnz := len(s.pl.ai)
+		s.aStaticSp = growFloats(s.aStaticSp, nnz)
+		s.aSp = growFloats(s.aSp, nnz)
+		s.lx = growFloats(s.lx, len(s.pl.li))
+		s.ux = growFloats(s.ux, len(s.pl.ui))
+		s.dg = growFloats(s.dg, dim)
+		s.wv = growFloats(s.wv, dim)
+	} else {
+		s.aStatic = growFloats(s.aStatic, dim*dim)
+		s.a = growFloats(s.a, dim*dim)
+		if cap(s.perm) < dim {
+			s.perm = make([]int, dim)
+		}
+		s.perm = s.perm[:dim]
+	}
 	s.bStep = growFloats(s.bStep, dim)
-	s.a = growFloats(s.a, dim*dim)
 	s.b = growFloats(s.b, dim)
 	s.x = growFloats(s.x, dim)
 	s.xPrev = growFloats(s.xPrev, dim)
@@ -74,12 +118,9 @@ func (s *state) init(c *Circuit, opt Options) {
 	zeroFloats(s.x)
 	zeroFloats(s.xPrev)
 	zeroFloats(s.iPrev)
-	if cap(s.perm) < dim {
-		s.perm = make([]int, dim)
-	}
-	s.perm = s.perm[:dim]
 	s.deltaT, s.t = 0, 0
 	s.staticOK = false
+	return nil
 }
 
 // growFloats returns a slice of length n, reusing s's capacity when it
@@ -189,6 +230,57 @@ func (s *state) stampStatic() {
 	s.staticOK = true
 }
 
+// stampGSp stamps a conductance between nodes a and b into the sparse
+// value array m through the plan's slot map.
+func (s *state) stampGSp(m []float64, a, b int, g float64) {
+	ia, ib := a-1, b-1
+	if ia >= 0 {
+		m[s.pl.slotOf(ia, ia)] += g
+	}
+	if ib >= 0 {
+		m[s.pl.slotOf(ib, ib)] += g
+	}
+	if ia >= 0 && ib >= 0 {
+		m[s.pl.slotOf(ia, ib)] -= g
+		m[s.pl.slotOf(ib, ia)] -= g
+	}
+}
+
+// stampStaticSparse is stampStatic for the sparse path: identical
+// element walk and values, but each stamp lands in its planned slot.
+// The slot lookups binary-search the pattern — fine for a routine that
+// runs once per (deltaT, Gmin) configuration, not per iteration.
+func (s *state) stampStaticSparse() {
+	zeroFloats(s.aStaticSp)
+	c := s.c
+	for _, r := range c.Resistors {
+		s.stampGSp(s.aStaticSp, r.A, r.B, 1/r.R)
+	}
+	if s.deltaT > 0 {
+		for _, cap := range c.Capacitors {
+			s.stampGSp(s.aStaticSp, cap.A, cap.B, 2*cap.C/s.deltaT)
+		}
+	}
+	// DC: capacitors are open circuits (their pattern slots stay zero).
+	for vi, vs := range c.VSources {
+		row := s.n + vi
+		if ip := s.idx(vs.P); ip >= 0 {
+			s.aStaticSp[s.pl.slotOf(ip, row)]++
+			s.aStaticSp[s.pl.slotOf(row, ip)]++
+		}
+		if in := s.idx(vs.N); in >= 0 {
+			s.aStaticSp[s.pl.slotOf(in, row)]--
+			s.aStaticSp[s.pl.slotOf(row, in)]--
+		}
+	}
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		s.stampGSp(s.aStaticSp, f.D, 0, s.opt.Gmin)
+		s.stampGSp(s.aStaticSp, f.S, 0, s.opt.Gmin)
+	}
+	s.staticOK = true
+}
+
 // stampStep assembles the per-time-point RHS: voltage-source waveform
 // values, current sources, and the capacitor trapezoidal history. It
 // depends on (t, xPrev, iPrev) — all fixed across the Newton iterations
@@ -248,6 +340,29 @@ func (s *state) addA(r, c int, v float64) {
 	ri, ci := s.idx(r), s.idx(c)
 	if ri >= 0 && ci >= 0 {
 		s.a[ri*s.dim+ci] += v
+	}
+}
+
+// stampFETSparse is stampFET for the sparse path: the same Norton
+// linearization, but the six matrix entries go to slots the plan
+// precomputed — six indexed adds, no searching, on the hot path.
+func (s *state) stampFETSparse(fi int) {
+	f := &s.c.FETs[fi]
+	vg, vd, vs := s.v(f.G), s.v(f.D), s.v(f.S)
+	id, dIg, dId, dIs := fetEval(f.P, vg, vd, vs)
+	ieq := id - dIg*vg - dId*vd - dIs*vs
+	if di := s.idx(f.D); di >= 0 {
+		s.b[di] -= ieq
+	}
+	if si := s.idx(f.S); si >= 0 {
+		s.b[si] += ieq
+	}
+	slots := s.pl.fetSlot[fi*6 : fi*6+6]
+	vals := [6]float64{dIg, dId, dIs, -dIg, -dId, -dIs}
+	for k, t := range slots {
+		if t >= 0 {
+			s.aSp[t] += vals[k]
+		}
 	}
 }
 
@@ -366,19 +481,41 @@ func fetCurrent(p device.FETParams, vg, vd, vs float64) float64 {
 // the loop allocates nothing.
 func (s *state) newton() error {
 	if !s.staticOK {
-		s.stampStatic()
+		if s.sparse {
+			s.stampStaticSparse()
+		} else {
+			s.stampStatic()
+		}
 	}
 	s.stampStep()
 	for it := 0; it < s.opt.MaxNewton; it++ {
-		copy(s.a, s.aStatic)
 		copy(s.b, s.bStep)
-		for i := range s.c.FETs {
-			s.stampFET(&s.c.FETs[i])
-		}
 		// We assemble full equations in terms of absolute unknowns, so
 		// the solve yields x_new directly.
-		if err := lu(s.a, s.b, s.perm, s.dim); err != nil {
-			return err
+		if s.sparse {
+			copy(s.aSp, s.aStaticSp)
+			for i := range s.c.FETs {
+				s.stampFETSparse(i)
+			}
+			if bad := s.pl.factor(s.aSp, s.lx, s.ux, s.dg, s.wv); bad >= 0 {
+				col := int(s.pl.colOf[bad])
+				return fmt.Errorf("spice: singular matrix at %s (elimination step %d of %d)",
+					s.c.unknownName(col), bad, s.dim)
+			}
+			s.pl.solve(s.b, s.lx, s.ux, s.dg, s.wv)
+		} else {
+			copy(s.a, s.aStatic)
+			for i := range s.c.FETs {
+				s.stampFET(&s.c.FETs[i])
+			}
+			if err := lu(s.a, s.b, s.perm, s.dim); err != nil {
+				var se *singularError
+				if errors.As(err, &se) {
+					return fmt.Errorf("spice: singular matrix at %s (column %d of %d)",
+						s.c.unknownName(se.col), se.col, s.dim)
+				}
+				return err
+			}
 		}
 		// Damped update and convergence check on node voltages.
 		conv := true
@@ -419,7 +556,9 @@ type Workspace struct {
 func (c *Circuit) OP(opt Options) ([]float64, error) {
 	var ws Workspace
 	s := &ws.st
-	s.init(c, opt)
+	if err := s.init(c, opt); err != nil {
+		return nil, err
+	}
 	if err := s.newton(); err == nil {
 		return s.x, nil
 	}
@@ -485,7 +624,9 @@ func (c *Circuit) TransientWith(ws *Workspace, tstop float64, steps int, opt Opt
 		ws = &Workspace{}
 	}
 	s := &ws.st
-	s.init(c, opt)
+	if err := s.init(c, opt); err != nil {
+		return nil, err
+	}
 	if err := s.newton(); err != nil {
 		// Retry via gmin ramp.
 		for _, g := range []float64{1e-3, 1e-5, 1e-7, 1e-9, opt.Gmin} {

@@ -1,7 +1,13 @@
 // Package spice is a compact circuit simulator: modified nodal analysis
-// with Newton-Raphson for the nonlinear FET models, dense LU solves, DC
-// operating point with gmin stepping, and fixed-step trapezoidal transient
-// analysis with delay/energy measurement helpers.
+// with Newton-Raphson for the nonlinear FET models, DC operating point
+// with gmin stepping, and fixed-step trapezoidal transient analysis with
+// delay/energy measurement helpers. Small systems factorize with dense
+// partial-pivot LU; above a crossover the solver switches to a sparse LU
+// whose symbolic work (fill-reducing ordering, elimination structure,
+// stamp slots) is planned once per topology and reused across Newton
+// iterations, timesteps and whole solves — and shared across
+// structure-identical circuits through Batch (Options.Solver overrides
+// the choice).
 //
 // It plays the role of the paper's HSPICE + post-layout analysis kit
 // (Fig 5): cell characterization, FO4 chain simulation and the full-adder

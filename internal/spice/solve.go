@@ -1,9 +1,21 @@
 package spice
 
 import (
-	"errors"
+	"fmt"
 	"math"
 )
+
+// singularError identifies which unknown's pivot vanished: col is the
+// matrix column (node voltage for col < n, branch current otherwise),
+// so the solver can name the offending node or source instead of
+// failing with a bare "singular matrix" on a thousand-node netlist.
+type singularError struct {
+	col int
+}
+
+func (e *singularError) Error() string {
+	return fmt.Sprintf("spice: singular matrix (no usable pivot in column %d)", e.col)
+}
 
 // lu performs in-place dense LU factorization with partial pivoting and
 // solves A·x = b. A is row-major n×n and is destroyed; b is overwritten
@@ -22,7 +34,9 @@ func lu(a []float64, b []float64, perm []int, n int) error {
 			}
 		}
 		if best == 0 || math.IsNaN(best) {
-			return errors.New("spice: singular matrix")
+			// Partial pivoting only swaps rows, so column k still
+			// corresponds to the k-th unknown of the original system.
+			return &singularError{col: k}
 		}
 		perm[k] = p
 		if p != k {

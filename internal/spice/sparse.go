@@ -1,0 +1,556 @@
+package spice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The sparse solver path. Dense LU is O(dim³) time and O(dim²) memory
+// per Newton iteration; MNA matrices of gate-level circuits hold a few
+// nonzeros per row, so everything the repo solves above a few dozen
+// unknowns — the rca8 carry chain, the mult4 array, every circuit the
+// registry grows into — wants a sparse factorization. The split mirrors
+// direct solvers like KLU:
+//
+//   - a plan (the symbolic half) is computed once per circuit topology:
+//     a row permutation that makes the diagonal structurally nonzero, a
+//     fill-reducing minimum-degree column ordering, the fill-in pattern
+//     of the LU factors, and the value-array slot of every stamp;
+//   - the numeric half refactorizes into preallocated factor storage
+//     with a fixed pattern every Newton iteration, allocation-free.
+//
+// The plan is deliberately structure-only — no value-dependent pivoting
+// — so every circuit with the same topology factors in exactly the same
+// arithmetic order. That is what makes plan-sharing batches (Batch)
+// byte-identical with independent solves, and plans safely shareable
+// across goroutines (a plan is immutable once built). The cost is the
+// loss of partial pivoting; the row matching plus the diagonal weight
+// that conductance stamps and trapezoidal companions give MNA matrices
+// keeps the elimination stable in practice (the registry-wide parity
+// test pins sparse against pivoted dense to 1e-9), and a zero or NaN
+// pivot still fails loudly with the offending node's name.
+
+// SolverKind selects the linear solver inside the Newton loop.
+type SolverKind int
+
+const (
+	// SolverAuto picks dense below sparseCrossover unknowns and sparse
+	// at or above it.
+	SolverAuto SolverKind = iota
+	// SolverDense forces the dense partial-pivoting LU path.
+	SolverDense
+	// SolverSparse forces the sparse fixed-pattern LU path.
+	SolverSparse
+)
+
+// sparseCrossover is the MNA dimension at which SolverAuto switches
+// from dense to sparse. Benchmarks put the break-even near a few dozen
+// unknowns; 50 keeps every single-cell characterization circuit and the
+// paper's full-adder case study (dim ≈ 30) on the byte-stable dense
+// path while rca4 and everything larger goes sparse.
+const sparseCrossover = 50
+
+// plan is the symbolic factorization of one circuit topology: the
+// permutations, the factor sparsity pattern, and the stamp slot map.
+// A plan is immutable after newPlan and safe to share across lanes.
+type plan struct {
+	dim int // matrix dimension (n node unknowns + m branch currents)
+	n   int // node unknowns
+
+	// The factored matrix is C[p,q] = A[rowOf[p], colOf[q]]: rowOf
+	// pairs each elimination position with the original equation whose
+	// entry lands on the diagonal, colOf is the fill-reducing ordering.
+	rowOf  []int32
+	colOf  []int32
+	invRow []int32 // original row -> elimination position
+	invCol []int32 // original column -> elimination position
+
+	// CSC pattern of the assembled matrix in elimination coordinates.
+	// Stamps write into a value array parallel to ai.
+	ap []int32
+	ai []int32
+
+	// CSC patterns of the factors: li holds the strictly-lower rows of
+	// each L column (ascending), ui the strictly-upper rows of each U
+	// column (ascending — the left-looking update order).
+	lp, li []int32
+	up, ui []int32
+
+	// fetSlot holds six value-array indices per FET — the Norton stamp
+	// positions (D,G) (D,D) (D,S) (S,G) (S,D) (S,S) — with -1 for
+	// ground-collapsed entries, so the per-iteration stamp is six
+	// indexed adds with no searching.
+	fetSlot []int32
+
+	// sig is the structural signature the plan was built from; matches
+	// compares a circuit against it without allocating.
+	sig []int32
+}
+
+// wantSparse reports whether a solve of the given dimension should take
+// the sparse path.
+func wantSparse(k SolverKind, dim int) bool {
+	return k == SolverSparse || (k == SolverAuto && dim >= sparseCrossover)
+}
+
+// structSig appends the topology signature of c: every count and every
+// element terminal that shapes the matrix pattern (values excluded).
+func structSig(sig []int32, c *Circuit, n, m int) []int32 {
+	sig = append(sig, int32(n), int32(m),
+		int32(len(c.Resistors)), int32(len(c.Capacitors)),
+		int32(len(c.VSources)), int32(len(c.ISources)), int32(len(c.FETs)))
+	for _, r := range c.Resistors {
+		sig = append(sig, int32(r.A), int32(r.B))
+	}
+	for _, cp := range c.Capacitors {
+		sig = append(sig, int32(cp.A), int32(cp.B))
+	}
+	for _, vs := range c.VSources {
+		sig = append(sig, int32(vs.P), int32(vs.N))
+	}
+	for _, is := range c.ISources {
+		sig = append(sig, int32(is.P), int32(is.N))
+	}
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		sig = append(sig, int32(f.D), int32(f.G), int32(f.S))
+	}
+	return sig
+}
+
+// matches reports whether c has exactly the topology the plan was built
+// from. It walks the circuit in signature order comparing element by
+// element, so reusing a plan across structure-identical circuits (load
+// sweeps, Monte Carlo lanes) costs no allocation.
+func (pl *plan) matches(c *Circuit, n, m int) bool {
+	sig := pl.sig
+	i := 0
+	eat := func(v int) bool {
+		if i >= len(sig) || sig[i] != int32(v) {
+			return false
+		}
+		i++
+		return true
+	}
+	if !eat(n) || !eat(m) ||
+		!eat(len(c.Resistors)) || !eat(len(c.Capacitors)) ||
+		!eat(len(c.VSources)) || !eat(len(c.ISources)) || !eat(len(c.FETs)) {
+		return false
+	}
+	for _, r := range c.Resistors {
+		if !eat(r.A) || !eat(r.B) {
+			return false
+		}
+	}
+	for _, cp := range c.Capacitors {
+		if !eat(cp.A) || !eat(cp.B) {
+			return false
+		}
+	}
+	for _, vs := range c.VSources {
+		if !eat(vs.P) || !eat(vs.N) {
+			return false
+		}
+	}
+	for _, is := range c.ISources {
+		if !eat(is.P) || !eat(is.N) {
+			return false
+		}
+	}
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		if !eat(f.D) || !eat(f.G) || !eat(f.S) {
+			return false
+		}
+	}
+	return i == len(sig)
+}
+
+// newPlan computes the symbolic factorization of c's MNA structure.
+func newPlan(c *Circuit, n, m int) (*plan, error) {
+	dim := n + m
+	pl := &plan{dim: dim, n: n}
+	pl.sig = structSig(nil, c, n, m)
+
+	// Structural pattern of the MNA matrix, rows per column. Capacitor
+	// entries are included even though DC stamps them as zero: one plan
+	// then serves both the operating point and the transient.
+	cols := make([][]int32, dim)
+	addE := func(r, cc int) {
+		if r >= 0 && cc >= 0 {
+			cols[cc] = append(cols[cc], int32(r))
+		}
+	}
+	pair := func(a, b int) {
+		ia, ib := a-1, b-1
+		addE(ia, ia)
+		addE(ib, ib)
+		if ia >= 0 && ib >= 0 {
+			addE(ia, ib)
+			addE(ib, ia)
+		}
+	}
+	for _, r := range c.Resistors {
+		pair(r.A, r.B)
+	}
+	for _, cp := range c.Capacitors {
+		pair(cp.A, cp.B)
+	}
+	for vi, vs := range c.VSources {
+		row := n + vi
+		if ip := vs.P - 1; ip >= 0 {
+			addE(ip, row)
+			addE(row, ip)
+		}
+		if in := vs.N - 1; in >= 0 {
+			addE(in, row)
+			addE(row, in)
+		}
+	}
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		pair(f.D, 0) // Gmin ties (diagonal only; the other end is ground)
+		pair(f.S, 0)
+		for _, r := range [2]int{f.D - 1, f.S - 1} {
+			for _, cc := range [3]int{f.G - 1, f.D - 1, f.S - 1} {
+				addE(r, cc)
+			}
+		}
+	}
+	for j := range cols {
+		cols[j] = sortDedup32(cols[j])
+	}
+
+	// Row matching: pick a distinct equation row for every column so
+	// the permuted matrix has a structurally nonzero diagonal. MNA
+	// needs this because voltage-source branch equations (and nodes
+	// held only by voltage sources) have structurally zero diagonals.
+	// Kuhn's augmenting-path matching, seeded with the self-matched
+	// diagonal, visits candidates in ascending order — deterministic.
+	rowFor := make([]int32, dim) // column -> matched original row
+	colFor := make([]int32, dim) // original row -> matched column
+	for j := range rowFor {
+		rowFor[j], colFor[j] = -1, -1
+	}
+	for j := 0; j < dim; j++ {
+		for _, r := range cols[j] {
+			if int(r) == j {
+				rowFor[j], colFor[j] = int32(j), int32(j)
+				break
+			}
+		}
+	}
+	visited := make([]int32, dim)
+	epoch := int32(0)
+	var augment func(j int) bool
+	augment = func(j int) bool {
+		for _, r := range cols[j] {
+			if visited[r] == epoch {
+				continue
+			}
+			visited[r] = epoch
+			if colFor[r] < 0 || augment(int(colFor[r])) {
+				rowFor[j], colFor[r] = r, int32(j)
+				return true
+			}
+		}
+		return false
+	}
+	for j := 0; j < dim; j++ {
+		if rowFor[j] >= 0 {
+			continue
+		}
+		epoch++
+		if !augment(j) {
+			return nil, fmt.Errorf("spice: structurally singular system: no equation can pivot for %s", c.unknownName(j))
+		}
+	}
+
+	// Fill-reducing ordering: greedy minimum degree on the symmetrized
+	// pattern of the row-matched matrix, ties broken by lowest index.
+	// The elimination-graph update forms the pivot's neighbor clique
+	// explicitly; circuit graphs fill modestly, so this stays cheap at
+	// the dimensions the repo solves.
+	adj := make([]map[int32]struct{}, dim)
+	for v := range adj {
+		adj[v] = make(map[int32]struct{})
+	}
+	for j := 0; j < dim; j++ {
+		for _, r := range cols[j] {
+			i := colFor[r] // row of the matched matrix holding original row r
+			if int(i) != j {
+				adj[i][int32(j)] = struct{}{}
+				adj[int32(j)][i] = struct{}{}
+			}
+		}
+	}
+	order := make([]int32, 0, dim)
+	eliminated := make([]bool, dim)
+	var nbrs []int32
+	for len(order) < dim {
+		best, bestDeg := -1, dim+1
+		for v := 0; v < dim; v++ {
+			if !eliminated[v] && len(adj[v]) < bestDeg {
+				best, bestDeg = v, len(adj[v])
+			}
+		}
+		v := int32(best)
+		eliminated[best] = true
+		order = append(order, v)
+		nbrs = nbrs[:0]
+		for u := range adj[best] {
+			nbrs = append(nbrs, u)
+		}
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				adj[nbrs[x]][nbrs[y]] = struct{}{}
+				adj[nbrs[y]][nbrs[x]] = struct{}{}
+			}
+		}
+	}
+
+	pl.colOf = order
+	pl.rowOf = make([]int32, dim)
+	pl.invCol = make([]int32, dim)
+	pl.invRow = make([]int32, dim)
+	for p, v := range order {
+		pl.rowOf[p] = rowFor[v]
+		pl.invCol[v] = int32(p)
+		pl.invRow[rowFor[v]] = int32(p)
+	}
+
+	// Base symmetric adjacency in elimination coordinates (the
+	// min-degree pass above destroyed its working copy).
+	posAdj := make([][]int32, dim)
+	for j := 0; j < dim; j++ {
+		q := pl.invCol[j]
+		for _, r := range cols[j] {
+			p := pl.invCol[colFor[r]]
+			if p != q {
+				posAdj[p] = append(posAdj[p], q)
+				posAdj[q] = append(posAdj[q], p)
+			}
+		}
+	}
+	for p := range posAdj {
+		posAdj[p] = sortDedup32(posAdj[p])
+	}
+
+	// Symbolic factorization via elimination-tree column merge: the
+	// pattern of L's column j is its base neighbors below j plus every
+	// child column's pattern (minus j itself); the parent of j is the
+	// smallest row of its pattern. This is the standard symbolic
+	// Cholesky on the symmetrized pattern — a superset of the true
+	// unsymmetric LU fill (George/Ng), so the fixed-pattern numeric
+	// phase can never need a slot the plan did not reserve.
+	lpat := make([][]int32, dim)
+	children := make([][]int32, dim)
+	mark := make([]int32, dim)
+	for p := range mark {
+		mark[p] = -1
+	}
+	for j := 0; j < dim; j++ {
+		var pat []int32
+		for _, i := range posAdj[j] {
+			if i > int32(j) && mark[i] != int32(j) {
+				mark[i] = int32(j)
+				pat = append(pat, i)
+			}
+		}
+		for _, ch := range children[j] {
+			for _, i := range lpat[ch] {
+				if i != int32(j) && mark[i] != int32(j) {
+					mark[i] = int32(j)
+					pat = append(pat, i)
+				}
+			}
+		}
+		sort.Slice(pat, func(a, b int) bool { return pat[a] < pat[b] })
+		lpat[j] = pat
+		if len(pat) > 0 {
+			children[pat[0]] = append(children[pat[0]], int32(j))
+		}
+	}
+
+	pl.lp = make([]int32, dim+1)
+	for j := 0; j < dim; j++ {
+		pl.lp[j+1] = pl.lp[j] + int32(len(lpat[j]))
+	}
+	pl.li = make([]int32, 0, pl.lp[dim])
+	for j := 0; j < dim; j++ {
+		pl.li = append(pl.li, lpat[j]...)
+	}
+	// U's pattern is L's transpose (the base pattern is symmetric):
+	// scanning k ascending appends each k to its columns in order, so
+	// every U column comes out ascending — the update order the
+	// left-looking factorization needs.
+	ucols := make([][]int32, dim)
+	for k := 0; k < dim; k++ {
+		for _, i := range lpat[k] {
+			ucols[i] = append(ucols[i], int32(k))
+		}
+	}
+	pl.up = make([]int32, dim+1)
+	for j := 0; j < dim; j++ {
+		pl.up[j+1] = pl.up[j] + int32(len(ucols[j]))
+	}
+	pl.ui = make([]int32, 0, pl.up[dim])
+	for j := 0; j < dim; j++ {
+		pl.ui = append(pl.ui, ucols[j]...)
+	}
+
+	// Assembled-matrix pattern in elimination coordinates.
+	pcols := make([][]int32, dim)
+	for j := 0; j < dim; j++ {
+		q := pl.invCol[j]
+		for _, r := range cols[j] {
+			pcols[q] = append(pcols[q], pl.invRow[r])
+		}
+	}
+	pl.ap = make([]int32, dim+1)
+	for q := 0; q < dim; q++ {
+		pcols[q] = sortDedup32(pcols[q])
+		pl.ap[q+1] = pl.ap[q] + int32(len(pcols[q]))
+	}
+	pl.ai = make([]int32, 0, pl.ap[dim])
+	for q := 0; q < dim; q++ {
+		pl.ai = append(pl.ai, pcols[q]...)
+	}
+
+	// Per-FET Norton stamp slots, in stampFETSparse's add order.
+	pl.fetSlot = make([]int32, 0, 6*len(c.FETs))
+	for i := range c.FETs {
+		f := &c.FETs[i]
+		for _, r := range [2]int{f.D - 1, f.S - 1} {
+			for _, cc := range [3]int{f.G - 1, f.D - 1, f.S - 1} {
+				if r < 0 || cc < 0 {
+					pl.fetSlot = append(pl.fetSlot, -1)
+				} else {
+					pl.fetSlot = append(pl.fetSlot, int32(pl.slotOf(r, cc)))
+				}
+			}
+		}
+	}
+	return pl, nil
+}
+
+// sortDedup32 sorts s ascending and removes duplicates in place.
+func sortDedup32(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// slotOf maps an original (row, column) matrix entry to its index in
+// the assembled value array. Stamping a position outside the planned
+// pattern is an internal invariant violation and panics.
+func (pl *plan) slotOf(r, cc int) int {
+	q := pl.invCol[cc]
+	p := pl.invRow[r]
+	lo, hi := int(pl.ap[q]), int(pl.ap[q+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pl.ai[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(pl.ap[q+1]) && pl.ai[lo] == p {
+		return lo
+	}
+	panic(fmt.Sprintf("spice: stamp at (%d,%d) outside the planned sparsity pattern", r, cc))
+}
+
+// factor runs the fixed-pattern left-looking numeric LU: a holds the
+// assembled values over the plan's A-pattern; the unit-lower factor
+// lands in lx (over li), the strict upper in ux (over ui), and the
+// pivots in d. w is caller-owned dim-sized scratch. Everything is
+// preallocated, so refactorization allocates nothing. The return is -1
+// on success or the elimination position of a zero/NaN pivot.
+func (pl *plan) factor(a, lx, ux, d, w []float64) int {
+	dim := pl.dim
+	for j := 0; j < dim; j++ {
+		// Clear exactly the factor pattern of column j, then scatter
+		// the assembled column into it (the A-pattern is a subset).
+		for t := pl.up[j]; t < pl.up[j+1]; t++ {
+			w[pl.ui[t]] = 0
+		}
+		w[j] = 0
+		for t := pl.lp[j]; t < pl.lp[j+1]; t++ {
+			w[pl.li[t]] = 0
+		}
+		for t := pl.ap[j]; t < pl.ap[j+1]; t++ {
+			w[pl.ai[t]] += a[t]
+		}
+		// Left-looking updates in ascending pivot order.
+		for t := pl.up[j]; t < pl.up[j+1]; t++ {
+			k := pl.ui[t]
+			ukj := w[k]
+			ux[t] = ukj
+			if ukj != 0 {
+				for s := pl.lp[k]; s < pl.lp[k+1]; s++ {
+					w[pl.li[s]] -= lx[s] * ukj
+				}
+			}
+		}
+		piv := w[j]
+		if piv == 0 || piv != piv { // zero or NaN
+			return j
+		}
+		d[j] = piv
+		inv := 1 / piv
+		for t := pl.lp[j]; t < pl.lp[j+1]; t++ {
+			lx[t] = w[pl.li[t]] * inv
+		}
+	}
+	return -1
+}
+
+// solve overwrites b with the solution of the planned system using the
+// factors from the latest factor call: it gathers b through the row
+// permutation, runs the column-oriented unit-lower and upper triangular
+// solves, and scatters the result back through the column ordering. w
+// is the same dim-sized scratch factor uses.
+func (pl *plan) solve(b []float64, lx, ux, d, w []float64) {
+	dim := pl.dim
+	for p := 0; p < dim; p++ {
+		w[p] = b[pl.rowOf[p]]
+	}
+	for j := 0; j < dim; j++ {
+		zj := w[j]
+		if zj != 0 {
+			for t := pl.lp[j]; t < pl.lp[j+1]; t++ {
+				w[pl.li[t]] -= lx[t] * zj
+			}
+		}
+	}
+	for j := dim - 1; j >= 0; j-- {
+		xj := w[j] / d[j]
+		b[pl.colOf[j]] = xj
+		for t := pl.up[j]; t < pl.up[j+1]; t++ {
+			w[pl.ui[t]] -= ux[t] * xj
+		}
+	}
+}
+
+// unknownName names the unknown of matrix column col: a node name for
+// the node-voltage block, the source name for branch currents.
+func (c *Circuit) unknownName(col int) string {
+	n := c.NodeCount() - 1
+	if col < n {
+		return "node " + c.NodeName(col+1)
+	}
+	return "source " + c.VSources[col-n].Name
+}

@@ -124,6 +124,199 @@ func ParityTreeSpec(n int) map[string]*logic.Expr {
 	return map[string]*logic.Expr{"P": e}
 }
 
+// cloneFullAdder appends one structural full adder (Fig 8a) to the
+// netlist with every net mapped through prefix except the five formal
+// ports, which land on the given nets.
+func cloneFullAdder(nl *Netlist, prefix, a, b, cin, sum, cout string) {
+	fa := FullAdder()
+	for _, inst := range fa.Instances {
+		clone := Instance{
+			Name:  prefix + "_" + inst.Name,
+			Cell:  inst.Cell,
+			Conns: map[string]string{},
+		}
+		for pin, net := range inst.Conns {
+			switch net {
+			case "A":
+				net = a
+			case "B":
+				net = b
+			case "Cin":
+				net = cin
+			case "Sum":
+				net = sum
+			case "Carry":
+				net = cout
+			default:
+				net = prefix + "_" + net
+			}
+			clone.Conns[pin] = net
+		}
+		nl.Instances = append(nl.Instances, clone)
+	}
+}
+
+// addHalfAdder appends a structural half adder built from the NAND2/INV
+// library: sum = a ⊕ b via the classic four-NAND XOR, carry = a·b via
+// the shared NAND plus an inverter.
+func addHalfAdder(nl *Netlist, prefix, a, b, sum, carry string) {
+	n1 := prefix + "_n1"
+	n2 := prefix + "_n2"
+	n3 := prefix + "_n3"
+	inst := func(name, cell string, conns map[string]string) {
+		nl.Instances = append(nl.Instances, Instance{Name: name, Cell: cell, Conns: conns})
+	}
+	inst(prefix+"_g1", "NAND2_1X", map[string]string{"A": a, "B": b, "OUT": n1})
+	inst(prefix+"_g2", "NAND2_1X", map[string]string{"A": a, "B": n1, "OUT": n2})
+	inst(prefix+"_g3", "NAND2_1X", map[string]string{"A": b, "B": n1, "OUT": n3})
+	inst(prefix+"_g4", "NAND2_1X", map[string]string{"A": n2, "B": n3, "OUT": sum})
+	inst(prefix+"_c", "INV_1X", map[string]string{"A": n1, "OUT": carry})
+}
+
+// addAnd appends out = a·b as a NAND2 followed by an inverter.
+func addAnd(nl *Netlist, prefix, a, b, out string) {
+	n := prefix + "_n"
+	nl.Instances = append(nl.Instances,
+		Instance{Name: prefix + "_g", Cell: "NAND2_1X", Conns: map[string]string{"A": a, "B": b, "OUT": n}},
+		Instance{Name: prefix + "_i", Cell: "INV_1X", Conns: map[string]string{"A": n, "OUT": out}},
+	)
+}
+
+// ArrayMultiplier returns an n×n ripple-carry array multiplier: AND-gate
+// partial products pp[i][j] = A[i]·B[j] feeding rows of half/full adders
+// (the full adders are clones of the Fig 8a mirror adder), inputs
+// A0..A{n-1} and B0..B{n-1}, product outputs P0..P{2n-1}. At n = 4 this
+// is the registry's `mult4` — the multiplier-class benchmark that pushes
+// the MNA system well past the dense solver's comfort zone.
+func ArrayMultiplier(bits int) *Netlist {
+	if bits < 2 {
+		panic("synth: ArrayMultiplier needs at least 2 bits")
+	}
+	nl := &Netlist{Name: fmt.Sprintf("mult%d", bits)}
+	for i := 0; i < bits; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("A%d", i))
+	}
+	for j := 0; j < bits; j++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("B%d", j))
+	}
+	// Partial products.
+	pp := make([][]string, bits)
+	for i := 0; i < bits; i++ {
+		pp[i] = make([]string, bits)
+		for j := 0; j < bits; j++ {
+			out := fmt.Sprintf("pp%d%d", i, j)
+			if i == 0 && j == 0 {
+				out = "P0"
+			}
+			addAnd(nl, fmt.Sprintf("and%d%d", i, j), fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", j), out)
+			pp[i][j] = out
+		}
+	}
+	// cur[k] holds the running-sum bit of weight j+k after row j;
+	// carry is the previous row's carry-out (weight j-1+bits).
+	cur := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		cur[i] = pp[i][0]
+	}
+	carryOut := ""
+	for j := 1; j < bits; j++ {
+		next := make([]string, bits)
+		pj := fmt.Sprintf("P%d", j)
+		c := fmt.Sprintf("r%dc0", j)
+		addHalfAdder(nl, fmt.Sprintf("r%dha", j), cur[1], pp[0][j], pj, c)
+		for k := 2; k < bits; k++ {
+			s := fmt.Sprintf("r%ds%d", j, k-1)
+			nc := fmt.Sprintf("r%dc%d", j, k-1)
+			cloneFullAdder(nl, fmt.Sprintf("r%dfa%d", j, k), cur[k], pp[k-1][j], c, s, nc)
+			next[k-1], c = s, nc
+		}
+		s := fmt.Sprintf("r%ds%d", j, bits-1)
+		nc := fmt.Sprintf("r%dcout", j)
+		if j == bits-1 {
+			s = fmt.Sprintf("P%d", bits+bits-2)
+			nc = fmt.Sprintf("P%d", bits+bits-1)
+		}
+		if carryOut == "" {
+			// Row 1 has no incoming carry: the last position is a half adder.
+			addHalfAdder(nl, fmt.Sprintf("r%dhl", j), pp[bits-1][j], c, s, nc)
+		} else {
+			cloneFullAdder(nl, fmt.Sprintf("r%dfl", j), carryOut, pp[bits-1][j], c, s, nc)
+		}
+		next[bits-1], carryOut = s, nc
+		if j == bits-1 {
+			// The last row's sums are the high product bits.
+			for k := 1; k < bits-1; k++ {
+				renameNet(nl, next[k], fmt.Sprintf("P%d", j+k))
+			}
+		}
+		cur = next
+	}
+	for p := 0; p < 2*bits; p++ {
+		nl.Outputs = append(nl.Outputs, fmt.Sprintf("P%d", p))
+	}
+	return nl
+}
+
+// renameNet rewrites every connection of a net.
+func renameNet(nl *Netlist, old, new string) {
+	if old == new {
+		return
+	}
+	for i := range nl.Instances {
+		for pin, net := range nl.Instances[i].Conns {
+			if net == old {
+				nl.Instances[i].Conns[pin] = new
+			}
+		}
+	}
+}
+
+// ArrayMultiplierSpec returns the Boolean specification of the n×n
+// multiplier over its primary inputs: the same half/full-adder recurrence
+// the structural builder uses, folded into expressions.
+func ArrayMultiplierSpec(bits int) map[string]*logic.Expr {
+	spec := map[string]*logic.Expr{}
+	pp := make([][]*logic.Expr, bits)
+	for i := 0; i < bits; i++ {
+		pp[i] = make([]*logic.Expr, bits)
+		for j := 0; j < bits; j++ {
+			pp[i][j] = logic.And(logic.Var(fmt.Sprintf("A%d", i)), logic.Var(fmt.Sprintf("B%d", j)))
+		}
+	}
+	ha := func(a, b *logic.Expr) (sum, carry *logic.Expr) {
+		return xorE(a, b), logic.And(a, b)
+	}
+	fa := func(a, b, cin *logic.Expr) (sum, carry *logic.Expr) {
+		x := xorE(a, b)
+		return xorE(x, cin), logic.Or(logic.And(a, b), logic.And(cin, x))
+	}
+	spec["P0"] = pp[0][0]
+	cur := make([]*logic.Expr, bits)
+	for i := 0; i < bits; i++ {
+		cur[i] = pp[i][0]
+	}
+	var carryOut *logic.Expr
+	for j := 1; j < bits; j++ {
+		next := make([]*logic.Expr, bits)
+		var c *logic.Expr
+		spec[fmt.Sprintf("P%d", j)], c = ha(cur[1], pp[0][j])
+		for k := 2; k < bits; k++ {
+			next[k-1], c = fa(cur[k], pp[k-1][j], c)
+		}
+		if carryOut == nil {
+			next[bits-1], carryOut = ha(pp[bits-1][j], c)
+		} else {
+			next[bits-1], carryOut = fa(carryOut, pp[bits-1][j], c)
+		}
+		cur = next
+	}
+	for k := 1; k < bits; k++ {
+		spec[fmt.Sprintf("P%d", bits-1+k)] = cur[k]
+	}
+	spec[fmt.Sprintf("P%d", 2*bits-1)] = carryOut
+	return spec
+}
+
 // AOIChain builds a structural chain of n alternating AOI21/OAI21 cells:
 // stage i computes x{i+1} = !(P·x{i} + Q) (AOI21) or !((R + x{i})·S)
 // (OAI21), seeded with x0 = IN. With P=1, Q=0, R=0, S=1 every stage

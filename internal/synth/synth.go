@@ -236,22 +236,74 @@ func (n *Netlist) Evaluate(in map[string]bool) (map[string]bool, error) {
 func (n *Netlist) Verify(spec map[string]*logic.Expr) error {
 	rows := 1 << len(n.Inputs)
 	for v := 0; v < rows; v++ {
-		in := map[string]bool{}
-		for k, name := range n.Inputs {
-			in[name] = v>>uint(k)&1 == 1
-		}
-		vals, err := n.Evaluate(in)
-		if err != nil {
+		if err := n.verifyVector(spec, v); err != nil {
 			return err
 		}
-		for out, e := range spec {
-			got, ok := vals[out]
-			if !ok {
-				return fmt.Errorf("synth: output %q undriven", out)
-			}
-			if want := e.Eval(in); got != want {
-				return fmt.Errorf("synth: output %q wrong on vector %b: got %v want %v", out, v, got, want)
-			}
+	}
+	return nil
+}
+
+// VerifySampled checks the netlist against the spec on a deterministic
+// sample of input vectors: the all-zero/all-one corners, every
+// single-bit-set vector, and pseudo-random vectors drawn from a fixed
+// linear-congruential sequence until samples distinct vectors were
+// tried. For wide circuits (the 17-input rca8, larger multipliers) this
+// replaces the 2^inputs exhaustive scan that would dominate the netlist
+// stage; samples >= 2^inputs degrades to the exhaustive Verify.
+func (n *Netlist) VerifySampled(spec map[string]*logic.Expr, samples int) error {
+	bits := len(n.Inputs)
+	if bits < 63 && (samples <= 0 || 1<<uint(bits) <= samples) {
+		return n.Verify(spec)
+	}
+	rows := uint64(1) << uint(bits)
+	tried := map[uint64]bool{}
+	try := func(v uint64) error {
+		if tried[v] {
+			return nil
+		}
+		tried[v] = true
+		return n.verifyVector(spec, int(v))
+	}
+	if err := try(0); err != nil {
+		return err
+	}
+	if err := try(rows - 1); err != nil {
+		return err
+	}
+	for k := 0; k < bits; k++ {
+		if err := try(uint64(1) << uint(k)); err != nil {
+			return err
+		}
+	}
+	// Fixed-seed LCG (Numerical Recipes constants): the sample is part
+	// of the circuit's contract, so it must be reproducible everywhere.
+	x := uint64(0x9E3779B97F4A7C15)
+	for len(tried) < samples {
+		x = x*6364136223846793005 + 1442695040888963407
+		if err := try(x >> (64 - uint(bits))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyVector checks one input vector v against the spec.
+func (n *Netlist) verifyVector(spec map[string]*logic.Expr, v int) error {
+	in := map[string]bool{}
+	for k, name := range n.Inputs {
+		in[name] = v>>uint(k)&1 == 1
+	}
+	vals, err := n.Evaluate(in)
+	if err != nil {
+		return err
+	}
+	for out, e := range spec {
+		got, ok := vals[out]
+		if !ok {
+			return fmt.Errorf("synth: output %q undriven", out)
+		}
+		if want := e.Eval(in); got != want {
+			return fmt.Errorf("synth: output %q wrong on vector %b: got %v want %v", out, v, got, want)
 		}
 	}
 	return nil

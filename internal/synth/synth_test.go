@@ -103,6 +103,42 @@ func TestFullAdderVerifies(t *testing.T) {
 	}
 }
 
+func TestVerifySampledDegradesToExhaustive(t *testing.T) {
+	// 3 inputs, 8 vectors: any samples >= 8 (or 0) must run the full scan
+	// and therefore agree with Verify on a correct netlist.
+	fa := FullAdder()
+	for _, samples := range []int{0, 8, 100} {
+		if err := fa.VerifySampled(FullAdderSpec(), samples); err != nil {
+			t.Fatalf("samples=%d: %v", samples, err)
+		}
+	}
+}
+
+func TestVerifySampledCatchesWrongNetlist(t *testing.T) {
+	// A 17-input adder with one full-adder's Sum and Carry swapped: the
+	// corner vectors alone (all-ones has every stage generating a carry)
+	// must expose it even at a tiny sample count.
+	nl := RippleCarryAdder(8)
+	for i := range nl.Instances {
+		c := nl.Instances[i].Conns
+		if c["OUT"] == "S3" {
+			c["OUT"] = "C4"
+		} else if c["OUT"] == "C4" {
+			c["OUT"] = "S3"
+		}
+	}
+	if err := nl.VerifySampled(RippleCarryAdderSpec(8), 64); err == nil {
+		t.Fatal("sampled verification missed a swapped Sum/Carry")
+	}
+}
+
+func TestVerifySampledRCA8(t *testing.T) {
+	nl := RippleCarryAdder(8)
+	if err := nl.VerifySampled(RippleCarryAdderSpec(8), 256); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSynthesizeSimple(t *testing.T) {
 	out := map[string]*logic.Expr{
 		"Y": logic.MustParse("AB+C"),
