@@ -11,6 +11,8 @@
 //	cnfetd -store .cnfet-store   # persist stage results across restarts
 //	cnfetd -store .cnfet-store -store-budget 268435456  # cap it at 256MiB
 //	cnfetd -pprof                # expose /debug/pprof/ (trusted listeners only)
+//	cnfetd -join http://coord:8066            # enroll as a sweep-fabric worker
+//	cnfetd -coordinator                       # also run a fabric coordinator
 //
 // Routes:
 //
@@ -25,7 +27,18 @@
 //	GET    /v1/cache       — artifact-store statistics (per-tier
 //	                         hits/misses/bytes/evictions)
 //	POST   /v1/cache/purge — drop every cached stage result
-//	GET    /healthz        — liveness + cache statistics
+//	GET    /healthz        — liveness + cache statistics (legacy combined)
+//	GET    /livez          — liveness probe
+//	GET    /readyz        — readiness probe (503 while enrolling with a
+//	                         fabric coordinator or draining)
+//	GET    /metrics        — Prometheus-style metrics (worker role; with
+//	                         -coordinator the fabric metrics append here)
+//
+// With -join, the daemon enrolls as a sweep-fabric worker: it
+// heartbeats the coordinator and reports unready until enrollment
+// succeeds. With -coordinator, the daemon additionally mounts the
+// fabric coordinator surface (POST /v1/fabric/sweeps, /v1/fabric/workers)
+// and shards fabric sweeps across its registered workers.
 //
 // With -store, stage results are written through to a content-addressed
 // on-disk artifact store and served back after a restart: a daemon
@@ -57,7 +70,9 @@ import (
 	"syscall"
 	"time"
 
+	"cnfetdk/internal/fabric"
 	"cnfetdk/internal/flow"
+	"cnfetdk/internal/promtext"
 	"cnfetdk/internal/service"
 )
 
@@ -72,6 +87,12 @@ func main() {
 	sweepPoints := flag.Int("sweep-points", 1024, "per-sweep expansion cap")
 	sweepStore := flag.Int("sweep-store", 64, "how many sweeps the status store retains")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling aid only — do not enable on a daemon reachable by untrusted clients)")
+	joinURL := flag.String("join", "", "sweep-fabric coordinator URL to enroll with as a worker (heartbeats until shutdown)")
+	advertise := flag.String("advertise", "", "base URL workers advertise to the coordinator (default: http://<bound address>, 127.0.0.1 for wildcard binds)")
+	coordinator := flag.Bool("coordinator", false, "also run a sweep-fabric coordinator (mounts /v1/fabric/ and appends fabric metrics to /metrics)")
+	leasePoints := flag.Int("lease-points", fabric.DefaultLeasePoints, "coordinator: points per lease")
+	maxAttempts := flag.Int("max-attempts", fabric.DefaultMaxAttempts, "coordinator: dispatch attempts per lease before a sweep fails")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", fabric.DefaultHeartbeatTTL, "coordinator: worker liveness window past its last heartbeat")
 	flag.Parse()
 
 	log.SetPrefix("cnfetd: ")
@@ -120,18 +141,70 @@ func main() {
 		service.WithBaseContext(jobCtx),
 		service.WithSweepLimits(*sweepPoints, *sweepStore))
 	var handler http.Handler = svc
+
+	if *coordinator {
+		coord := fabric.New(fabric.Options{
+			LeasePoints:    *leasePoints,
+			MaxAttempts:    *maxAttempts,
+			HeartbeatTTL:   *heartbeatTTL,
+			MaxSweepPoints: *sweepPoints,
+			Logf:           log.Printf,
+		})
+		fabSrv := fabric.NewServer(coord)
+		inner := handler
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fabric/", fabSrv)
+		// One combined scrape: worker-role metrics first, then the
+		// coordinator's fabric metrics.
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", promtext.ContentType)
+			pw := promtext.New(w)
+			svc.WriteMetrics(pw)
+			coord.WriteMetrics(pw)
+		})
+		mux.Handle("/", inner)
+		handler = mux
+		log.Printf("fabric coordinator enabled at /v1/fabric/ (lease %d points, %d attempts)", *leasePoints, *maxAttempts)
+	}
+
+	if *joinURL != "" {
+		self := *advertise
+		if self == "" {
+			host, port, err := net.SplitHostPort(bound)
+			if err != nil {
+				log.Fatalf("deriving advertise URL from %q: %v", bound, err)
+			}
+			if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+				host = "127.0.0.1"
+			}
+			self = "http://" + net.JoinHostPort(host, port)
+		}
+		// Unready until the first enrollment lands; heartbeat failures
+		// flip it back so the coordinator-facing readiness is honest.
+		svc.SetReady(false)
+		go fabric.JoinLoop(jobCtx, nil, *joinURL, self, func(joined bool, err error) {
+			svc.SetReady(joined)
+			if joined {
+				log.Printf("enrolled with coordinator %s as %s", *joinURL, self)
+			} else {
+				log.Printf("coordinator %s unreachable (will retry): %v", *joinURL, err)
+			}
+		})
+	}
+
 	if *pprofOn {
 		// Opt-in profiling endpoints on the service mux (the import does
 		// not expose them by itself — cnfetd never serves the default
 		// mux). pprof leaks operational detail and can be driven hard;
 		// enable it only where the listener is trusted.
+		inner := handler
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-		mux.Handle("/", svc)
+		mux.Handle("/", inner)
 		handler = mux
 		log.Printf("pprof endpoints enabled at /debug/pprof/ — not for untrusted exposure")
 	}

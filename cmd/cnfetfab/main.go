@@ -1,0 +1,133 @@
+// Command cnfetfab is the sweep-fabric coordinator: it registers a
+// fleet of cnfetd workers and shards sweep.Spec batches across them,
+// merging the shard results into the one canonical report a
+// single-process run would produce.
+//
+// Usage:
+//
+//	cnfetfab                          # listen on :8066
+//	cnfetfab -addr 127.0.0.1:0 -addr-file /tmp/fab.addr
+//	cnfetfab -workers http://10.0.0.7:8065,http://10.0.0.8:8065
+//	cnfetfab -lease-points 16 -max-attempts 5
+//
+// Routes:
+//
+//	POST /v1/fabric/workers — worker enrollment / heartbeat
+//	GET  /v1/fabric/workers — registry listing
+//	POST /v1/fabric/sweeps  — run a sweep across the fleet (NDJSON
+//	                          stream: points, lease events, merged report)
+//	GET  /metrics           — Prometheus-style coordinator metrics
+//	GET  /livez             — liveness
+//	GET  /readyz            — readiness (503 until ≥1 live worker)
+//
+// Workers normally enroll themselves (cnfetd -join http://this-host:8066)
+// and heartbeat; -workers pre-seeds a static fleet that is exempt from
+// the heartbeat TTL (a dispatch failure still sidelines a static worker
+// until it re-joins). Point sweeps at the fabric with
+// cnfetsweep -workers http://this-host:8066, or POST a spec directly:
+//
+//	curl -sN localhost:8066/v1/fabric/sweeps -d '{
+//	  "base": {"techs":["cnfet"],"analyses":["area"]},
+//	  "axes": {"circuits":["mux2","dec2"],"placements":["rows","shelves"]}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cnfetdk/internal/fabric"
+)
+
+func main() {
+	addr := flag.String("addr", ":8066", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	workers := flag.String("workers", "", "comma-separated worker base URLs to pre-seed (static fleet; workers may also enroll via cnfetd -join)")
+	leasePoints := flag.Int("lease-points", fabric.DefaultLeasePoints, "points per lease")
+	maxAttempts := flag.Int("max-attempts", fabric.DefaultMaxAttempts, "dispatch attempts per lease before the sweep fails")
+	retryBackoff := flag.Duration("retry-backoff", fabric.DefaultRetryBackoff, "base lease retry backoff (doubles per attempt)")
+	leaseTimeout := flag.Duration("lease-timeout", fabric.DefaultLeaseTimeout, "max silence on a lease stream before it is retried")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", fabric.DefaultHeartbeatTTL, "worker liveness window past its last heartbeat")
+	stallTimeout := flag.Duration("stall-timeout", fabric.DefaultStallTimeout, "fail a sweep with zero live workers for this long")
+	sweepPoints := flag.Int("sweep-points", fabric.DefaultMaxSweepPoints, "per-sweep point quota")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight sweeps")
+	flag.Parse()
+
+	log.SetPrefix("cnfetfab: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	coord := fabric.New(fabric.Options{
+		LeasePoints:    *leasePoints,
+		MaxAttempts:    *maxAttempts,
+		RetryBackoff:   *retryBackoff,
+		LeaseTimeout:   *leaseTimeout,
+		HeartbeatTTL:   *heartbeatTTL,
+		StallTimeout:   *stallTimeout,
+		MaxSweepPoints: *sweepPoints,
+		Logf:           log.Printf,
+	})
+	for _, wu := range strings.Split(*workers, ",") {
+		if wu = strings.TrimSpace(wu); wu == "" {
+			continue
+		}
+		if _, err := coord.Join(wu, true); err != nil {
+			log.Fatalf("-workers: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+
+	// In-flight fabric sweeps get their own lifetime so SIGTERM drains
+	// them within -grace instead of severing every lease mid-stream.
+	sweepCtx, cancelSweeps := context.WithCancel(context.Background())
+	defer cancelSweeps()
+
+	srv := &http.Server{
+		Handler:           fabric.NewServer(coord),
+		BaseContext:       func(net.Listener) context.Context { return sweepCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("coordinator listening on %s", bound)
+		done <- srv.Serve(ln)
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %s", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("grace expired, cancelling in-flight sweeps: %v", err)
+		}
+		cancelSweeps()
+		srv.Close()
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	log.Printf("bye")
+}

@@ -26,21 +26,33 @@
 // resumes from its completed points instead of restarting, and separate
 // sweeps (or a cnfetd daemon) sharing the directory reuse each other's
 // work.
+//
+// With -workers, the sweep does not run locally at all: the spec is
+// POSTed to a sweep-fabric coordinator (cnfetfab, or cnfetd
+// -coordinator) at that URL, which shards it across its registered
+// worker fleet and streams per-point progress back. The merged report
+// is canonical-byte-identical to a local run of the same spec:
+//
+//	cnfetsweep -workers http://coordinator:8066 -spec sweep.json -canonical -o report.json
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 
+	"cnfetdk/internal/fabric"
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/prof"
 	"cnfetdk/internal/sweep"
@@ -59,6 +71,7 @@ func main() {
 	analyses := flag.String("analyses", "area", "comma-separated analyses for every point")
 	zip := flag.Bool("zip", false, "pair the axes element-wise instead of crossing them")
 	workers := flag.Int("j", 0, "concurrent points (0 = one per CPU); the kit pool is sized identically")
+	fabricURL := flag.String("workers", "", "sweep-fabric coordinator URL; the sweep runs on its worker fleet instead of locally")
 	storeDir := flag.String("store", "", "persistent artifact-store directory; a rerun resumes from the stages completed there")
 	storeBudget := flag.Int64("store-budget", 0, "artifact-store size budget in bytes (0 = unbounded)")
 	maxPoints := flag.Int("max-points", 0, "expansion cap (0 = engine default)")
@@ -92,6 +105,12 @@ func main() {
 	n, err := spec.NumPoints()
 	if err != nil {
 		fatal(err)
+	}
+	if *fabricURL != "" {
+		if err := runOnFabric(ctx, *fabricURL, spec, n, *quiet, *outPath, *csvPath, *canonical); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "cnfetsweep: %d points, building kit...\n", n)
@@ -155,6 +174,103 @@ func main() {
 // stopProf finishes any active profiles; every os.Exit path must call it
 // (defers do not run), so fatal() routes through it.
 var stopProf = func() {}
+
+// runOnFabric ships the spec to a sweep-fabric coordinator, relays the
+// streamed progress, and renders the merged report exactly like a local
+// run (same output flags, same exit codes).
+func runOnFabric(ctx context.Context, coordinator string, spec *sweep.Spec, n int, quiet bool, outPath, csvPath string, canonical bool) error {
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "cnfetsweep: %d points via fabric coordinator %s\n", n, coordinator)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinator, "/")+"/v1/fabric/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("reaching coordinator: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+
+	var rep *sweep.Report
+	done := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var line fabric.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		if line.Point != nil {
+			done++
+			if !quiet {
+				status := "ok"
+				if line.Point.Error != "" {
+					status = "ERROR: " + line.Point.Error
+				}
+				fmt.Fprintf(os.Stderr, "cnfetsweep: [%d/%d] %s (%s, %s)\n", done, n, line.Point.ID, line.Worker, status)
+			}
+		}
+		if line.Lease != nil && !quiet && line.Lease.State != "dispatch" && line.Lease.State != "done" {
+			fmt.Fprintf(os.Stderr, "cnfetsweep: lease [%d,%d) %s (attempt %d): %s\n",
+				line.Lease.Offset, line.Lease.Offset+line.Lease.Count, line.Lease.State, line.Lease.Attempt, line.Lease.Error)
+		}
+		if line.Done {
+			if line.Error != "" {
+				return fmt.Errorf("fabric sweep failed: %s", line.Error)
+			}
+			rep = line.Report
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stream: %w", err)
+	}
+	if rep == nil {
+		return fmt.Errorf("coordinator closed the stream without a report")
+	}
+
+	if !quiet {
+		printSummary(os.Stderr, rep)
+		if tr := rep.Trace; tr != nil && tr.FabricWorkers > 0 {
+			fmt.Fprintf(os.Stderr, "cnfetsweep: fabric: %d workers, %d leases, %d retries\n",
+				tr.FabricWorkers, tr.Leases, tr.LeaseRetries)
+		}
+	}
+	if outPath != "" {
+		if err := writeReport(outPath, rep, canonical); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := writeCSV(csvPath, rep); err != nil {
+			return err
+		}
+	}
+	if outPath == "" && csvPath == "" {
+		if err := writeReport("-", rep, canonical); err != nil {
+			return err
+		}
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "cnfetsweep: %d/%d points failed\n", rep.Failed, len(rep.Points))
+		stopProf()
+		os.Exit(2)
+	}
+	return nil
+}
 
 type specFlags struct {
 	specPath, name, circuits, techs, placements, wirecaps string

@@ -1,0 +1,659 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cnfetdk/internal/sweep"
+)
+
+// Options tunes a Coordinator. Zero values select the Default*
+// constants.
+type Options struct {
+	// LeasePoints is how many consecutive points one lease covers:
+	// small leases rebalance and recover faster, large ones amortize
+	// per-dispatch overhead and share more prefix stages worker-side.
+	LeasePoints int
+	// MaxAttempts bounds how often one lease is dispatched before the
+	// sweep fails fast (a poison point must not spin the fleet).
+	MaxAttempts int
+	// RetryBackoff delays a lease's re-dispatch, doubling per attempt.
+	RetryBackoff time.Duration
+	// LeaseTimeout is the longest silence tolerated on a lease stream
+	// before the lease is cancelled and retried.
+	LeaseTimeout time.Duration
+	// HeartbeatTTL is how long a worker stays live past its last
+	// enrollment POST.
+	HeartbeatTTL time.Duration
+	// StallTimeout fails a sweep that has had zero live workers for
+	// this long (a fleet that fully died and never re-joined).
+	StallTimeout time.Duration
+	// MaxSweepPoints is the coordinator's per-sweep quota.
+	MaxSweepPoints int
+	// Poll is the scheduler's cadence for noticing joined/died workers.
+	Poll time.Duration
+	// Client performs worker dispatch (nil = http.DefaultClient; the
+	// client must not impose an overall request timeout — lease streams
+	// legitimately run long, bounded by LeaseTimeout per line instead).
+	Client *http.Client
+	// Logf, when set, receives coordinator event logs.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeasePoints <= 0 {
+		o.LeasePoints = DefaultLeasePoints
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = DefaultRetryBackoff
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = DefaultHeartbeatTTL
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = DefaultStallTimeout
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = DefaultMaxSweepPoints
+	}
+	if o.Poll <= 0 {
+		o.Poll = DefaultPoll
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Coordinator owns the worker registry and executes fabric sweeps.
+type Coordinator struct {
+	opts Options
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	runs    map[int64]*run
+	runSeq  int64
+
+	// Fleet-lifetime counters, exposed on /metrics.
+	pointsDone       atomic.Int64
+	pointsFailed     atomic.Int64
+	pointsDuplicate  atomic.Int64
+	leasesDispatched atomic.Int64
+	leaseRetries     atomic.Int64
+	sweepsStarted    atomic.Int64
+	sweepsDone       atomic.Int64
+	sweepsFailed     atomic.Int64
+}
+
+// worker is one registry entry. lastSeen is guarded by Coordinator.mu
+// (zero marks the worker suspect until it heartbeats again); the
+// counters are atomic for the metrics path.
+type worker struct {
+	url      string
+	static   bool // seeded at startup, exempt from the heartbeat TTL
+	joined   time.Time
+	lastSeen time.Time
+	points   atomic.Int64
+	leases   atomic.Int64
+	failures atomic.Int64
+}
+
+// New builds a coordinator with no workers registered.
+func New(opts Options) *Coordinator {
+	return &Coordinator{
+		opts:    opts.withDefaults(),
+		workers: map[string]*worker{},
+		runs:    map[int64]*run{},
+	}
+}
+
+// normalizeWorkerURL validates and canonicalizes an advertised URL.
+func normalizeWorkerURL(raw string) (string, error) {
+	u, err := url.Parse(strings.TrimSpace(raw))
+	if err != nil {
+		return "", fmt.Errorf("fabric: bad worker url %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("fabric: bad worker url %q: want http(s)://host[:port]", raw)
+	}
+	u.Path = strings.TrimRight(u.Path, "/")
+	u.RawQuery, u.Fragment = "", ""
+	return u.String(), nil
+}
+
+// Join enrolls (or heartbeats) a worker by its advertised URL — an
+// idempotent upsert that refreshes liveness. static exempts the worker
+// from the heartbeat TTL (seeded fleets without -join loops).
+func (c *Coordinator) Join(rawURL string, static bool) (JoinResponse, error) {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return JoinResponse{}, err
+	}
+	now := time.Now()
+	c.mu.Lock()
+	w := c.workers[u]
+	if w == nil {
+		w = &worker{url: u, joined: now}
+		c.workers[u] = w
+		c.opts.Logf("worker joined: %s", u)
+	}
+	w.static = w.static || static
+	w.lastSeen = now
+	c.mu.Unlock()
+	return JoinResponse{ID: u, HeartbeatSeconds: (c.opts.HeartbeatTTL / 3).Seconds()}, nil
+}
+
+// aliveLocked reports worker liveness under c.mu: suspect workers
+// (zero lastSeen) are dead until they re-join; static workers never
+// expire by TTL; everyone else must have heartbeat within the TTL.
+func (c *Coordinator) aliveLocked(w *worker, now time.Time) bool {
+	if w.lastSeen.IsZero() {
+		return false
+	}
+	return w.static || now.Sub(w.lastSeen) <= c.opts.HeartbeatTTL
+}
+
+// alive reports whether the worker may receive leases.
+func (c *Coordinator) alive(w *worker) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked(w, time.Now())
+}
+
+// suspect marks a worker dead after a dispatch failure; the next
+// heartbeat revives it.
+func (c *Coordinator) suspect(w *worker) {
+	c.mu.Lock()
+	if !w.lastSeen.IsZero() {
+		c.opts.Logf("worker suspect after dispatch failure: %s", w.url)
+	}
+	w.lastSeen = time.Time{}
+	c.mu.Unlock()
+}
+
+// live snapshots the currently-live workers.
+func (c *Coordinator) live() []*worker {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*worker
+	for _, w := range c.workers {
+		if c.aliveLocked(w, now) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Workers lists the registry for the fabric API, sorted by URL.
+func (c *Coordinator) Workers() []WorkerStatus {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		st := WorkerStatus{
+			URL:      w.url,
+			Alive:    c.aliveLocked(w, now),
+			Joined:   w.joined,
+			Points:   w.points.Load(),
+			Leases:   w.leases.Load(),
+			Failures: w.failures.Load(),
+		}
+		if !w.lastSeen.IsZero() {
+			st.LastSeenSeconds = now.Sub(w.lastSeen).Seconds()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// lease is one contiguous shard of a sweep's index space.
+type lease struct {
+	offset, count int
+	attempt       int // dispatches so far
+}
+
+// RunOptions attaches observers to one fabric sweep. Both callbacks are
+// serialized (one at a time, never concurrently).
+type RunOptions struct {
+	// OnPoint receives every first-delivery point result with the
+	// worker that produced it, in completion order.
+	OnPoint func(worker string, pr sweep.PointResult)
+	// OnLease receives lease lifecycle events (dispatch/done/retry/failed).
+	OnLease func(LeaseEvent)
+}
+
+// run is the state of one fabric sweep.
+type run struct {
+	c      *Coordinator
+	spec   sweep.Spec
+	n      int
+	ctx    context.Context
+	cancel context.CancelFunc
+	opts   RunOptions
+
+	pending chan *lease
+	leases  int
+	done    chan struct{}
+	once    sync.Once
+
+	emitMu sync.Mutex // serializes OnPoint/OnLease
+
+	mu          sync.Mutex
+	results     map[int]sweep.PointResult
+	outstanding int
+	fatal       error
+	runners     map[string]bool
+	active      map[*lease]leaseDispatch
+	workersUsed map[string]bool
+	retries     int64
+	lastAlive   time.Time
+}
+
+type leaseDispatch struct {
+	worker string
+	at     time.Time
+}
+
+// RunSweep shards spec across the live fleet and returns the merged
+// report. The spec must be unsharded (no window); its full expansion is
+// validated up front and bounded by the coordinator's per-sweep quota.
+// Workers may join mid-sweep (they start receiving leases at the next
+// scheduler poll) and die mid-lease (the lease is retried on the
+// remaining fleet with backoff, MaxAttempts-bounded). Cancelling ctx
+// cancels every in-flight lease stream, which the workers observe as
+// context.Canceled on their own sweep executions.
+func (c *Coordinator) RunSweep(ctx context.Context, spec sweep.Spec, opts RunOptions) (*sweep.Report, error) {
+	if spec.Window != nil {
+		return nil, fmt.Errorf("fabric: sweep spec must be unsharded, got a window at offset %d", spec.Window.Offset)
+	}
+	n, err := spec.NumPoints()
+	if err != nil {
+		return nil, err
+	}
+	if n > c.opts.MaxSweepPoints {
+		return nil, fmt.Errorf("fabric: spec expands to %d points, over the coordinator's %d-point quota", n, c.opts.MaxSweepPoints)
+	}
+	// The spec is never mutated here: the merged report echoes it, and any
+	// edit (even a defaulted MaxPoints) would break byte-identity with a
+	// single-process run of the same spec.
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &run{
+		c:           c,
+		spec:        spec,
+		n:           n,
+		ctx:         runCtx,
+		cancel:      cancel,
+		opts:        opts,
+		done:        make(chan struct{}),
+		results:     make(map[int]sweep.PointResult, n),
+		runners:     map[string]bool{},
+		active:      map[*lease]leaseDispatch{},
+		workersUsed: map[string]bool{},
+		lastAlive:   time.Now(),
+	}
+	for off := 0; off < n; off += c.opts.LeasePoints {
+		r.leases++
+	}
+	r.pending = make(chan *lease, r.leases)
+	for off := 0; off < n; off += c.opts.LeasePoints {
+		r.pending <- &lease{offset: off, count: min(c.opts.LeasePoints, n-off)}
+	}
+	r.outstanding = r.leases
+
+	c.sweepsStarted.Add(1)
+	c.mu.Lock()
+	c.runSeq++
+	id := c.runSeq
+	c.runs[id] = r
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.runs, id)
+		c.mu.Unlock()
+	}()
+	c.opts.Logf("sweep %d: %d points in %d leases", id, n, r.leases)
+
+	t0 := time.Now()
+	go r.schedule()
+
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+	}
+	if err := ctx.Err(); err != nil {
+		c.sweepsFailed.Add(1)
+		return nil, err
+	}
+	r.mu.Lock()
+	fatal := r.fatal
+	pts := make([]sweep.PointResult, 0, len(r.results))
+	cached, stages := 0, 0
+	for _, pr := range r.results {
+		pts = append(pts, pr)
+		cached += pr.CachedStages
+		stages += pr.TotalStages
+	}
+	usedWorkers := len(r.workersUsed)
+	retries := r.retries
+	r.mu.Unlock()
+	if fatal != nil {
+		c.sweepsFailed.Add(1)
+		return nil, fatal
+	}
+
+	rep, err := sweep.Assemble(spec, pts)
+	if err != nil {
+		c.sweepsFailed.Add(1)
+		return nil, err
+	}
+	rep.Trace = &sweep.RunTrace{
+		WallMillis:     float64(time.Since(t0).Microseconds()) / 1000,
+		Workers:        spec.Workers,
+		CacheHitStages: cached,
+		TotalStages:    stages,
+		Leases:         r.leases,
+		LeaseRetries:   int(retries),
+		FabricWorkers:  usedWorkers,
+	}
+	c.sweepsDone.Add(1)
+	return rep, nil
+}
+
+// schedule keeps runners matched to the live fleet until the run
+// settles: workers that join mid-sweep get a runner at the next poll,
+// and a fleet that stays empty past StallTimeout fails the sweep.
+func (r *run) schedule() {
+	tick := time.NewTicker(r.c.opts.Poll)
+	defer tick.Stop()
+	for {
+		live := r.c.live()
+		r.mu.Lock()
+		if len(live) > 0 {
+			r.lastAlive = time.Now()
+		}
+		stalled := len(live) == 0 && time.Since(r.lastAlive) > r.c.opts.StallTimeout
+		var spawn []*worker
+		for _, w := range live {
+			if !r.runners[w.url] {
+				r.runners[w.url] = true
+				spawn = append(spawn, w)
+			}
+		}
+		r.mu.Unlock()
+		if stalled {
+			r.fail(fmt.Errorf("fabric: no live workers for %s", r.c.opts.StallTimeout))
+			return
+		}
+		for _, w := range spawn {
+			go r.runner(w)
+		}
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-r.done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// runner pulls leases for one worker until the run settles or the
+// worker goes dead/suspect.
+func (r *run) runner(w *worker) {
+	defer func() {
+		r.mu.Lock()
+		delete(r.runners, w.url)
+		r.mu.Unlock()
+	}()
+	for {
+		if !r.c.alive(w) {
+			return
+		}
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-r.done:
+			return
+		case l := <-r.pending:
+			if !r.c.alive(w) {
+				// Requeue untouched: liveness flipped between the pull
+				// and the dispatch; this was not an attempt.
+				r.pending <- l
+				return
+			}
+			if !r.execute(w, l) {
+				return
+			}
+		}
+	}
+}
+
+// execute dispatches one lease to w, handling retry/reassignment on
+// failure. It reports whether the runner should keep pulling leases.
+func (r *run) execute(w *worker, l *lease) bool {
+	l.attempt++
+	r.c.leasesDispatched.Add(1)
+	w.leases.Add(1)
+	r.mu.Lock()
+	r.active[l] = leaseDispatch{worker: w.url, at: time.Now()}
+	r.workersUsed[w.url] = true
+	r.mu.Unlock()
+	r.emitLease(LeaseEvent{State: "dispatch", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt})
+
+	err := r.execLease(w, l)
+
+	r.mu.Lock()
+	delete(r.active, l)
+	r.mu.Unlock()
+	if err == nil {
+		r.emitLease(LeaseEvent{State: "done", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt})
+		r.mu.Lock()
+		r.outstanding--
+		settled := r.outstanding == 0
+		r.mu.Unlock()
+		if settled {
+			r.once.Do(func() { close(r.done) })
+		}
+		return true
+	}
+	if r.ctx.Err() != nil {
+		return false // run cancelled; the failure is an artifact of it
+	}
+	w.failures.Add(1)
+	r.c.suspect(w)
+	r.c.opts.Logf("lease [%d,%d) attempt %d failed on %s: %v", l.offset, l.offset+l.count, l.attempt, w.url, err)
+	if l.attempt >= r.c.opts.MaxAttempts {
+		r.emitLease(LeaseEvent{State: "failed", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt, Error: err.Error()})
+		r.fail(fmt.Errorf("fabric: lease [%d,%d) failed after %d attempts (last worker %s): %w",
+			l.offset, l.offset+l.count, l.attempt, w.url, err))
+		return false
+	}
+	r.c.leaseRetries.Add(1)
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+	r.emitLease(LeaseEvent{State: "retry", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt, Error: err.Error()})
+	// Requeue after backoff without parking the runner: the channel is
+	// sized to hold every lease, so the send cannot block.
+	backoff := r.c.opts.RetryBackoff << (l.attempt - 1)
+	go func() {
+		select {
+		case <-time.After(backoff):
+			r.pending <- l
+		case <-r.ctx.Done():
+		case <-r.done:
+		}
+	}()
+	return false
+}
+
+// fail records the first fatal error, cancels in-flight leases, and
+// settles the run.
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if r.fatal == nil {
+		r.fatal = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+	r.once.Do(func() { close(r.done) })
+}
+
+// workerStreamLine mirrors the worker daemon's NDJSON sweep stream
+// (internal/service streamLine).
+type workerStreamLine struct {
+	Point  *sweep.PointResult `json:"point"`
+	Done   bool               `json:"done"`
+	Error  string             `json:"error"`
+	Report *sweep.Report      `json:"report"`
+}
+
+// execLease runs one lease on one worker over the daemon's streaming
+// sweep surface: POST the windowed spec, forward point lines as they
+// arrive, and accept the shard report on the final line. Any transport
+// error, non-200 status, worker-reported sweep error, stream
+// truncation, or LeaseTimeout of line silence fails the lease.
+func (r *run) execLease(w *worker, l *lease) error {
+	shard := r.spec.Slice(l.offset, l.count)
+	body, err := json.Marshal(shard)
+	if err != nil {
+		return fmt.Errorf("fabric: marshaling shard: %w", err)
+	}
+	leaseCtx, cancelLease := context.WithCancel(r.ctx)
+	defer cancelLease()
+	req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost,
+		w.url+"/v1/sweeps?stream=ndjson", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fabric: building dispatch: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	// The watchdog bounds silence, not total lease time: every received
+	// line re-arms it.
+	watchdog := time.AfterFunc(r.c.opts.LeaseTimeout, cancelLease)
+	defer watchdog.Stop()
+
+	resp, err := r.c.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fabric: dispatch to %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fabric: worker %s answered %d: %s", w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // shard reports can carry liberty/GDS payloads
+	for sc.Scan() {
+		watchdog.Reset(r.c.opts.LeaseTimeout)
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line workerStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("fabric: bad stream line from %s: %w", w.url, err)
+		}
+		if line.Point != nil {
+			r.record(w, *line.Point)
+		}
+		if line.Done {
+			if line.Error != "" {
+				return fmt.Errorf("fabric: worker %s failed the shard: %s", w.url, line.Error)
+			}
+			if line.Report == nil {
+				return fmt.Errorf("fabric: worker %s finished without a shard report", w.url)
+			}
+			return r.acceptShard(w, l, line.Report)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fabric: stream from %s: %w", w.url, err)
+	}
+	return fmt.Errorf("fabric: worker %s closed the stream before the final report", w.url)
+}
+
+// acceptShard verifies the shard report covers the lease's window
+// exactly and records its points (the report is authoritative — any
+// point line the stream dropped is recovered here).
+func (r *run) acceptShard(w *worker, l *lease, rep *sweep.Report) error {
+	if len(rep.Points) != l.count {
+		return fmt.Errorf("fabric: worker %s returned %d points for a %d-point lease", w.url, len(rep.Points), l.count)
+	}
+	seen := make(map[int]bool, l.count)
+	for _, pr := range rep.Points {
+		if pr.Index < l.offset || pr.Index >= l.offset+l.count || seen[pr.Index] {
+			return fmt.Errorf("fabric: worker %s returned point %d outside (or twice within) lease [%d,%d)",
+				w.url, pr.Index, l.offset, l.offset+l.count)
+		}
+		seen[pr.Index] = true
+	}
+	for _, pr := range rep.Points {
+		r.record(w, pr)
+	}
+	return nil
+}
+
+// record stores one point result, first delivery wins: a retried lease
+// re-executes its whole window, and the deterministic index space makes
+// duplicates byte-equivalent, so later deliveries are dropped (counted
+// for the metrics surface).
+func (r *run) record(w *worker, pr sweep.PointResult) {
+	r.mu.Lock()
+	if _, dup := r.results[pr.Index]; dup {
+		r.mu.Unlock()
+		r.c.pointsDuplicate.Add(1)
+		return
+	}
+	r.results[pr.Index] = pr
+	r.mu.Unlock()
+	w.points.Add(1)
+	if pr.Error != "" {
+		r.c.pointsFailed.Add(1)
+	} else {
+		r.c.pointsDone.Add(1)
+	}
+	if r.opts.OnPoint != nil {
+		r.emitMu.Lock()
+		r.opts.OnPoint(w.url, pr)
+		r.emitMu.Unlock()
+	}
+}
+
+// emitLease forwards a lease event, serialized with OnPoint.
+func (r *run) emitLease(ev LeaseEvent) {
+	if r.opts.OnLease == nil {
+		return
+	}
+	r.emitMu.Lock()
+	r.opts.OnLease(ev)
+	r.emitMu.Unlock()
+}

@@ -1,0 +1,530 @@
+package fabric_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cnfetdk/internal/fabric"
+	"cnfetdk/internal/flow"
+	"cnfetdk/internal/promtext"
+	"cnfetdk/internal/service"
+	"cnfetdk/internal/sweep"
+)
+
+// identitySpec is the 12-point sweep every byte-identity test runs: two
+// axes beyond the circuit so leases cross axis boundaries, plus a Monte
+// Carlo analysis so results carry seed-dependent payloads.
+func identitySpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "fabric-identity",
+		Base: flow.Request{
+			Techs:    []string{"cnfet"},
+			Analyses: []flow.Analysis{flow.AnalysisArea, flow.AnalysisImmunity},
+			MCTubes:  8,
+		},
+		Axes: sweep.Axes{
+			Circuits:   []string{"mux2", "dec2"},
+			Placements: []string{"rows", "shelves"},
+			Seeds:      []int64{1, 2, 3},
+		},
+	}
+}
+
+var (
+	refOnce  sync.Once
+	refBytes []byte
+	refErr   error
+)
+
+// refCanonical runs identitySpec in-process once and returns the
+// canonical report bytes every fabric run must reproduce.
+func refCanonical(t *testing.T) []byte {
+	t.Helper()
+	refOnce.Do(func() {
+		kit, err := flow.New(context.Background())
+		if err != nil {
+			refErr = err
+			return
+		}
+		rep, err := sweep.Run(context.Background(), kit, identitySpec())
+		if err != nil {
+			refErr = err
+			return
+		}
+		refBytes, refErr = rep.CanonicalJSON()
+	})
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	return refBytes
+}
+
+// newWorker starts one worker daemon (its own kit, so cross-process
+// determinism is what the identity assertions actually exercise),
+// optionally wrapped by fault-injection middleware.
+func newWorker(t *testing.T, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	kit, err := flow.New(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = service.NewServer(kit)
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// testCoord builds a coordinator tuned for test latencies.
+func testCoord(opts fabric.Options) *fabric.Coordinator {
+	if opts.LeasePoints == 0 {
+		opts.LeasePoints = 3
+	}
+	if opts.Poll == 0 {
+		opts.Poll = 5 * time.Millisecond
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
+	if opts.HeartbeatTTL == 0 {
+		opts.HeartbeatTTL = time.Minute
+	}
+	if opts.StallTimeout == 0 {
+		opts.StallTimeout = 15 * time.Second
+	}
+	if opts.LeaseTimeout == 0 {
+		opts.LeaseTimeout = 30 * time.Second
+	}
+	return fabric.New(opts)
+}
+
+// TestRunSweepCanonicalIdentity is the fabric's acceptance bar: the
+// merged report's canonical bytes are identical to a single-process run
+// of the same spec at 1, 2 and 4 workers.
+func TestRunSweepCanonicalIdentity(t *testing.T) {
+	want := refCanonical(t)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := testCoord(fabric.Options{})
+			for i := 0; i < workers; i++ {
+				w := newWorker(t, nil)
+				if _, err := c.Join(w.URL, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var points int
+			rep, err := c.RunSweep(context.Background(), identitySpec(), fabric.RunOptions{
+				OnPoint: func(worker string, pr sweep.PointResult) {
+					points++
+					if worker == "" {
+						t.Errorf("point %d delivered without a worker attribution", pr.Index)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("merged canonical report differs from the single-process run (%d vs %d bytes)", len(got), len(want))
+			}
+			if points != 12 {
+				t.Fatalf("OnPoint saw %d first deliveries, want 12", points)
+			}
+			if tr := rep.Trace; tr == nil || tr.Leases != 4 || tr.FabricWorkers < 1 || tr.FabricWorkers > workers {
+				t.Fatalf("trace = %+v", rep.Trace)
+			}
+		})
+	}
+}
+
+// killFirstStream aborts the first sweep stream the fleet serves after
+// two NDJSON lines by hijacking and closing the TCP connection — a
+// worker dying mid-lease, as the coordinator observes it. One instance
+// wraps every worker so exactly one stream dies, whichever worker gets
+// a lease first.
+type killFirstStream struct {
+	mu      sync.Mutex
+	tripped bool
+}
+
+func (k *killFirstStream) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/sweeps") && r.Method == http.MethodPost {
+			k.mu.Lock()
+			first := !k.tripped
+			k.tripped = true
+			k.mu.Unlock()
+			if first {
+				h.ServeHTTP(&killWriter{ResponseWriter: w, after: 2}, r)
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// killWriter severs the connection after `after` written lines.
+type killWriter struct {
+	http.ResponseWriter
+	mu    sync.Mutex
+	lines int
+	after int
+	dead  bool
+}
+
+func (k *killWriter) Write(b []byte) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.dead {
+		return 0, io.ErrClosedPipe
+	}
+	n, err := k.ResponseWriter.Write(b)
+	k.lines += bytes.Count(b[:n], []byte("\n"))
+	if k.lines >= k.after {
+		k.dead = true
+		if hj, ok := k.ResponseWriter.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+	}
+	return n, err
+}
+
+func (k *killWriter) Flush() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.dead {
+		return
+	}
+	if f, ok := k.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestWorkerDeathMidLease kills one of two workers mid-stream: its lease
+// must be reassigned exactly once, to the surviving worker, and the
+// merged report must still be byte-identical to the single-process run.
+func TestWorkerDeathMidLease(t *testing.T) {
+	want := refCanonical(t)
+	c := testCoord(fabric.Options{})
+	killer := &killFirstStream{}
+	workers := []*httptest.Server{newWorker(t, killer.wrap), newWorker(t, killer.wrap)}
+	urls := map[string]bool{}
+	for _, w := range workers {
+		urls[w.URL] = true
+		if _, err := c.Join(w.URL, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	var events []fabric.LeaseEvent
+	rep, err := c.RunSweep(context.Background(), identitySpec(), fabric.RunOptions{
+		OnLease: func(ev fabric.LeaseEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged canonical report differs from the single-process run after a mid-lease worker death")
+	}
+	if rep.Trace == nil || rep.Trace.LeaseRetries != 1 {
+		t.Fatalf("trace = %+v, want exactly one lease retry", rep.Trace)
+	}
+
+	// The retried lease's second dispatch must land on the surviving
+	// worker, not the one whose stream died.
+	mu.Lock()
+	defer mu.Unlock()
+	var retried *fabric.LeaseEvent
+	for i, ev := range events {
+		if ev.State == "retry" {
+			if retried != nil {
+				t.Fatal("more than one retry event")
+			}
+			retried = &events[i]
+			if !urls[ev.Worker] {
+				t.Fatalf("retry attributed to unknown worker %s", ev.Worker)
+			}
+		}
+	}
+	if retried == nil {
+		t.Fatal("no retry event observed")
+	}
+	reassigned := false
+	for _, ev := range events {
+		if ev.State == "dispatch" && ev.Offset == retried.Offset && ev.Attempt == 2 {
+			reassigned = true
+			if ev.Worker == retried.Worker {
+				t.Fatalf("lease [%d,%d) reassigned to the dead worker %s", ev.Offset, ev.Offset+ev.Count, ev.Worker)
+			}
+		}
+	}
+	if !reassigned {
+		t.Fatal("retried lease never re-dispatched")
+	}
+
+	// The death must be visible on the metrics surface.
+	var buf bytes.Buffer
+	pw := promtext.New(&buf)
+	c.WriteMetrics(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	for _, want := range []string{
+		"cnfet_fabric_lease_retries_total 1",
+		"cnfet_fabric_sweeps_done_total 1",
+		"cnfet_fabric_workers_registered 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics lack %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestWorkerJoinsMidSweep starts the sweep against an empty fleet; the
+// first worker enrolls while the sweep is already pending and picks up
+// every lease.
+func TestWorkerJoinsMidSweep(t *testing.T) {
+	want := refCanonical(t)
+	c := testCoord(fabric.Options{})
+	w := newWorker(t, nil)
+
+	type outcome struct {
+		rep *sweep.Report
+		err error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		rep, err := c.RunSweep(context.Background(), identitySpec(), fabric.RunOptions{})
+		res <- outcome{rep, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the sweep start with zero workers
+	if _, err := c.Join(w.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	out := <-res
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	got, err := out.rep.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged canonical report differs from the single-process run after a mid-sweep join")
+	}
+	if out.rep.Trace.FabricWorkers != 1 {
+		t.Fatalf("trace reports %d fabric workers, want 1", out.rep.Trace.FabricWorkers)
+	}
+}
+
+// holdProbe parks sweep dispatches until the request context dies and
+// records what error the worker-side context ended with — the observable
+// half of "coordinator cancel propagates to every worker".
+type holdProbe struct {
+	h    http.Handler
+	mu   sync.Mutex
+	held int
+	errs []error
+}
+
+func (p *holdProbe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/sweeps") || r.Method != http.MethodPost {
+		p.h.ServeHTTP(w, r)
+		return
+	}
+	// Drain the body so net/http's background read arms client-disconnect
+	// detection (an unread body would mask the cancel).
+	io.Copy(io.Discard, r.Body)
+	p.mu.Lock()
+	p.held++
+	p.mu.Unlock()
+	select {
+	case <-r.Context().Done():
+	case <-time.After(10 * time.Second):
+	}
+	p.mu.Lock()
+	p.errs = append(p.errs, r.Context().Err())
+	p.mu.Unlock()
+}
+
+func (p *holdProbe) snapshot() (int, []error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.held, append([]error(nil), p.errs...)
+}
+
+// TestCancelPropagatesToWorkers cancels the coordinator-side context
+// while both workers hold in-flight leases; each worker must observe
+// context.Canceled on its own request context.
+func TestCancelPropagatesToWorkers(t *testing.T) {
+	c := testCoord(fabric.Options{})
+	probes := make([]*holdProbe, 2)
+	for i := range probes {
+		p := &holdProbe{}
+		w := newWorker(t, func(h http.Handler) http.Handler { p.h = h; return p })
+		probes[i] = p
+		if _, err := c.Join(w.URL, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// Cancel once every worker holds a lease stream.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			all := true
+			for _, p := range probes {
+				if held, _ := p.snapshot(); held == 0 {
+					all = false
+				}
+			}
+			if all {
+				cancel()
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cancel()
+	}()
+
+	_, err := c.RunSweep(ctx, identitySpec(), fabric.RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSweep error = %v, want context.Canceled", err)
+	}
+	// The workers' request contexts settle just after the coordinator
+	// returns; give the probes a moment to record them.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range probes {
+		for {
+			if _, errs := p.snapshot(); len(errs) > 0 {
+				for _, e := range errs {
+					if !errors.Is(e, context.Canceled) {
+						t.Fatalf("worker-side context ended with %v, want context.Canceled", e)
+					}
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("worker never observed the cancelled context")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestPoisonLeaseFailsFast: a lease that fails on every attempt must
+// fail the sweep after MaxAttempts, not spin the fleet forever.
+func TestPoisonLeaseFailsFast(t *testing.T) {
+	c := testCoord(fabric.Options{MaxAttempts: 2, HeartbeatTTL: time.Minute})
+	// Workers that 500 every sweep dispatch; heartbeats keep reviving
+	// them, so only the attempt bound can end the sweep.
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}))
+		t.Cleanup(srv.Close)
+		if _, err := c.Join(srv.URL, true); err != nil {
+			t.Fatal(err)
+		}
+		url := srv.URL
+		hbCtx, hbStop := context.WithCancel(context.Background())
+		t.Cleanup(hbStop)
+		go func() {
+			for hbCtx.Err() == nil {
+				c.Join(url, true)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	_, err := c.RunSweep(context.Background(), identitySpec(), fabric.RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Fatalf("RunSweep error = %v, want a 2-attempt lease failure", err)
+	}
+}
+
+func TestRunSweepAdmission(t *testing.T) {
+	c := testCoord(fabric.Options{MaxSweepPoints: 4})
+	if _, err := c.RunSweep(context.Background(), identitySpec(), fabric.RunOptions{}); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("12-point sweep against a 4-point quota: err = %v", err)
+	}
+	if _, err := c.RunSweep(context.Background(), identitySpec().Slice(0, 2), fabric.RunOptions{}); err == nil || !strings.Contains(err.Error(), "unsharded") {
+		t.Fatalf("windowed spec: err = %v", err)
+	}
+	bad := identitySpec()
+	bad.Axes.Circuits = []string{"no-such-circuit"}
+	if _, err := c.RunSweep(context.Background(), bad, fabric.RunOptions{}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+}
+
+func TestJoinRegistry(t *testing.T) {
+	c := testCoord(fabric.Options{HeartbeatTTL: 50 * time.Millisecond})
+	if _, err := c.Join("not a url", false); err == nil {
+		t.Fatal("junk worker URL accepted")
+	}
+	if _, err := c.Join("ftp://x:1", false); err == nil {
+		t.Fatal("non-http worker URL accepted")
+	}
+	ack, err := c.Join("http://worker-a:8065/", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != "http://worker-a:8065" {
+		t.Fatalf("join ack ID = %q, want the normalized URL", ack.ID)
+	}
+	if ack.HeartbeatSeconds <= 0 {
+		t.Fatalf("join ack heartbeat = %v", ack.HeartbeatSeconds)
+	}
+	// Re-joining upserts, never duplicates.
+	if _, err := c.Join("http://worker-a:8065", false); err != nil {
+		t.Fatal(err)
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || !ws[0].Alive {
+		t.Fatalf("registry = %+v, want one live worker", ws)
+	}
+	// Liveness expires past the TTL for dynamic workers...
+	time.Sleep(80 * time.Millisecond)
+	if ws = c.Workers(); ws[0].Alive {
+		t.Fatal("worker still live past its heartbeat TTL")
+	}
+	// ...but static workers stay live without heartbeats.
+	if _, err := c.Join("http://worker-b:8065", true); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	for _, w := range c.Workers() {
+		if w.URL == "http://worker-b:8065" && !w.Alive {
+			t.Fatal("static worker expired by TTL")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"cnfetdk/internal/promtext"
+	"cnfetdk/internal/sweep"
+)
+
+// Server is the coordinator's HTTP surface. cmd/cnfetfab serves it
+// standalone; cnfetd -coordinator mounts it next to the design-service
+// routes.
+//
+//	POST /v1/fabric/workers — worker enrollment / heartbeat (JoinRequest)
+//	GET  /v1/fabric/workers — registry listing
+//	POST /v1/fabric/sweeps  — run a sweep.Spec across the fleet,
+//	                          streaming NDJSON progress (point lines,
+//	                          lease events, then the merged report)
+//	GET  /metrics           — Prometheus-style coordinator metrics
+//	GET  /livez             — liveness (always 200 while serving)
+//	GET  /readyz            — readiness (503 until ≥1 live worker)
+type Server struct {
+	c       *Coordinator
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// NewServer wraps a coordinator into an HTTP handler.
+func NewServer(c *Coordinator) *Server {
+	s := &Server{c: c, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /v1/fabric/workers", s.handleJoin)
+	s.mux.HandleFunc("GET /v1/fabric/workers", s.handleWorkers)
+	s.mux.HandleFunc("POST /v1/fabric/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Coordinator exposes the wrapped coordinator (cnfetd mounts extra
+// surfaces around it).
+func (s *Server) Coordinator() *Coordinator { return s.c }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, map[string]map[string]string{
+		"error": {"code": code, "message": msg},
+	})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<10)
+	var jr JoinRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding join: %v", err))
+		return
+	}
+	resp, err := s.c.Join(jr.URL, false)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_worker_url", err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"workers": s.c.Workers()})
+}
+
+// handleSweep runs one fabric sweep under the request's context (client
+// disconnect cancels every in-flight lease) and streams NDJSON: point
+// lines and lease events as they happen, then one final line with the
+// merged report. Each line is flushed immediately; X-Accel-Buffering
+// tells buffering reverse proxies to pass lines through.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec sweep.Spec
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding spec: %v", err))
+		return
+	}
+	// Admission errors (bad spec, over quota) should arrive as real HTTP
+	// errors, not a 200 stream that immediately fails — so validate
+	// before committing to the streaming response.
+	if spec.Window == nil {
+		if n, err := spec.NumPoints(); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+			return
+		} else if n > s.c.opts.MaxSweepPoints {
+			s.writeError(w, http.StatusBadRequest, "too_many_points",
+				fmt.Sprintf("spec expands to %d points, over this coordinator's %d-point quota", n, s.c.opts.MaxSweepPoints))
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line StreamLine) {
+		// RunSweep serializes these callbacks; no extra locking needed.
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	rep, err := s.c.RunSweep(r.Context(), spec, RunOptions{
+		OnPoint: func(worker string, pr sweep.PointResult) {
+			emit(StreamLine{Point: &pr, Worker: worker})
+		},
+		OnLease: func(ev LeaseEvent) {
+			emit(StreamLine{Lease: &ev})
+		},
+	})
+	last := StreamLine{Done: true, Report: rep}
+	if err != nil {
+		last.Error = err.Error()
+	}
+	emit(last)
+}
+
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"role":           "coordinator",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadyz reports readiness to accept fabric sweeps: a coordinator
+// with zero live workers would only park them, so it answers 503 until
+// the fleet has at least one live member.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	live := len(s.c.live())
+	status := http.StatusOK
+	ready := true
+	if live == 0 {
+		status, ready = http.StatusServiceUnavailable, false
+	}
+	s.writeJSON(w, status, map[string]any{
+		"ready":        ready,
+		"live_workers": live,
+	})
+}
+
+// WriteMetrics renders the coordinator's metrics in Prometheus text
+// format (cnfetd -coordinator appends them to the worker-role metrics).
+func (c *Coordinator) WriteMetrics(pw *promtext.Writer) {
+	pw.Counter("cnfet_fabric_sweeps_started_total", "Fabric sweeps accepted by this coordinator.", float64(c.sweepsStarted.Load()))
+	pw.Counter("cnfet_fabric_sweeps_done_total", "Fabric sweeps merged successfully.", float64(c.sweepsDone.Load()))
+	pw.Counter("cnfet_fabric_sweeps_failed_total", "Fabric sweeps that failed or were cancelled.", float64(c.sweepsFailed.Load()))
+	pw.Counter("cnfet_fabric_points_done_total", "Sweep points completed successfully across all sweeps.", float64(c.pointsDone.Load()))
+	pw.Counter("cnfet_fabric_points_failed_total", "Sweep points that completed with a point-level error.", float64(c.pointsFailed.Load()))
+	pw.Counter("cnfet_fabric_points_duplicate_total", "Duplicate point deliveries dropped by first-write-wins merging.", float64(c.pointsDuplicate.Load()))
+	pw.Counter("cnfet_fabric_leases_dispatched_total", "Lease dispatches, including retries.", float64(c.leasesDispatched.Load()))
+	pw.Counter("cnfet_fabric_lease_retries_total", "Leases requeued after a dispatch failure.", float64(c.leaseRetries.Load()))
+
+	now := time.Now()
+	c.mu.Lock()
+	liveN := 0
+	var workerRows []promtext.Sample
+	for _, w := range c.workers {
+		if c.aliveLocked(w, now) {
+			liveN++
+		}
+		workerRows = append(workerRows, promtext.Sample{
+			Labels: []promtext.Label{{Name: "worker", Value: w.url}},
+			Value:  float64(w.points.Load()),
+		})
+	}
+	runs := len(c.runs)
+	queue, activeLeases := 0, 0
+	oldest := 0.0
+	for _, r := range c.runs {
+		queue += len(r.pending)
+		r.mu.Lock()
+		activeLeases += len(r.active)
+		for _, d := range r.active {
+			if age := now.Sub(d.at).Seconds(); age > oldest {
+				oldest = age
+			}
+		}
+		r.mu.Unlock()
+	}
+	registered := len(c.workers)
+	c.mu.Unlock()
+
+	sort.Slice(workerRows, func(i, j int) bool { return workerRows[i].Labels[0].Value < workerRows[j].Labels[0].Value })
+	pw.Gauge("cnfet_fabric_workers_registered", "Workers in the registry, live or not.", float64(registered))
+	pw.Gauge("cnfet_fabric_workers_live", "Workers currently eligible for leases.", float64(liveN))
+	pw.Gauge("cnfet_fabric_sweeps_running", "Fabric sweeps currently executing.", float64(runs))
+	pw.Gauge("cnfet_fabric_queue_depth", "Leases waiting for a worker across running sweeps.", float64(queue))
+	pw.Gauge("cnfet_fabric_leases_active", "Leases currently dispatched to a worker.", float64(activeLeases))
+	pw.Gauge("cnfet_fabric_lease_age_seconds_max", "Age of the oldest in-flight lease.", oldest)
+	pw.Metric("counter", "cnfet_fabric_worker_points_total", "Points delivered per worker (throughput numerator).", workerRows...)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promtext.ContentType)
+	pw := promtext.New(w)
+	pw.Gauge("cnfet_fabric_uptime_seconds", "Seconds since the coordinator started.", time.Since(s.started).Seconds())
+	s.c.WriteMetrics(pw)
+}

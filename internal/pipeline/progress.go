@@ -13,6 +13,33 @@ type Progress struct {
 	failed atomic.Int64
 	cached atomic.Int64 // cached sub-stages observed so far
 	stages atomic.Int64 // total sub-stages observed so far
+
+	// parent, when set, receives every update too: a server chains each
+	// batch's Progress to one process-wide aggregate (its /metrics
+	// counters) without the batches knowing. Set once via Chain before
+	// any updates; aggregation composes transitively.
+	parent *Progress
+}
+
+// Chain makes parent receive every update recorded on p (totals
+// accumulate via AddTotal; items forward one-to-one) and returns p.
+// Call before handing p to a batch; not safe to call concurrently with
+// updates.
+func (p *Progress) Chain(parent *Progress) *Progress {
+	if p != nil {
+		p.parent = parent
+	}
+	return p
+}
+
+// AddTotal grows the expected-item counter: aggregate counters sum many
+// batches' totals instead of overwriting each other's SetTotal.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+	p.parent.AddTotal(n)
 }
 
 // ProgressSnapshot is one consistent-enough read of the counters (each
@@ -25,12 +52,15 @@ type ProgressSnapshot struct {
 	TotalStages  int64 `json:"total_stages,omitempty"`
 }
 
-// SetTotal records how many items the batch will process.
+// SetTotal records how many items the batch will process. A chained
+// parent sees the total as an increment, so per-batch SetTotals sum
+// into the aggregate.
 func (p *Progress) SetTotal(n int) {
 	if p == nil {
 		return
 	}
 	p.total.Store(int64(n))
+	p.parent.AddTotal(n)
 }
 
 // ItemDone records one completed item (failed marks it as an error) plus
@@ -45,6 +75,7 @@ func (p *Progress) ItemDone(failed bool, cachedStages, totalStages int) {
 	}
 	p.cached.Add(int64(cachedStages))
 	p.stages.Add(int64(totalStages))
+	p.parent.ItemDone(failed, cachedStages, totalStages)
 }
 
 // Snapshot reads the counters.

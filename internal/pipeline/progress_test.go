@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressChainAggregates(t *testing.T) {
+	var root Progress
+	a := new(Progress).Chain(&root)
+	b := new(Progress).Chain(&root)
+
+	a.SetTotal(3)
+	b.SetTotal(2)
+	a.ItemDone(false, 1, 2)
+	a.ItemDone(true, 0, 2)
+	b.ItemDone(false, 2, 2)
+
+	if got := a.Snapshot(); got.Total != 3 || got.Done != 2 || got.Failed != 1 {
+		t.Fatalf("a snapshot = %+v", got)
+	}
+	if got := b.Snapshot(); got.Total != 2 || got.Done != 1 || got.Failed != 0 {
+		t.Fatalf("b snapshot = %+v", got)
+	}
+	got := root.Snapshot()
+	if got.Total != 5 || got.Done != 3 || got.Failed != 1 || got.CachedStages != 3 || got.TotalStages != 6 {
+		t.Fatalf("root snapshot = %+v, want the sum of both batches", got)
+	}
+
+	// A second SetTotal on one batch still only adds the new total to the
+	// aggregate (batch totals sum; they never overwrite each other).
+	a.SetTotal(7)
+	if got := root.Snapshot(); got.Total != 12 {
+		t.Fatalf("root total after re-SetTotal = %d, want 12", got.Total)
+	}
+}
+
+func TestProgressChainTransitive(t *testing.T) {
+	var root, mid Progress
+	mid.Chain(&root)
+	leaf := new(Progress).Chain(&mid)
+	leaf.SetTotal(4)
+	leaf.ItemDone(false, 0, 1)
+	for name, p := range map[string]*Progress{"mid": &mid, "root": &root} {
+		if got := p.Snapshot(); got.Total != 4 || got.Done != 1 {
+			t.Fatalf("%s snapshot = %+v", name, got)
+		}
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Chain(&Progress{})
+	p.SetTotal(1)
+	p.AddTotal(1)
+	p.ItemDone(false, 0, 0)
+	if got := p.Snapshot(); got != (ProgressSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	// An unchained Progress updates itself only.
+	var solo Progress
+	solo.SetTotal(2)
+	solo.ItemDone(false, 0, 0)
+	if got := solo.Snapshot(); got.Total != 2 || got.Done != 1 {
+		t.Fatalf("solo snapshot = %+v", got)
+	}
+}
+
+func TestProgressChainConcurrent(t *testing.T) {
+	var root Progress
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		batch := new(Progress).Chain(&root)
+		batch.SetTotal(100)
+		wg.Add(1)
+		go func(p *Progress) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.ItemDone(j%10 == 0, 1, 1)
+			}
+		}(batch)
+	}
+	wg.Wait()
+	got := root.Snapshot()
+	if got.Total != 800 || got.Done != 800 || got.Failed != 80 {
+		t.Fatalf("root snapshot = %+v", got)
+	}
+}

@@ -1,0 +1,93 @@
+// Package promtext renders metrics in the Prometheus text exposition
+// format (version 0.0.4) without pulling in a client library: the
+// daemon and the sweep-fabric coordinator expose a handful of counters
+// and gauges on GET /metrics, and a scraper (or the CI fabric job's
+// grep) reads them straight off the wire.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the exposition-format content type for HTTP responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one time-series sample of a metric: its label set (ordered
+// as given) and value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Writer accumulates metrics onto an io.Writer. Write errors are
+// sticky and surfaced by Err — callers emitting onto an HTTP response
+// typically ignore them, as net/http does.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// New wraps w for metric emission.
+func New(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err reports the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Counter emits a single unlabeled counter.
+func (w *Writer) Counter(name, help string, value float64) {
+	w.Metric("counter", name, help, Sample{Value: value})
+}
+
+// Gauge emits a single unlabeled gauge.
+func (w *Writer) Gauge(name, help string, value float64) {
+	w.Metric("gauge", name, help, Sample{Value: value})
+}
+
+// Metric emits one metric family: HELP and TYPE headers followed by a
+// line per sample. No samples emits nothing (an absent family is valid;
+// an empty one is noise).
+func (w *Writer) Metric(typ, name, help string, samples ...Sample) {
+	if w.err != nil || len(samples) == 0 {
+		return
+	}
+	w.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			w.printf("%s %s\n", name, formatValue(s.Value))
+			continue
+		}
+		parts := make([]string, len(s.Labels))
+		for i, l := range s.Labels {
+			// %q escapes quotes, backslashes and newlines — exactly the
+			// label-value escape set of the exposition format.
+			parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+		}
+		w.printf("%s{%s} %s\n", name, strings.Join(parts, ","), formatValue(s.Value))
+	}
+}
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// formatValue renders a sample value the way Prometheus parses it:
+// shortest float representation, integers without an exponent.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

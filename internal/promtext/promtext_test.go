@@ -1,0 +1,64 @@
+package promtext
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriterFamilies(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Counter("jobs_total", "Jobs so far.", 42)
+	w.Gauge("queue_depth", "Waiting\nitems.", 3.5)
+	w.Metric("counter", "per_worker_total", "Per worker.",
+		Sample{Labels: []Label{{Name: "worker", Value: `http://a:1/"x"`}}, Value: 7},
+		Sample{Labels: []Label{{Name: "worker", Value: "http://b:2"}}, Value: 0},
+	)
+	w.Metric("gauge", "empty_family", "Never emitted.")
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs so far.\n# TYPE jobs_total counter\njobs_total 42\n",
+		`# HELP queue_depth Waiting\nitems.`,
+		"queue_depth 3.5\n",
+		`per_worker_total{worker="http://a:1/\"x\""} 7`,
+		`per_worker_total{worker="http://b:2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "empty_family") {
+		t.Error("sampleless family was emitted")
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:       "0",
+		1:       "1",
+		1234567: "1.234567e+06",
+		0.25:    "0.25",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	w := New(&failWriter{err: boom})
+	w.Counter("a_total", "A.", 1)
+	w.Gauge("b", "B.", 2)
+	if !errors.Is(w.Err(), boom) {
+		t.Fatalf("Err = %v, want the first write error", w.Err())
+	}
+}

@@ -16,7 +16,13 @@
 //	                         hits/misses/bytes/evictions)
 //	POST   /v1/cache/purge — drop every completed stage result from
 //	                         every store tier
-//	GET    /healthz        — liveness plus kit/cache statistics
+//	GET    /healthz        — liveness plus kit/cache statistics (legacy
+//	                         combined endpoint)
+//	GET    /livez          — liveness only (200 while the process serves)
+//	GET    /readyz         — readiness (503 while not ready to take
+//	                         work — e.g. a fabric worker that has not
+//	                         reached its coordinator yet)
+//	GET    /metrics        — Prometheus-style process metrics
 //
 // Errors are structured JSON ({"error": {"code", "message"}}) with the
 // typed flow sentinels mapped to 400s.
@@ -33,6 +39,8 @@ import (
 	"time"
 
 	"cnfetdk/internal/flow"
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/promtext"
 )
 
 // Server handles the design-service routes over one shared kit.
@@ -42,6 +50,12 @@ type Server struct {
 	started  time.Time
 	circuits []circuitInfo // static after construction
 	jobs     atomic.Int64  // jobs accepted since start
+	ready    atomic.Bool   // readiness for /readyz (true unless flipped)
+
+	// points aggregates every sweep's progress (async and streamed)
+	// into process-lifetime counters for /metrics: each sweep's own
+	// Progress chains into it.
+	points pipeline.Progress
 
 	// Sweep execution limits and store (see sweeps.go).
 	baseCtx        context.Context // lifetime of detached (async) sweeps
@@ -90,6 +104,7 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 		maxStored:      64,
 		sweeps:         map[string]*sweepJob{},
 	}
+	s.ready.Store(true)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -111,8 +126,18 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
 	s.mux.HandleFunc("POST /v1/cache/purge", s.handleCachePurge)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// SetReady flips the /readyz answer. A daemon running as a fabric
+// worker marks itself unready until its coordinator enrollment
+// succeeds (and again when heartbeats start failing); a draining daemon
+// marks itself unready so load balancers stop routing to it. Liveness
+// (/livez, /healthz) is unaffected.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -246,6 +271,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tracked, running := s.sweepCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"ready":          s.ready.Load(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"jobs_accepted":  s.jobs.Load(),
 		"sweeps_tracked": tracked,
@@ -254,4 +280,77 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cnfet_cells":    len(s.kit.CNFET.Names()),
 		"cmos_cells":     len(s.kit.CMOS.Names()),
 	})
+}
+
+// handleLivez is pure liveness: the process is up and serving. Probes
+// that should restart a wedged process watch this, not readiness.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadyz is readiness to take traffic: 503 while the daemon is
+// enrolling with a fabric coordinator or draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready})
+}
+
+// WriteMetrics renders the daemon's process metrics in Prometheus text
+// format. Exposed as a method so cnfetd -coordinator can append the
+// fabric coordinator's metrics to the same /metrics response.
+func (s *Server) WriteMetrics(pw *promtext.Writer) {
+	tracked, running := s.sweepCounts()
+	prog := s.points.Snapshot()
+	ready := 0.0
+	if s.ready.Load() {
+		ready = 1
+	}
+	pw.Gauge("cnfetd_uptime_seconds", "Seconds since the daemon started.", time.Since(s.started).Seconds())
+	pw.Gauge("cnfetd_ready", "1 when /readyz answers 200.", ready)
+	pw.Counter("cnfetd_jobs_accepted_total", "Jobs and sweeps accepted since start.", float64(s.jobs.Load()))
+	pw.Gauge("cnfetd_sweeps_tracked", "Sweeps retained in the status store.", float64(tracked))
+	pw.Gauge("cnfetd_sweeps_running", "Tracked sweeps currently executing.", float64(running))
+	pw.Counter("cnfetd_sweep_points_total", "Sweep points this process has been asked to run.", float64(prog.Total))
+	pw.Counter("cnfetd_sweep_points_done_total", "Sweep points completed (including failed ones).", float64(prog.Done))
+	pw.Counter("cnfetd_sweep_points_failed_total", "Sweep points that completed with an error.", float64(prog.Failed))
+	pw.Counter("cnfetd_sweep_stages_total", "Flow stages executed by completed sweep points.", float64(prog.TotalStages))
+	pw.Counter("cnfetd_sweep_stages_cached_total", "Flow stages served from the artifact store.", float64(prog.CachedStages))
+
+	st := s.kit.CacheStats()
+	pw.Gauge("cnfetd_cache_entries", "Completed stage results tracked by the memo cache.", float64(s.kit.CacheLen()))
+	tiers := []struct {
+		name  string
+		stats *pipeline.TierStats
+	}{{"mem", &st.Mem}, {"disk", st.Disk}}
+	var hits, misses, puts, evictions, entries, bytes []promtext.Sample
+	for _, t := range tiers {
+		if t.stats == nil {
+			continue
+		}
+		label := []promtext.Label{{Name: "tier", Value: t.name}}
+		hits = append(hits, promtext.Sample{Labels: label, Value: float64(t.stats.Hits)})
+		misses = append(misses, promtext.Sample{Labels: label, Value: float64(t.stats.Misses)})
+		puts = append(puts, promtext.Sample{Labels: label, Value: float64(t.stats.Puts)})
+		evictions = append(evictions, promtext.Sample{Labels: label, Value: float64(t.stats.Evictions)})
+		entries = append(entries, promtext.Sample{Labels: label, Value: float64(t.stats.Entries)})
+		bytes = append(bytes, promtext.Sample{Labels: label, Value: float64(t.stats.Bytes)})
+	}
+	pw.Metric("counter", "cnfetd_store_hits_total", "Artifact-store hits per tier.", hits...)
+	pw.Metric("counter", "cnfetd_store_misses_total", "Artifact-store misses per tier.", misses...)
+	pw.Metric("counter", "cnfetd_store_puts_total", "Artifact-store writes per tier.", puts...)
+	pw.Metric("counter", "cnfetd_store_evictions_total", "Artifact-store evictions per tier.", evictions...)
+	pw.Metric("gauge", "cnfetd_store_entries", "Artifact-store resident entries per tier.", entries...)
+	pw.Metric("gauge", "cnfetd_store_bytes", "Artifact-store resident bytes per tier.", bytes...)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promtext.ContentType)
+	s.WriteMetrics(promtext.New(w))
 }

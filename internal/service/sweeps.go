@@ -161,7 +161,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		spec:     spec,
 		points:   n,
 		created:  time.Now(),
-		progress: &pipeline.Progress{},
+		progress: new(pipeline.Progress).Chain(&s.points),
 		cancel:   cancel,
 		done:     make(chan struct{}),
 		state:    sweepRunning,
@@ -209,19 +209,32 @@ type streamLine struct {
 
 // streamSweep runs the sweep synchronously under the request context
 // (client disconnect cancels it) and streams completions as NDJSON.
+// Every record is flushed as it is written, and X-Accel-Buffering tells
+// buffering reverse proxies (nginx and friends) to pass records through
+// — the sweep fabric relays these streams, and a proxy batching them
+// would stall the coordinator's lease watchdog and the client's
+// progress display alike.
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.Spec) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before the first point completes, so
+		// clients (and the fabric coordinator) see the stream open.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
-	rep, err := sweep.Run(r.Context(), s.kit, spec, sweep.OnPoint(func(pr sweep.PointResult) {
-		// OnPoint calls are serialized by the engine, so the encoder
-		// never sees concurrent writes.
-		enc.Encode(streamLine{Point: &pr})
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}))
+	rep, err := sweep.Run(r.Context(), s.kit, spec,
+		sweep.WithProgress(new(pipeline.Progress).Chain(&s.points)),
+		sweep.OnPoint(func(pr sweep.PointResult) {
+			// OnPoint calls are serialized by the engine, so the encoder
+			// never sees concurrent writes.
+			enc.Encode(streamLine{Point: &pr})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}))
 	last := streamLine{Done: true, Report: rep}
 	if err != nil {
 		last.Error = err.Error()

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"sort"
 
@@ -106,6 +107,12 @@ type RunTrace struct {
 	TotalStages        int     `json:"total_stages"`
 	CacheEntriesBefore int     `json:"cache_entries_before"`
 	CacheEntriesAfter  int     `json:"cache_entries_after"`
+
+	// Fabric execution detail, set when a coordinator merged the report
+	// from shards (internal/fabric).
+	Leases        int `json:"leases,omitempty"`
+	LeaseRetries  int `json:"lease_retries,omitempty"`
+	FabricWorkers int `json:"fabric_workers,omitempty"`
 }
 
 // Report is the aggregated outcome of one sweep: every point in
@@ -147,6 +154,42 @@ func (r *Report) Canonical() *Report {
 // CanonicalJSON marshals the canonical report with stable indentation.
 func (r *Report) CanonicalJSON() ([]byte, error) {
 	return json.MarshalIndent(r.Canonical(), "", "  ")
+}
+
+// Assemble builds the Report for spec from externally-executed point
+// results — the sweep fabric's merge step: shard reports contribute
+// their points (global indices intact), Assemble checks the set covers
+// spec's whole index space exactly once, orders it, and derives the
+// same summaries, curves and fronts Run would have. Because every
+// derived field is a pure function of (spec, ordered points), the
+// assembled report's Canonical bytes are identical to a single-process
+// Run of the same spec, regardless of how the points were partitioned
+// or which worker computed each one. The caller's spec must be the
+// unsharded original (no window). Trace is left nil.
+func Assemble(spec Spec, points []PointResult) (*Report, error) {
+	if spec.Window != nil {
+		return nil, fmt.Errorf("sweep: assemble wants the unsharded spec, got a window at offset %d", spec.Window.Offset)
+	}
+	n, err := spec.NumPoints()
+	if err != nil {
+		return nil, err
+	}
+	if len(points) != n {
+		return nil, fmt.Errorf("sweep: assemble got %d points for a %d-point spec", len(points), n)
+	}
+	ordered := make([]PointResult, n)
+	seen := make([]bool, n)
+	for _, pr := range points {
+		if pr.Index < 0 || pr.Index >= n {
+			return nil, fmt.Errorf("sweep: assemble point index %d outside the %d-point space", pr.Index, n)
+		}
+		if seen[pr.Index] {
+			return nil, fmt.Errorf("sweep: assemble got point index %d twice", pr.Index)
+		}
+		seen[pr.Index] = true
+		ordered[pr.Index] = pr
+	}
+	return buildReport(spec, ordered), nil
 }
 
 // Metrics flattens the point's scalar outcomes into "<tech>/<metric>"

@@ -52,6 +52,17 @@ type Axes struct {
 	Seeds []int64 `json:"seeds,omitempty"`
 }
 
+// Window selects a contiguous slice of a spec's deterministic
+// point-index space: the sweep fabric shards one spec across workers by
+// sending each a copy whose window covers its lease. Points keep their
+// global expansion index, so shard reports merge back by index.
+type Window struct {
+	// Offset is the global index of the window's first point.
+	Offset int `json:"offset"`
+	// Count is how many consecutive points the window covers.
+	Count int `json:"count"`
+}
+
 // Spec is one serializable batch job: a base request plus the axes to
 // sweep over it.
 type Spec struct {
@@ -70,8 +81,23 @@ type Spec struct {
 	// kit's worker pool, so total parallelism is the product of the two
 	// bounds.
 	Workers int `json:"workers,omitempty"`
-	// MaxPoints caps the expansion (0 selects DefaultMaxPoints).
+	// MaxPoints caps the expansion (0 selects DefaultMaxPoints). With a
+	// window it caps the window, not the full space: a sharded spec is
+	// admitted by its shard size.
 	MaxPoints int `json:"max_points,omitempty"`
+	// Window restricts expansion to a contiguous index slice (nil = the
+	// whole space). Shard specs built by Slice round-trip through JSON
+	// with the window intact.
+	Window *Window `json:"window,omitempty"`
+}
+
+// Slice returns a copy of the spec windowed to count points starting at
+// global index offset. Slicing composes from the full space, not the
+// receiver's window: s.Slice always addresses s's unwindowed index
+// space, so a coordinator shards the client's spec directly.
+func (s Spec) Slice(offset, count int) Spec {
+	s.Window = &Window{Offset: offset, Count: count}
+	return s
 }
 
 // Point is one expanded job of a sweep: its deterministic expansion
@@ -165,9 +191,9 @@ func splitTechSet(v string) []string {
 	return out
 }
 
-// NumPoints reports how many points the spec expands to without
-// materializing them (0 alongside the error for invalid zip lengths).
-func (s *Spec) NumPoints() (int, error) {
+// FullPoints reports the size of the spec's whole index space, ignoring
+// any window (0 alongside the error for invalid zip lengths).
+func (s *Spec) FullPoints() (int, error) {
 	axes := s.axes()
 	if len(axes) == 0 {
 		return 1, nil
@@ -189,10 +215,31 @@ func (s *Spec) NumPoints() (int, error) {
 	return n, nil
 }
 
+// NumPoints reports how many points the spec expands to without
+// materializing them: the window's size when one is set, the whole
+// space otherwise (0 alongside the error for invalid zip lengths or a
+// window outside the space).
+func (s *Spec) NumPoints() (int, error) {
+	n, err := s.FullPoints()
+	if err != nil {
+		return 0, err
+	}
+	if w := s.Window; w != nil {
+		if w.Offset < 0 || w.Count < 0 || w.Offset+w.Count > n {
+			return 0, fmt.Errorf("sweep: window [%d,%d) outside the %d-point space", w.Offset, w.Offset+w.Count, n)
+		}
+		return w.Count, nil
+	}
+	return n, nil
+}
+
 // Expand materializes and validates the spec's points in canonical
 // order. Every point's request passes flow validation (unknown circuit,
 // tech, placement or analysis names fail fast here, before anything
-// runs), and the expansion is capped at MaxPoints.
+// runs), and the expansion is capped at MaxPoints. A windowed spec
+// expands only its slice — points keep their global index, so
+// concatenating the expansions of a partition of windows reproduces the
+// unwindowed expansion exactly.
 func (s *Spec) Expand() ([]Point, error) {
 	n, err := s.NumPoints()
 	if err != nil {
@@ -205,9 +252,13 @@ func (s *Spec) Expand() ([]Point, error) {
 	if n > max {
 		return nil, fmt.Errorf("sweep: spec expands to %d points, over the %d-point cap", n, max)
 	}
+	lo := 0
+	if s.Window != nil {
+		lo = s.Window.Offset
+	}
 	axes := s.axes()
 	points := make([]Point, 0, n)
-	for idx := 0; idx < n; idx++ {
+	for idx := lo; idx < lo+n; idx++ {
 		req := s.Base
 		params := map[string]any{}
 		var idParts []string
