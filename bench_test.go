@@ -992,3 +992,48 @@ func BenchmarkCharacterizationArcBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVariationEnsembleLoop measures an 8-sample variation
+// ensemble the naive way: rebuild the whole ensemble (netlists, plans,
+// workspaces) for every sample.
+func BenchmarkVariationEnsembleLoop(b *testing.B) {
+	b.ReportAllocs()
+	lib := kit(b).CNFET
+	c := lib.MustGet("NAND2_1X")
+	v := device.Variations{CountCV: 0.2, DiameterSigmaNM: 0.05}
+	for i := 0; i < b.N; i++ {
+		for s := int64(0); s < 8; s++ {
+			e, err := lib.NewEnsemble(c, "A", lib.ReferenceLoad(), v, 1, spice.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(7 + s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkVariationEnsembleBatch is the same 8 samples through one
+// reused Ensemble: lanes share the factorization plan and every rerun
+// redraws devices into warmed workspaces. Steady state allocates
+// nothing (pinned by cells.TestEnsembleSteadyStateZeroAlloc).
+func BenchmarkVariationEnsembleBatch(b *testing.B) {
+	b.ReportAllocs()
+	lib := kit(b).CNFET
+	c := lib.MustGet("NAND2_1X")
+	v := device.Variations{CountCV: 0.2, DiameterSigmaNM: 0.05}
+	e, err := lib.NewEnsemble(c, "A", lib.ReferenceLoad(), v, 8, spice.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(7); err != nil { // warm lane workspaces once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

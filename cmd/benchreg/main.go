@@ -29,9 +29,10 @@ import (
 // defaultFilter gates the staged-pipeline and flow hot paths: library
 // build fan-out, characterization (including the arc batch-vs-loop
 // pair), Monte Carlo sharding, the cached flow rerun, the sweep engine,
-// the disk-backed artifact store, and the dense/sparse transient solver
-// ladder.
-const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk|Transient`
+// the disk-backed artifact store, the dense/sparse transient solver
+// ladder, and the variation-ensemble batch-vs-loop pair (the batch
+// side must hold its 0 allocs/op steady state).
+const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk|Transient|VariationEnsemble`
 
 func main() {
 	in := flag.String("in", "-", "benchmark output to read (\"-\" = stdin)")

@@ -37,15 +37,12 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -175,71 +172,35 @@ func main() {
 // (defers do not run), so fatal() routes through it.
 var stopProf = func() {}
 
-// runOnFabric ships the spec to a sweep-fabric coordinator, relays the
-// streamed progress, and renders the merged report exactly like a local
-// run (same output flags, same exit codes).
+// runOnFabric ships the spec to a sweep-fabric coordinator via the
+// shared fabric client, relays the streamed progress, and renders the
+// merged report exactly like a local run (same output flags, same exit
+// codes).
 func runOnFabric(ctx context.Context, coordinator string, spec *sweep.Spec, n int, quiet bool, outPath, csvPath string, canonical bool) error {
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "cnfetsweep: %d points via fabric coordinator %s\n", n, coordinator)
 	}
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimRight(coordinator, "/")+"/v1/fabric/sweeps", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("reaching coordinator: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-
-	var rep *sweep.Report
-	done := 0
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 64<<20)
-	for sc.Scan() {
-		if len(strings.TrimSpace(sc.Text())) == 0 {
-			continue
-		}
-		var line fabric.StreamLine
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return fmt.Errorf("bad stream line: %w", err)
-		}
-		if line.Point != nil {
-			done++
-			if !quiet {
+	client := &fabric.Client{URL: coordinator}
+	if !quiet {
+		done := 0
+		client.OnLine = func(line fabric.StreamLine) {
+			if line.Point != nil {
+				done++
 				status := "ok"
 				if line.Point.Error != "" {
 					status = "ERROR: " + line.Point.Error
 				}
 				fmt.Fprintf(os.Stderr, "cnfetsweep: [%d/%d] %s (%s, %s)\n", done, n, line.Point.ID, line.Worker, status)
 			}
-		}
-		if line.Lease != nil && !quiet && line.Lease.State != "dispatch" && line.Lease.State != "done" {
-			fmt.Fprintf(os.Stderr, "cnfetsweep: lease [%d,%d) %s (attempt %d): %s\n",
-				line.Lease.Offset, line.Lease.Offset+line.Lease.Count, line.Lease.State, line.Lease.Attempt, line.Lease.Error)
-		}
-		if line.Done {
-			if line.Error != "" {
-				return fmt.Errorf("fabric sweep failed: %s", line.Error)
+			if line.Lease != nil && line.Lease.State != "dispatch" && line.Lease.State != "done" {
+				fmt.Fprintf(os.Stderr, "cnfetsweep: lease [%d,%d) %s (attempt %d): %s\n",
+					line.Lease.Offset, line.Lease.Offset+line.Lease.Count, line.Lease.State, line.Lease.Attempt, line.Lease.Error)
 			}
-			rep = line.Report
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("reading stream: %w", err)
-	}
-	if rep == nil {
-		return fmt.Errorf("coordinator closed the stream without a report")
+	rep, err := client.RunSweep(ctx, *spec)
+	if err != nil {
+		return err
 	}
 
 	if !quiet {

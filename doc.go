@@ -23,7 +23,8 @@
 // Batched exploration rides on the sweep engine (internal/sweep): a
 // declarative sweep.Spec crosses (or zips) axes — circuits, technology
 // sets, placement schemes, wire-cap models, Monte Carlo tube counts,
-// misalignment angles, seeds — into concrete requests executed through
+// misalignment angles, variation distributions (tube-count CV, diameter
+// sigma, misposition probability), seeds — into concrete requests executed through
 // one shared kit, so common prefix stages compute once, and aggregates
 // the outcomes (summary statistics, yield-vs-tubes curves, Pareto
 // fronts) into a deterministic sweep.Report:
@@ -45,6 +46,41 @@
 // report; ?stream=ndjson streams completed points instead), DELETE
 // cancels it.
 //
+// When one machine's cores are not enough, the sweep fabric
+// (internal/fabric) shards a spec across a fleet: workers are plain
+// cnfetd daemons enrolled with -join <coordinator>, the coordinator
+// (cmd/cnfetfab, or cnfetd -coordinator) leases windows of the
+// deterministic point-index space to them, retries leases lost to
+// worker deaths, and merges the results into a report whose canonical
+// bytes are identical to a single-process run. cnfetsweep -workers
+// <coordinator> and fabric.Client are the clients; /livez, /readyz and
+// Prometheus-text /metrics cover both roles.
+//
+// CNT process variation is a first-class input (device.Variations): a
+// flow.Request (or sweep axis) can carry a tube-count CV, a per-tube
+// diameter sigma and a misposition probability, turning delay into a
+// transistor-level sampled distribution (plan-shared, zero-alloc
+// ensemble lanes in cells.Ensemble) and immunity into a functional
+// yield that composes tube-count and mispositioned-CNT failures — the
+// latter exactly 1 for the paper's immune layouts. Zero-variation
+// requests reproduce the pre-variation results byte-identically.
+//
+// internal/coopt searches processing knobs (inter-CNT pitch, growth
+// quality, alignment) against circuit knobs (drive strength) for the
+// cheapest ways to hit a functional-yield target, anchored on one
+// measured sweep and rescaled analytically across the knob grid:
+//
+//	front, err := coopt.Search(ctx, coopt.KitRunner{Kit: sweep.For(kit)},
+//	    coopt.Spec{Circuit: "fulladder", YieldTarget: 0.99})
+//	// front.Candidates: the Pareto-minimal (processing cost, circuit
+//	// cost) corners meeting the target; front.CanonicalJSON() is
+//	// byte-stable at any worker count, locally or across the fabric.
+//
+// cmd/cnfetopt runs the same search from the CLI (-coordinator shards
+// the measured sweep across a fabric fleet), the daemon serves it at
+// POST /v1/coopt, and examples/cooptfront is the smallest end-to-end
+// run.
+//
 // Orchestration runs on the staged pipeline engine (internal/pipeline):
 // library construction, characterization sweeps, Monte Carlo immunity
 // batches and the flow itself execute as worker-pool stages with
@@ -61,9 +97,9 @@
 // store's size with oldest-first eviction, GET /v1/cache serves per-tier
 // hit/miss/bytes/eviction statistics, and POST /v1/cache/purge drops
 // every cached result. See DESIGN.md ("Staged pipeline engine",
-// "Design-service API", "Sweep engine" and "Artifact store") for the
-// architecture, caching keys, cancellation semantics and determinism
-// rules.
+// "Design-service API", "Sweep engine", "Sweep fabric", "Variation
+// model & co-optimization" and "Artifact store") for the architecture,
+// caching keys, cancellation semantics and determinism rules.
 //
 // Underneath all of it, the SPICE solver core (internal/spice) is built
 // for steady-state-zero allocation: Newton/LU scratch and waveform

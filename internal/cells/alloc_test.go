@@ -1,0 +1,39 @@
+//go:build !race
+
+package cells
+
+import (
+	"testing"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+)
+
+// TestEnsembleSteadyStateZeroAlloc pins the variation-ensemble hot path:
+// after the first Run warms every lane's workspace, a whole re-run —
+// redrawing every device, re-simulating every lane through the shared
+// plan batch, and re-measuring delays/energies — must allocate nothing.
+// This is what makes per-sweep-point ensembles affordable. (Skipped
+// under -race: the race runtime adds its own bookkeeping allocations.)
+func TestEnsembleSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	l := lib(t, rules.CNFET)
+	c := l.MustGet("NAND2_1X")
+	e, err := l.NewEnsemble(c, "A", l.ReferenceLoad(),
+		device.Variations{CountCV: 0.2, DiameterSigmaNM: 0.05}, 3, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if err := e.Run(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: lanes size their workspaces and waveform storage once
+	if avg := testing.AllocsPerRun(5, run); avg != 0 {
+		t.Fatalf("steady-state ensemble Run allocates %.1f objects/run, want 0", avg)
+	}
+}

@@ -253,6 +253,21 @@ func (l *Library) Instantiate(ckt *spice.Circuit, inst string, c *Cell, conns ma
 	return nil
 }
 
+// DeviceTubes returns the nominal conducting-tube count of every
+// transistor of the cell, PUN devices first then PDN, in
+// instantiation order — the per-device exposure the variation yield
+// composition multiplies over. CMOS devices report 0 (no tubes).
+func (l *Library) DeviceTubes(c *Cell) []int {
+	out := make([]int, 0, len(c.Gate.PUN.Devices)+len(c.Gate.PDN.Devices))
+	for _, d := range c.Gate.PUN.Devices {
+		out = append(out, l.fetFor("probe", network.PFET, d.Width*c.Drive).Tubes)
+	}
+	for _, d := range c.Gate.PDN.Devices {
+		out = append(out, l.fetFor("probe", network.NFET, d.Width*c.Drive).Tubes)
+	}
+	return out
+}
+
 // InputCap estimates the capacitance presented by one input pin of the
 // cell: the sum of the gate capacitances of the devices it controls.
 func (l *Library) InputCap(c *Cell, input string) float64 {

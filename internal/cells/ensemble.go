@@ -1,0 +1,144 @@
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/spice"
+)
+
+// EnsembleStats summarizes one measured distribution of a variation
+// ensemble.
+type EnsembleStats struct {
+	Samples int     `json:"samples"`
+	MeanS   float64 `json:"mean_s"`
+	SigmaS  float64 `json:"sigma_s"`
+	MinS    float64 `json:"min_s"`
+	MaxS    float64 `json:"max_s"`
+}
+
+// Ensemble is a reusable variation Monte Carlo over one cell arc: the
+// testbench is built once, each sample lane holds a Clone of it (same
+// topology, own FETs), and all lanes share one plan-sharing
+// spice.Batch. Run redraws the per-device variations in place and
+// re-simulates every lane, reusing every piece of storage — after the
+// first Run the steady state allocates nothing, which is what lets
+// sweeps and the co-optimizer afford ensembles per point.
+//
+// An Ensemble is not safe for concurrent use; build one per goroutine
+// (the prototype construction is cheap next to one transient).
+type Ensemble struct {
+	cell  *Cell
+	input string
+	v     device.Variations
+	opt   spice.Options
+
+	proto  *spice.Circuit
+	vddIdx int
+	lanes  []*spice.Circuit
+	batch  *spice.Batch
+
+	// DelaysS and EnergiesJ hold the per-lane measurements of the most
+	// recent Run, in lane order (deterministic for a fixed seed).
+	DelaysS   []float64
+	EnergiesJ []float64
+}
+
+// NewEnsemble prepares a variation ensemble of the (cell, input, load)
+// characterization arc with the given number of sample lanes.
+func (l *Library) NewEnsemble(c *Cell, input string, loadF float64, v device.Variations, samples int, opt spice.Options) (*Ensemble, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("cells: ensemble needs samples > 0")
+	}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("cells: ensemble: %w", err)
+	}
+	proto, vddIdx, err := l.ArcCircuit(c, input, loadF)
+	if err != nil {
+		return nil, err
+	}
+	b, err := spice.NewBatch(samples, proto, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %s/%s ensemble plan: %w", c.FullName(), input, err)
+	}
+	e := &Ensemble{
+		cell: c, input: input, v: v, opt: opt,
+		proto: proto, vddIdx: vddIdx, batch: b,
+		lanes:     make([]*spice.Circuit, samples),
+		DelaysS:   make([]float64, samples),
+		EnergiesJ: make([]float64, samples),
+	}
+	for i := range e.lanes {
+		e.lanes[i] = proto.Clone()
+	}
+	return e, nil
+}
+
+// Run redraws every lane's device variations from the seed and
+// re-simulates the arc, filling DelaysS/EnergiesJ. Lane i's draws come
+// from Variations.Sampler(seed, i) applied to the FETs in instantiation
+// order, so the result is a pure function of (ensemble, seed).
+func (e *Ensemble) Run(seed int64) error {
+	for i, ckt := range e.lanes {
+		ckt.RestoreFETs(e.proto)
+		s := e.v.Sampler(seed, i)
+		for j := range ckt.FETs {
+			d := s.Draw(ckt.FETs[j].P.Tubes)
+			d.Apply(&ckt.FETs[j].P)
+		}
+		res, err := ckt.TransientWith(e.batch.Lane(i), ArcPeriod, ArcSteps, e.opt)
+		if err != nil {
+			return fmt.Errorf("cells: %s/%s ensemble lane %d: %w", e.cell.FullName(), e.input, i, err)
+		}
+		d, err := res.PropDelay("in", "out", device.Vdd)
+		if err != nil {
+			return fmt.Errorf("cells: %s/%s ensemble lane %d: %w", e.cell.FullName(), e.input, i, err)
+		}
+		e.DelaysS[i] = d
+		e.EnergiesJ[i] = res.SupplyEnergy(e.vddIdx, 0, ArcPeriod)
+	}
+	return nil
+}
+
+// DelayStats summarizes the most recent Run's delay distribution.
+func (e *Ensemble) DelayStats() EnsembleStats { return summarize(e.DelaysS) }
+
+// EnergyStats summarizes the most recent Run's energy distribution
+// (fields are joules despite the S-suffixed names shared with delay).
+func (e *Ensemble) EnergyStats() EnsembleStats { return summarize(e.EnergiesJ) }
+
+func summarize(xs []float64) EnsembleStats {
+	st := EnsembleStats{Samples: len(xs)}
+	if len(xs) == 0 {
+		return st
+	}
+	st.MinS, st.MaxS = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		st.MinS = math.Min(st.MinS, x)
+		st.MaxS = math.Max(st.MaxS, x)
+	}
+	st.MeanS = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - st.MeanS) * (x - st.MeanS)
+	}
+	st.SigmaS = math.Sqrt(ss / float64(len(xs)))
+	return st
+}
+
+// CharacterizeEnsemble is the one-shot convenience over NewEnsemble +
+// Run: it measures the delay and energy distributions of one cell arc
+// under the variation model and returns their summaries.
+func (l *Library) CharacterizeEnsemble(c *Cell, input string, loadF float64, v device.Variations, samples int, seed int64, opt spice.Options) (delay, energy EnsembleStats, err error) {
+	e, err := l.NewEnsemble(c, input, loadF, v, samples, opt)
+	if err != nil {
+		return EnsembleStats{}, EnsembleStats{}, err
+	}
+	if err := e.Run(seed); err != nil {
+		return EnsembleStats{}, EnsembleStats{}, err
+	}
+	return e.DelayStats(), e.EnergyStats(), nil
+}

@@ -1,0 +1,132 @@
+package cells
+
+import (
+	"math"
+	"testing"
+
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/rules"
+	"cnfetdk/internal/spice"
+)
+
+func TestEnsembleDeterministicAcrossRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	l := lib(t, rules.CNFET)
+	c := l.MustGet("NAND2_1X")
+	v := device.Variations{CountCV: 0.2, DiameterSigmaNM: 0.05}
+
+	run := func() ([]float64, []float64) {
+		e, err := l.NewEnsemble(c, "A", l.ReferenceLoad(), v, 4, spice.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(7); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), e.DelaysS...), append([]float64(nil), e.EnergiesJ...)
+	}
+	d1, g1 := run()
+	d2, g2 := run()
+	for i := range d1 {
+		if d1[i] != d2[i] || g1[i] != g2[i] {
+			t.Fatalf("lane %d not reproducible: %g/%g vs %g/%g", i, d1[i], g1[i], d2[i], g2[i])
+		}
+	}
+	// The spread is real: independent lanes differ under a 20% count CV.
+	spread := false
+	for i := 1; i < len(d1); i++ {
+		if d1[i] != d1[0] {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("all lanes measured the same delay under an active variation model")
+	}
+}
+
+func TestEnsembleZeroVariationMatchesNominal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	l := lib(t, rules.CNFET)
+	c := l.MustGet("INV_1X")
+	nominal, err := l.Characterize(c, "A", l.ReferenceLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.NewEnsemble(c, "A", l.ReferenceLoad(), device.Variations{}, 3, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range e.DelaysS {
+		if d != nominal.DelayS {
+			t.Fatalf("zero-variation lane %d delay %g != nominal %g", i, d, nominal.DelayS)
+		}
+	}
+	st := e.DelayStats()
+	if st.Samples != 3 || st.SigmaS != 0 || st.MeanS != nominal.DelayS {
+		t.Fatalf("zero-variation stats %+v, want sigma 0 around the nominal delay", st)
+	}
+}
+
+func TestEnsembleStats(t *testing.T) {
+	st := summarize([]float64{1, 2, 3, 4})
+	if st.Samples != 4 || st.MinS != 1 || st.MaxS != 4 || st.MeanS != 2.5 {
+		t.Fatalf("summarize = %+v", st)
+	}
+	if math.Abs(st.SigmaS-math.Sqrt(1.25)) > 1e-15 {
+		t.Fatalf("sigma = %g, want sqrt(1.25)", st.SigmaS)
+	}
+	if z := summarize(nil); z.Samples != 0 || z.SigmaS != 0 {
+		t.Fatalf("empty summarize = %+v", z)
+	}
+}
+
+func TestCharacterizeEnsembleOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient-heavy")
+	}
+	l := lib(t, rules.CNFET)
+	c := l.MustGet("INV_1X")
+	delay, energy, err := l.CharacterizeEnsemble(c, "A", l.ReferenceLoad(),
+		device.Variations{CountCV: 0.2}, 4, 3, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay.Samples != 4 || delay.MeanS <= 0 || delay.SigmaS <= 0 {
+		t.Fatalf("delay stats %+v, want 4 samples with positive mean and sigma", delay)
+	}
+	if energy.MeanS <= 0 {
+		t.Fatalf("energy stats %+v, want positive mean", energy)
+	}
+	if delay.MinS > delay.MeanS || delay.MeanS > delay.MaxS {
+		t.Fatalf("delay stats %+v violate min <= mean <= max", delay)
+	}
+}
+
+func TestDeviceTubes(t *testing.T) {
+	cn := lib(t, rules.CNFET)
+	c := cn.MustGet("NAND2_1X")
+	tubes := cn.DeviceTubes(c)
+	if want := len(c.Gate.PUN.Devices) + len(c.Gate.PDN.Devices); len(tubes) != want {
+		t.Fatalf("DeviceTubes returned %d entries for %d devices", len(tubes), want)
+	}
+	for i, n := range tubes {
+		if n < 1 {
+			t.Fatalf("CNFET device %d reports %d tubes, want >= 1", i, n)
+		}
+	}
+	// The CMOS reference has no tubes — variation draws must be
+	// identity there (see device.Sampler).
+	cm := lib(t, rules.CMOS)
+	for i, n := range cm.DeviceTubes(cm.MustGet("NAND2_1X")) {
+		if n != 0 {
+			t.Fatalf("CMOS device %d reports %d tubes, want 0", i, n)
+		}
+	}
+}

@@ -126,6 +126,34 @@ func (p FO4Params) EnergyUnits(n int) float64 {
 	return (p.CEnergyFixed + p.CEnergyPerTube*float64(n)*s) * Vdd * Vdd
 }
 
+// DelayUnitsAt generalizes DelayUnits to an explicit device geometry:
+// n tubes at pitch pitchNM in a device widthMult unit-widths wide
+// (contact resistance scales with exposed width, see CNFET). The
+// co-optimization engine uses the ratio of two DelayUnitsAt values to
+// rescale a measured delay from the library's nominal geometry to a
+// candidate (pitch, drive) pair; DelayUnits(n) equals
+// DelayUnitsAt(n, Pitch(n), 1).
+func (p FO4Params) DelayUnitsAt(n, pitchNM, widthMult float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	s := p.Screen.CapScreen(pitchNM)
+	r := p.Screen.DriveScreen(pitchNM)
+	res := p.RContact/widthMult + 1/(n*r)
+	cap := p.CFixed + p.CDrainPerTube*n + p.CGateFO4PerTube*n*s
+	return res * cap
+}
+
+// EnergyUnitsAt generalizes EnergyUnits to an explicit (tubes, pitch)
+// pair; EnergyUnits(n) equals EnergyUnitsAt(n, Pitch(n)).
+func (p FO4Params) EnergyUnitsAt(n, pitchNM float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	s := p.Screen.CapScreen(pitchNM)
+	return (p.CEnergyFixed + p.CEnergyPerTube*n*s) * Vdd * Vdd
+}
+
 // cmosDelayUnits/cmosEnergyUnits: the CMOS reference in the same units,
 // fixed by the paper's 1-tube anchors.
 func (p FO4Params) cmosDelayUnits() float64  { return 2.75 * p.DelayUnits(1) }

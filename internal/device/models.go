@@ -33,6 +33,10 @@ type FETParams struct {
 	CGate float64
 	// CDrain is the drain junction capacitance (F).
 	CDrain float64
+	// Tubes is the nominal conducting-tube count of a CNFET (0 for
+	// technologies without tubes). Variation ensembles scale their
+	// per-device draws by it; the I-V law itself never reads it.
+	Tubes int
 }
 
 // Conductance returns the small-signal on-conductance estimate ISat/VSat,
@@ -62,6 +66,7 @@ func CNFET(name string, pol Polarity, n int, widthNM float64, p FO4Params) FETPa
 	return FETParams{
 		Name:     name,
 		Polarity: pol,
+		Tubes:    n,
 		ISat:     Vdd / rEff * driveFitFactor,
 		Vt:       0.3,
 		VSat:     0.35,

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"cnfetdk/internal/device"
 	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/rules"
@@ -96,8 +97,39 @@ type Request struct {
 	// MCAngleDeg bounds the Monte Carlo misalignment angle in degrees
 	// (0 selects the paper's ±15°).
 	MCAngleDeg float64 `json:"mc_angle_deg,omitempty"`
-	// Seed seeds the immunity Monte Carlo sample.
+	// Seed seeds the immunity Monte Carlo sample and the variation
+	// ensembles.
 	Seed int64 `json:"seed,omitempty"`
+
+	// CNT process-variation model (device.Variations, field for field).
+	// All-zero (the default) disables variation modeling entirely and
+	// reproduces pre-variation results byte-identically. A non-zero
+	// count/diameter spread adds a delay-distribution ensemble to the
+	// CNFET delay analysis; any non-zero channel makes the immunity
+	// analysis compose a functional yield.
+	CNTCountCV      float64 `json:"cnt_count_cv,omitempty"`
+	DiameterSigmaNM float64 `json:"diameter_sigma_nm,omitempty"`
+	AlignmentP      float64 `json:"alignment_p,omitempty"`
+	// VarSamples sizes the per-design delay ensemble (0 selects
+	// DefaultVarSamples when a variation spread is active).
+	VarSamples int `json:"var_samples,omitempty"`
+}
+
+// DefaultVarSamples is the delay-ensemble size used when a request
+// activates variation spreads without choosing one.
+const DefaultVarSamples = 16
+
+// MaxVarSamples bounds the per-request ensemble size: each sample is a
+// full transistor-level transient of the design.
+const MaxVarSamples = 1024
+
+// variations collects the request's variation model.
+func (r *Request) variations() device.Variations {
+	return device.Variations{
+		CountCV:         r.CNTCountCV,
+		DiameterSigmaNM: r.DiameterSigmaNM,
+		AlignmentP:      r.AlignmentP,
+	}
 }
 
 // normalize resolves defaults and validates names; it returns the
@@ -159,6 +191,12 @@ func (r *Request) normalize() ([]rules.Tech, []Analysis, error) {
 			seenA[a] = true
 			as = append(as, a)
 		}
+	}
+	if err := r.variations().Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if r.VarSamples < 0 || r.VarSamples > MaxVarSamples {
+		return nil, nil, fmt.Errorf("%w: var_samples %d outside [0, %d]", ErrBadRequest, r.VarSamples, MaxVarSamples)
 	}
 	return ts, as, nil
 }
@@ -244,6 +282,46 @@ type ImmunityResult struct {
 	VulnerableCells []string `json:"vulnerable_cells,omitempty"`
 	MCTubes         int      `json:"mc_tubes,omitempty"`
 	MCFailRate      float64  `json:"mc_fail_rate,omitempty"`
+
+	// Variation is the composed functional yield of the whole design
+	// under the request's variation model; nil when the model is zero
+	// (which keeps zero-variation results byte-identical with
+	// pre-variation runs).
+	Variation *VariationYield `json:"variation,omitempty"`
+}
+
+// VariationYield composes the design's functional yield under CNT
+// variations: the product over every cell instance's devices of the
+// per-device count yield (no stuck-open devices) and alignment yield
+// (no logic-breaking mispositioned tubes). See immunity.CellYield for
+// the per-cell form and device.Variations for the distribution
+// semantics.
+type VariationYield struct {
+	// Devices and Tubes count the design's transistors and their
+	// nominal conducting tubes across all instances.
+	Devices int `json:"devices"`
+	Tubes   int `json:"tubes"`
+	// MeanBreakP is the tube-weighted mean probability that a
+	// mispositioned tube breaks its cell's logic (0 for a design of
+	// immune cells — the paper's layouts).
+	MeanBreakP float64 `json:"mean_break_p"`
+	// CountYield, AlignYield, FunctionalYield factor the design yield
+	// by failure mode; FunctionalYield is their product.
+	CountYield      float64 `json:"count_yield"`
+	AlignYield      float64 `json:"align_yield"`
+	FunctionalYield float64 `json:"functional_yield"`
+}
+
+// DelayEnsemble summarizes the per-design delay distribution measured
+// by the variation ensemble stage: VarSamples transistor-level
+// transients of the whole design, each with independently drawn device
+// variations, through one plan-sharing solver batch.
+type DelayEnsemble struct {
+	Samples int     `json:"samples"`
+	MeanS   float64 `json:"mean_s"`
+	SigmaS  float64 `json:"sigma_s"`
+	MinS    float64 `json:"min_s"`
+	MaxS    float64 `json:"max_s"`
 }
 
 // TechResult carries one technology's requested analyses.
@@ -259,6 +337,11 @@ type TechResult struct {
 	// Timing/energy (delay, energy analyses).
 	DelayS  float64 `json:"delay_s,omitempty"`
 	EnergyJ float64 `json:"energy_j,omitempty"`
+
+	// VarDelay is the delay distribution under the request's variation
+	// model (delay analysis with a non-zero count/diameter spread,
+	// CNFET only).
+	VarDelay *DelayEnsemble `json:"var_delay,omitempty"`
 
 	Immunity *ImmunityResult `json:"immunity,omitempty"`
 

@@ -53,6 +53,17 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		placement = "shelves"
 	}
 	stimKey := stimulusKeyParts(stim)
+	// The variation model: an all-zero model takes the exact
+	// pre-variation code paths (same stages, same keys, same results).
+	// A non-zero count/diameter spread adds the CNFET delay-ensemble
+	// stage; any non-zero channel makes the immunity stage compose the
+	// functional yield.
+	vr := req.variations()
+	varSamples := req.VarSamples
+	if varSamples == 0 {
+		varSamples = DefaultVarSamples
+	}
+	spreadActive := vr.CountCV > 0 || vr.DiameterSigmaNM > 0
 	want := map[Analysis]bool{}
 	for _, a := range analyses {
 		want[a] = true
@@ -126,6 +137,20 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 				}
 				return dly, nil
 			})
+			if tech == rules.CNFET && spreadActive {
+				// The ensemble key pins only the channels that move
+				// timing (count, diameter): alignment sweeps share one
+				// vardelay entry per spread point.
+				add("vardelay/"+tn, req.stageKey(append([]any{"vardelay", tn, rk, scheme, rows, wireCap,
+					vr.CountCV, vr.DiameterSigmaNM, varSamples, req.Seed}, stimKey...)...),
+					codecVarDelay, []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
+						de, err := k.runVarDelay(ctx, lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim, vr, varSamples, req.Seed)
+						if err != nil {
+							return nil, fmt.Errorf("flow: %s vardelay: %w", tech, err)
+						}
+						return de, nil
+					})
+			}
 		}
 		if want[AnalysisEnergy] {
 			add("energy/"+tn, req.stageKey(append([]any{"energy", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
@@ -137,8 +162,14 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			})
 		}
 		if want[AnalysisImmunity] && tech == rules.CNFET {
-			add("immunity/"+tn, req.stageKey("immunity", tn, rk, req.MCTubes, mcAngle, req.Seed), codecImmunity, []string{"netlist"}, func(d map[string]any) (any, error) {
-				return k.runImmunity(ctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed)
+			immKey := []any{"immunity", tn, rk, req.MCTubes, mcAngle, req.Seed}
+			if !vr.Zero() {
+				// Yield composition reads the count CV and alignment
+				// probability; the diameter spread moves timing only.
+				immKey = append(immKey, "var", vr.CountCV, vr.AlignmentP)
+			}
+			add("immunity/"+tn, req.stageKey(immKey...), codecImmunity, []string{"netlist"}, func(d map[string]any) (any, error) {
+				return k.runImmunity(ctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed, vr)
 			})
 		}
 		if want[AnalysisLiberty] {
@@ -186,6 +217,9 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		}
 		if r, ok := results["delay/"+tn]; ok {
 			tr.DelayS = r.Value.(float64)
+		}
+		if r, ok := results["vardelay/"+tn]; ok {
+			tr.VarDelay = r.Value.(*DelayEnsemble)
 		}
 		if r, ok := results["energy/"+tn]; ok {
 			tr.EnergyJ = r.Value.(float64)
@@ -366,59 +400,12 @@ func (k *Kit) runDelay(lib *cells.Library, nl *synth.Netlist, wire map[string]fl
 	if err != nil {
 		return 0, err
 	}
-	period := 4000e-12
-	statics := make([]string, 0, len(stim.Static))
-	for in := range stim.Static {
-		statics = append(statics, in)
-	}
-	sort.Strings(statics)
-	for _, in := range statics {
-		level := 0.0
-		if stim.Static[in] {
-			level = device.Vdd
-		}
-		ckt.AddV("vin."+in, in, "0", spice.DC(level))
-	}
-	ckt.AddV("vin."+stim.Pulse, stim.Pulse, "0", spice.Pulse{
-		V0: 0, V1: device.Vdd, Delay: period / 4,
-		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
-	})
-	r, err := ckt.Transient(period, 8000, spice.DefaultOptions())
+	period := addStimulus(ckt, stim)
+	r, err := ckt.Transient(period, delaySteps, spice.DefaultOptions())
 	if err != nil {
 		return 0, err
 	}
-
-	total, count := 0.0, 0
-	for _, out := range nl.Outputs {
-		if loV[out] == hiV[out] {
-			continue // output insensitive to the pulse
-		}
-		var d float64
-		if loV[out] && !hiV[out] {
-			// Inverting arc: the usual propagation-delay definition.
-			d, err = r.PropDelay(stim.Pulse, out, device.Vdd)
-			if err != nil {
-				return 0, fmt.Errorf("%s arc: %w", out, err)
-			}
-		} else {
-			// Non-inverting arc: measure both same-direction edges.
-			dr, rerr := r.DelayPair(stim.Pulse, out, device.Vdd, true)
-			if rerr != nil {
-				return 0, fmt.Errorf("%s rise arc: %w", out, rerr)
-			}
-			df, ferr := r.DelayPair(stim.Pulse, out, device.Vdd, false)
-			if ferr != nil {
-				return 0, fmt.Errorf("%s fall arc: %w", out, ferr)
-			}
-			d = (dr + df) / 2
-		}
-		total += d
-		count++
-	}
-	if count == 0 {
-		return 0, fmt.Errorf("%w: stimulus toggles no primary output of %s", ErrBadRequest, nl.Name)
-	}
-	return total / float64(count), nil
+	return measureStimDelay(r, nl, stim, loV, hiV)
 }
 
 // runEnergy evaluates the per-cycle switching energy under the stimulus
@@ -467,8 +454,12 @@ func (k *Kit) runEnergy(lib *cells.Library, tech rules.Tech, nl *synth.Netlist, 
 // runImmunity certifies every distinct CNFET cell of the design with the
 // deterministic critical-line enumeration, plus an optional Monte Carlo
 // sample of mcTubes tubes per network at up to mcAngle degrees of
-// misalignment.
-func (k *Kit) runImmunity(ctx context.Context, lib *cells.Library, nl *synth.Netlist, mcTubes int, mcAngle float64, seed int64) (*ImmunityResult, error) {
+// misalignment. A non-zero variation model additionally composes the
+// design's functional yield from the per-cell verdicts: the cells'
+// break probabilities (MC estimate when sampled, critical-line
+// fraction otherwise) fold with the count and alignment distributions
+// over every device of every instance.
+func (k *Kit) runImmunity(ctx context.Context, lib *cells.Library, nl *synth.Netlist, mcTubes int, mcAngle float64, seed int64, vr device.Variations) (*ImmunityResult, error) {
 	var names []string
 	seen := map[string]bool{}
 	for _, inst := range nl.Instances {
@@ -533,6 +524,29 @@ func (k *Kit) runImmunity(ctx context.Context, lib *cells.Library, nl *synth.Net
 	}
 	if res.MCTubes > 0 {
 		res.MCFailRate = float64(mcBad) / float64(res.MCTubes)
+	}
+	if !vr.Zero() {
+		byCell := map[string]cellYieldInput{}
+		for _, v := range verdicts {
+			breakP := 0.0
+			if mcTubes > 0 {
+				if v.mcChecked > 0 {
+					breakP = float64(v.mcBad) / float64(v.mcChecked)
+				}
+			} else if v.checked > 0 {
+				breakP = float64(v.bad) / float64(v.checked)
+			}
+			c, err := lib.Get(v.name)
+			if err != nil {
+				return nil, err
+			}
+			byCell[v.name] = cellYieldInput{tubes: lib.DeviceTubes(c), breakP: breakP}
+		}
+		vy, err := composeVariationYield(lib, nl, vr, byCell)
+		if err != nil {
+			return nil, err
+		}
+		res.Variation = vy
 	}
 	return res, nil
 }

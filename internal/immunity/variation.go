@@ -1,0 +1,85 @@
+package immunity
+
+import (
+	"context"
+	"math/rand"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+)
+
+// CellYield composes the two functional failure modes of CNT variation
+// for one standard cell:
+//
+//   - Count: a device whose Gaussian conducting-tube draw comes up
+//     empty is stuck open (device.Variations.CountYield).
+//   - Alignment: a mispositioned tube breaks the cell's logic with the
+//     geometric probability BreakP — exactly what this package's
+//     critical-line certificates and Monte Carlo measure. Immune
+//     layouts have BreakP = 0, which is the paper's point: their
+//     alignment yield is 1 at any misplacement probability.
+//
+// Yield is the product over the cell's devices of
+// device.Variations.DeviceYield(tubes, BreakP); a design's yield is
+// the product over its instances (flow composes that).
+type CellYield struct {
+	Cell string `json:"cell"`
+	// Devices is the cell's transistor count; Tubes the nominal
+	// conducting-tube total across them.
+	Devices int `json:"devices"`
+	Tubes   int `json:"tubes"`
+	// BreakP is the probability that one mispositioned tube breaks the
+	// cell's logic: the Monte Carlo estimate when mcTubes > 0, else the
+	// deterministic critical-line bad fraction (both are 0 for immune
+	// layouts).
+	BreakP float64 `json:"break_p"`
+	// CountYield, AlignYield and Yield are per-cell-instance: the
+	// probability every device functions.
+	CountYield float64 `json:"count_yield"`
+	AlignYield float64 `json:"align_yield"`
+	Yield      float64 `json:"yield"`
+}
+
+// CellYieldCtx evaluates one cell's composed functional yield under
+// the variation model. mcTubes > 0 estimates BreakP with a Monte Carlo
+// sample of that many tubes per network (seeded deterministically);
+// mcTubes == 0 falls back to the exhaustive critical-line fraction.
+// The per-device tube counts come from the library's device sizing, so
+// bigger drives expose proportionally more tubes.
+func CellYieldCtx(ctx context.Context, lib *cells.Library, cellName string, v device.Variations, mcTubes int, maxAngleDeg float64, seed int64, workers int) (*CellYield, error) {
+	c, err := lib.Get(cellName)
+	if err != nil {
+		return nil, err
+	}
+	var checked, bad int
+	if mcTubes > 0 {
+		cc := NewCellChecker(c.Layout)
+		rng := rand.New(rand.NewSource(seed))
+		pun, err := cc.PUN().MonteCarloCtx(ctx, mcTubes, maxAngleDeg, rng, workers)
+		if err != nil {
+			return nil, err
+		}
+		pdn, err := cc.PDN().MonteCarloCtx(ctx, mcTubes, maxAngleDeg, rng, workers)
+		if err != nil {
+			return nil, err
+		}
+		checked = pun.TubesChecked + pdn.TubesChecked
+		bad = pun.BadTubes + pdn.BadTubes
+	} else {
+		pun, pdn := VerifyImmunity(c.Layout)
+		checked = pun.TubesChecked + pdn.TubesChecked
+		bad = pun.BadTubes + pdn.BadTubes
+	}
+	cy := &CellYield{Cell: cellName, CountYield: 1, AlignYield: 1, Yield: 1}
+	if checked > 0 {
+		cy.BreakP = float64(bad) / float64(checked)
+	}
+	for _, tubes := range lib.DeviceTubes(c) {
+		cy.Devices++
+		cy.Tubes += tubes
+		cy.CountYield *= v.CountYield(tubes)
+		cy.AlignYield *= v.AlignYield(tubes, cy.BreakP)
+	}
+	cy.Yield = cy.CountYield * cy.AlignYield
+	return cy, nil
+}

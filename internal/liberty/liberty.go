@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
 	"cnfetdk/internal/layout"
 	"cnfetdk/internal/logic"
 	"cnfetdk/internal/pipeline"
@@ -51,6 +52,10 @@ func (l LUT) Interp(loadF float64) float64 {
 type Arc struct {
 	Input string
 	Table LUT
+	// SigmaRefS is the delay standard deviation at the reference load
+	// under the model's variation ensemble (0 until AddVariation runs);
+	// Write emits it as a Liberty comment on the arc.
+	SigmaRefS float64
 }
 
 // CellModel is one library cell's characterization.
@@ -70,6 +75,22 @@ type Model struct {
 	Cells    map[string]*CellModel
 	LoadsF   []float64
 	RefLoadF float64
+	// Variation and VarSamples record the CNT variation model the
+	// per-arc sigmas were measured under (nil/0 for a nominal model);
+	// set by AddVariation.
+	Variation  *device.Variations
+	VarSamples int
+}
+
+// cellNames returns the model's cell names in sorted order — the
+// deterministic iteration order Write and AddVariation share.
+func (m *Model) cellNames() []string {
+	names := make([]string, 0, len(m.Cells))
+	for n := range m.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // DefaultLoads returns the characterization load sweep: multiples of the
@@ -232,13 +253,13 @@ func (m *Model) Write(w io.Writer) error {
 	fmt.Fprintf(&b, "    variable_1 : total_output_net_capacitance;\n")
 	fmt.Fprintf(&b, "    index_1 (\"%s\");\n", joinF(m.LoadsF, 1e15))
 	fmt.Fprintf(&b, "  }\n")
-
-	names := make([]string, 0, len(m.Cells))
-	for n := range m.Cells {
-		names = append(names, n)
+	if v := m.Variation; v != nil {
+		fmt.Fprintf(&b, "  /* variation model: cnt_count_cv=%g diameter_sigma_nm=%g alignment_p=%g"+
+			" (%d-sample ensembles; per-arc delay sigma at the reference load in the timing comments) */\n",
+			v.CountCV, v.DiameterSigmaNM, v.AlignmentP, m.VarSamples)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+
+	for _, n := range m.cellNames() {
 		c := m.Cells[n]
 		fmt.Fprintf(&b, "  cell(%s) {\n", c.Name)
 		fmt.Fprintf(&b, "    area : %.2f;\n", c.AreaLam2)
@@ -259,6 +280,9 @@ func (m *Model) Write(w io.Writer) error {
 		for _, arc := range c.Arcs {
 			fmt.Fprintf(&b, "      timing() {\n")
 			fmt.Fprintf(&b, "        related_pin : \"%s\";\n", arc.Input)
+			if arc.SigmaRefS > 0 {
+				fmt.Fprintf(&b, "        /* delay sigma at reference load: %.4f ps */\n", arc.SigmaRefS*1e12)
+			}
 			fmt.Fprintf(&b, "        timing_sense : negative_unate;\n")
 			for _, kind := range []string{"cell_rise", "cell_fall"} {
 				fmt.Fprintf(&b, "        %s(delay_vs_load) {\n", kind)

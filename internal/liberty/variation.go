@@ -1,0 +1,65 @@
+package liberty
+
+import (
+	"context"
+	"fmt"
+
+	"cnfetdk/internal/cells"
+	"cnfetdk/internal/device"
+	"cnfetdk/internal/pipeline"
+	"cnfetdk/internal/spice"
+)
+
+// AddVariation augments a characterized model with per-arc delay
+// statistics under a CNT variation model: every timing arc gets a
+// reference-load delay sigma measured by a plan-sharing variation
+// ensemble (cells.Ensemble — samples structure-identical transients
+// per arc). Write renders the sigmas as Liberty comments next to each
+// arc, so downstream tools that do not parse them still read the file,
+// while variation-aware flows get the spread alongside the nominal
+// table. The arc ensembles fan out across workers (<= 0 selects one
+// per CPU); the result is deterministic at any worker count.
+func (m *Model) AddVariation(ctx context.Context, lib *cells.Library, v device.Variations, samples int, seed int64, workers int) error {
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("liberty: %w", err)
+	}
+	if v.Zero() {
+		return fmt.Errorf("liberty: variation model is zero; nothing to add")
+	}
+
+	// One job per arc, in the model's deterministic (sorted cell, arc)
+	// order; each job's seed mixes its index so arcs draw decorrelated
+	// ensembles while the whole model stays a pure function of seed.
+	type arcJob struct {
+		cell string
+		arc  int
+	}
+	var jobs []arcJob
+	for _, name := range m.cellNames() {
+		for i := range m.Cells[name].Arcs {
+			jobs = append(jobs, arcJob{cell: name, arc: i})
+		}
+	}
+	sigmas, err := pipeline.MapCtx(ctx, workers, jobs, func(idx int, j arcJob) (float64, error) {
+		c, err := lib.Get(j.cell)
+		if err != nil {
+			return 0, fmt.Errorf("liberty: variation: %w", err)
+		}
+		arc := &m.Cells[j.cell].Arcs[j.arc]
+		delay, _, err := lib.CharacterizeEnsemble(c, arc.Input, m.RefLoadF, v, samples,
+			seed+int64(idx)*0x9E3779B9, spice.DefaultOptions())
+		if err != nil {
+			return 0, fmt.Errorf("liberty: variation %s/%s: %w", j.cell, arc.Input, err)
+		}
+		return delay.SigmaS, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, j := range jobs {
+		m.Cells[j.cell].Arcs[j.arc].SigmaRefS = sigmas[i]
+	}
+	m.Variation = &v
+	m.VarSamples = samples
+	return nil
+}

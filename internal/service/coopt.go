@@ -1,0 +1,48 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cnfetdk/internal/coopt"
+	"cnfetdk/internal/sweep"
+)
+
+// handleCoopt runs one processing/circuit co-optimization search under
+// the request's context. The measured sweep executes on the daemon's
+// shared kit (so repeated searches reuse cached stages), and the
+// response is the front's canonical JSON — byte-identical for the same
+// spec regardless of the daemon's worker count.
+func (s *Server) handleCoopt(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec coopt.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding spec: %v", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if spec.MaxPoints == 0 || spec.MaxPoints > s.maxSweepPoints {
+		spec.MaxPoints = s.maxSweepPoints
+	}
+	s.jobs.Add(1)
+	front, err := coopt.Search(r.Context(), coopt.KitRunner{Kit: sweep.For(s.kit)}, spec)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	blob, err := front.CanonicalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(blob, '\n'))
+}

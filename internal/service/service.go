@@ -11,6 +11,9 @@
 //	GET    /v1/sweeps      — list tracked sweeps
 //	GET    /v1/sweeps/{id} — poll one sweep's progress / final report
 //	DELETE /v1/sweeps/{id} — cancel a running sweep
+//	POST   /v1/coopt       — run a coopt.Spec processing/circuit
+//	                         co-optimization, respond with the canonical
+//	                         Pareto front
 //	GET    /v1/circuits    — list the named-circuit registry
 //	GET    /v1/cache       — artifact-store statistics (per-tier
 //	                         hits/misses/bytes/evictions)
@@ -122,6 +125,7 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("POST /v1/coopt", s.handleCoopt)
 	s.mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
 	s.mux.HandleFunc("POST /v1/cache/purge", s.handleCachePurge)

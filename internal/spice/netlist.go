@@ -194,6 +194,28 @@ func (c *Circuit) AddFET(name, d, g, s string, p device.FETParams) {
 	}
 }
 
+// Clone returns a variant copy for per-lane FET perturbation: the node
+// tables and the linear elements (resistors, capacitors, sources) are
+// shared read-only with the receiver, and only the FETs slice — the
+// mutation surface of variation ensembles, which perturb the I-V law
+// but never the stamped capacitances — is copied. A clone therefore
+// has the receiver's exact topology, so it runs on a plan-sharing
+// Batch lane without replanning, and restoring its FETs from the
+// prototype (RestoreFETs) resets it completely.
+func (c *Circuit) Clone() *Circuit {
+	out := *c
+	out.FETs = append([]FET(nil), c.FETs...)
+	return &out
+}
+
+// RestoreFETs copies the prototype's FET models back into the circuit,
+// undoing per-lane perturbations without reallocating. The two
+// circuits must have the same device count (clones of one prototype
+// always do).
+func (c *Circuit) RestoreFETs(proto *Circuit) {
+	copy(c.FETs, proto.FETs)
+}
+
 // String summarizes the circuit.
 func (c *Circuit) String() string {
 	return fmt.Sprintf("circuit{%d nodes, %dR %dC %dV %dI %dFET}",

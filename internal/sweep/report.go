@@ -211,10 +211,19 @@ func (p *PointResult) Metrics() map[string]float64 {
 		add("utilization", tr.Utilization)
 		add("delay_s", tr.DelayS)
 		add("energy_j", tr.EnergyJ)
+		if vd := tr.VarDelay; vd != nil {
+			add("var_delay_mean_s", vd.MeanS)
+			add("var_delay_sigma_s", vd.SigmaS)
+		}
 		if im := tr.Immunity; im != nil {
 			m[tn+"/violations"] = float64(im.Violations)
 			if im.MCTubes > 0 {
 				m[tn+"/mc_fail_rate"] = im.MCFailRate
+			}
+			if vy := im.Variation; vy != nil {
+				m[tn+"/functional_yield"] = vy.FunctionalYield
+				m[tn+"/count_yield"] = vy.CountYield
+				m[tn+"/align_yield"] = vy.AlignYield
 			}
 		}
 	}

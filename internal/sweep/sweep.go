@@ -1,12 +1,19 @@
 // Package sweep is the batch engine over the design-service API: a
 // declarative Spec names axes of the parameter space (circuits,
 // technology sets, placement schemes, wire-cap models, Monte Carlo tube
-// counts, misalignment angles, seeds) and the engine expands it — full
-// cross-product or zipped — into concrete flow.Requests, executes them
-// through one shared flow.Kit so the singleflight memo cache deduplicates
-// common prefix stages across points, and aggregates the outcomes into a
-// Report: per-point metrics, min/max/mean/percentile summaries,
-// yield-vs-tube-count curves and delay/area/immunity Pareto fronts.
+// counts, misalignment angles, CNT variation knobs, seeds) and the
+// engine expands it — full cross-product or zipped — into concrete
+// flow.Requests, executes them through one shared flow.Kit so the
+// singleflight memo cache deduplicates common prefix stages across
+// points, and aggregates the outcomes into a Report: per-point metrics,
+// min/max/mean/percentile summaries, yield-vs-tube-count curves and
+// delay/area/immunity Pareto fronts.
+//
+// The variation axes (cnt_count_cv, diameter_sigma_nm, alignment_p)
+// make whole variation ensembles shard across the fabric like any
+// other sweep: each point's delay ensemble runs through one
+// plan-sharing spice.Batch inside the flow, so the per-point cost is
+// Newton refactorizations, not symbolic replanning.
 //
 // Results are deterministic at any worker count: points carry their
 // expansion index, the report assembles in index order, and
@@ -30,25 +37,45 @@ const DefaultMaxPoints = 4096
 // Axes declares the swept dimensions. Every non-empty axis contributes
 // its values; empty axes inherit the Spec's base request. The canonical
 // axis order (circuit, techs, placement, wire_cap_per_nm, mc_tubes,
-// mc_angle_deg, seed) fixes the expansion index of every point, so
-// reports are ordered identically at any worker count.
+// mc_angle_deg, cnt_count_cv, diameter_sigma_nm, alignment_p, seed)
+// fixes the expansion index of every point, so reports are ordered
+// identically at any worker count. Each field's comment states its
+// canonical position; expansion is row-major over active axes, first
+// position varying slowest.
 type Axes struct {
-	// Circuits sweeps the registry circuit name. A spec whose base
-	// request carries inline Exprs/Netlist must leave this empty.
+	// Circuits sweeps the registry circuit name (canonical position 1).
+	// A spec whose base request carries inline Exprs/Netlist must leave
+	// this empty.
 	Circuits []string `json:"circuits,omitempty"`
-	// TechSets sweeps the technology selection; each element is a
-	// comma-separated set, e.g. "cnfet" or "cnfet,cmos".
+	// TechSets sweeps the technology selection (canonical position 2);
+	// each element is a comma-separated set, e.g. "cnfet" or
+	// "cnfet,cmos".
 	TechSets []string `json:"tech_sets,omitempty"`
-	// Placements sweeps the CNFET placement scheme ("rows", "shelves").
+	// Placements sweeps the CNFET placement scheme ("rows", "shelves")
+	// (canonical position 3).
 	Placements []string `json:"placements,omitempty"`
-	// WireCaps sweeps the interconnect capacitance model (F per nm).
+	// WireCaps sweeps the interconnect capacitance model (F per nm)
+	// (canonical position 4).
 	WireCaps []float64 `json:"wire_caps_per_nm,omitempty"`
 	// MCTubes sweeps the Monte Carlo sample size of the immunity
-	// analysis (tubes per network per cell).
+	// analysis (tubes per network per cell) (canonical position 5).
 	MCTubes []int `json:"mc_tubes,omitempty"`
-	// MCAngles sweeps the misalignment angle bound in degrees.
+	// MCAngles sweeps the misalignment angle bound in degrees
+	// (canonical position 6).
 	MCAngles []float64 `json:"mc_angles_deg,omitempty"`
-	// Seeds sweeps the Monte Carlo seed (statistical replication).
+	// CountCVs sweeps the CNT count coefficient of variation — the
+	// growth-quality processing knob of the variation model
+	// (canonical position 7). See device.Variations.
+	CountCVs []float64 `json:"cnt_count_cv,omitempty"`
+	// DiameterSigmas sweeps the per-tube diameter spread in nm
+	// (canonical position 8).
+	DiameterSigmas []float64 `json:"diameter_sigma_nm,omitempty"`
+	// AlignmentPs sweeps the tube misplacement probability — the
+	// alignment-yield processing knob (canonical position 9).
+	AlignmentPs []float64 `json:"alignment_p,omitempty"`
+	// Seeds sweeps the Monte Carlo seed (statistical replication) —
+	// last (canonical position 10) so replications of one parameter
+	// point are adjacent in the report.
 	Seeds []int64 `json:"seeds,omitempty"`
 }
 
@@ -167,6 +194,30 @@ func (s *Spec) axes() []axis {
 			req.MCAngleDeg = v
 			p["mc_angle_deg"] = v
 			return fmt.Sprintf("angle=%g", v)
+		}})
+	}
+	if n := len(s.Axes.CountCVs); n > 0 {
+		out = append(out, axis{"cnt_count_cv", n, func(i int, req *flow.Request, p map[string]any) string {
+			v := s.Axes.CountCVs[i]
+			req.CNTCountCV = v
+			p["cnt_count_cv"] = v
+			return fmt.Sprintf("countcv=%g", v)
+		}})
+	}
+	if n := len(s.Axes.DiameterSigmas); n > 0 {
+		out = append(out, axis{"diameter_sigma_nm", n, func(i int, req *flow.Request, p map[string]any) string {
+			v := s.Axes.DiameterSigmas[i]
+			req.DiameterSigmaNM = v
+			p["diameter_sigma_nm"] = v
+			return fmt.Sprintf("diasigma=%g", v)
+		}})
+	}
+	if n := len(s.Axes.AlignmentPs); n > 0 {
+		out = append(out, axis{"alignment_p", n, func(i int, req *flow.Request, p map[string]any) string {
+			v := s.Axes.AlignmentPs[i]
+			req.AlignmentP = v
+			p["alignment_p"] = v
+			return fmt.Sprintf("alignp=%g", v)
 		}})
 	}
 	if n := len(s.Axes.Seeds); n > 0 {

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"testing"
+
+	"cnfetdk/internal/flow"
+)
+
+// TestExpandVariationAxes pins the three variation axes: their place in
+// the canonical ordering (after mc_angle_deg, before seed), the request
+// fields they drive, the params keys they record, and their ID
+// fragments.
+func TestExpandVariationAxes(t *testing.T) {
+	spec := Spec{
+		Base: flow.Request{Circuit: "mux2", Techs: []string{"cnfet"}},
+		Axes: Axes{
+			CountCVs:       []float64{0.1, 0.3},
+			DiameterSigmas: []float64{0.05},
+			AlignmentPs:    []float64{0.01, 0.1},
+			Seeds:          []int64{1, 2},
+		},
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("expanded %d points, want 2*1*2*2 = 8", len(pts))
+	}
+	// Canonical order: cnt_count_cv varies slowest of the variation
+	// axes, seed fastest overall.
+	want0 := "countcv=0.1 diasigma=0.05 alignp=0.01 seed=1"
+	if pts[0].ID != want0 {
+		t.Errorf("point 0 id = %q, want %q", pts[0].ID, want0)
+	}
+	if pts[1].ID != "countcv=0.1 diasigma=0.05 alignp=0.01 seed=2" {
+		t.Errorf("point 1 id = %q, want seed to vary fastest", pts[1].ID)
+	}
+	last := pts[7]
+	if last.ID != "countcv=0.3 diasigma=0.05 alignp=0.1 seed=2" {
+		t.Errorf("last point id = %q", last.ID)
+	}
+	if r := last.Request; r.CNTCountCV != 0.3 || r.DiameterSigmaNM != 0.05 || r.AlignmentP != 0.1 {
+		t.Errorf("last point request variation knobs = %+v", r)
+	}
+	if p := last.Params; p["cnt_count_cv"] != 0.3 || p["diameter_sigma_nm"] != 0.05 || p["alignment_p"] != 0.1 {
+		t.Errorf("last point params = %v", p)
+	}
+}
+
+// TestExpandVariationAxesValidate ensures invalid variation values are
+// rejected at expansion time, before any flow work is spent.
+func TestExpandVariationAxesValidate(t *testing.T) {
+	for _, axes := range []Axes{
+		{CountCVs: []float64{-0.1}},
+		{DiameterSigmas: []float64{-1}},
+		{AlignmentPs: []float64{2}},
+	} {
+		spec := Spec{Base: flow.Request{Circuit: "mux2"}, Axes: axes}
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("axes %+v expanded without error", axes)
+		}
+	}
+}
