@@ -771,6 +771,161 @@ func BenchmarkSTAFullAdder(b *testing.B) {
 	b.ReportMetric(arrival*1e12, "critical-path-ps")
 }
 
+// staBenchSetup builds the mult8 timing workload shared by the engine
+// benchmarks: the netlist, an NLDM model over exactly its cells, and
+// the placed wire loads. Characterization cost is setup, not measured.
+func staBenchSetup(b *testing.B) (*synth.Netlist, *liberty.Model, map[string]float64) {
+	b.Helper()
+	k := kit(b)
+	c, err := flow.LookupCircuit("mult8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := c.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	used := map[string]bool{}
+	for _, inst := range nl.Instances {
+		used[inst.Cell] = true
+	}
+	m, err := liberty.Characterize(k.CNFET, nil, func(n string) bool { return used[n] })
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := place.Shelves(k.CNFET, nl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nl, m, flow.WireCaps(p, nl, k.CNFET.Rules.LambdaNM)
+}
+
+// BenchmarkSTABuild times cold engine construction on mult8: interning,
+// CSR fan-out build, levelization and the first full propagation.
+func BenchmarkSTABuild(b *testing.B) {
+	b.ReportAllocs()
+	nl, m, wire := staBenchSetup(b)
+	b.ResetTimer()
+	var eng *sta.Engine
+	for i := 0; i < b.N; i++ {
+		var err error
+		eng, err = sta.NewEngine(nl, m, wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.Instances()), "instances")
+	b.ReportMetric(float64(eng.Levels()), "levels")
+}
+
+// BenchmarkSTAReanalyze times a full steady-state repropagation of the
+// built mult8 engine — the allocation-free hot loop (0 allocs/op).
+func BenchmarkSTAReanalyze(b *testing.B) {
+	b.ReportAllocs()
+	nl, m, wire := staBenchSetup(b)
+	eng, err := sta.NewEngine(nl, m, wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Analyze()
+	}
+	b.ReportMetric(eng.Delay()*1e12, "critical-path-ps")
+}
+
+// BenchmarkSTAIncremental times one cone update on mult8: a SetLoad on
+// a mid-design net plus the dirty-cone Reanalyze. The touched metric is
+// the cone size — a small fraction of the instance count.
+func BenchmarkSTAIncremental(b *testing.B) {
+	b.ReportAllocs()
+	nl, m, wire := staBenchSetup(b)
+	eng, err := sta.NewEngine(nl, m, wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := nl.Instances[len(nl.Instances)/2].Conns["OUT"]
+	base := wire[net]
+	b.ResetTimer()
+	var touched int
+	for i := 0; i < b.N; i++ {
+		capF := base
+		if i%2 == 0 {
+			capF = 2 * base
+		}
+		if err := eng.SetLoad(net, capF); err != nil {
+			b.Fatal(err)
+		}
+		touched = eng.Reanalyze()
+	}
+	b.ReportMetric(float64(touched), "cone-instances")
+	b.ReportMetric(float64(eng.Instances()), "instances")
+}
+
+// delaySweepCaps is the wire-cap axis of the sweep-comparison pair:
+// three interconnect corners around the kit default.
+var delaySweepCaps = []float64{0.03e-18, 0.06e-18, 0.12e-18}
+
+// BenchmarkDelaySweepTransient prices the old way to sweep a wire
+// model: one transistor-level transient per point through the flow's
+// delay stage. Each iteration runs on a fresh kit so the memo cache
+// never serves a point across iterations or -count repeats — within
+// one iteration the three points still share their prefix stages
+// (netlist, placement), matching what the STA sweep reuses.
+func BenchmarkDelaySweepTransient(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		k, err := flow.NewKit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, capPerNM := range delaySweepCaps {
+			req := flow.Request{
+				Circuit:      "mult4",
+				Techs:        []string{"cnfet"},
+				Analyses:     []flow.Analysis{flow.AnalysisDelay},
+				WireCapPerNM: capPerNM,
+			}
+			res, err := k.Run(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Techs["cnfet"].DelayS <= 0 {
+				b.Fatal("no delay")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(delaySweepCaps)), "points")
+}
+
+// BenchmarkDelaySweepSTA prices the same three-point wire sweep through
+// the incremental timing engine: one characterization + one engine
+// build + three cone repropagations per iteration (sweep.Timing runs
+// end to end, nothing cached between iterations). The per-point gap to
+// BenchmarkDelaySweepTransient is the tentpole speedup.
+func BenchmarkDelaySweepSTA(b *testing.B) {
+	b.ReportAllocs()
+	k := kit(b)
+	ctx := context.Background()
+	var rep *sweep.TimingReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = sweep.Timing(ctx, k, sweep.TimingSpec{
+			Circuit:       "mult4",
+			WireCapsPerNM: delaySweepCaps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Points) != len(delaySweepCaps) {
+			b.Fatalf("points = %d", len(rep.Points))
+		}
+	}
+	b.ReportMetric(float64(len(rep.Points)), "points")
+	b.ReportMetric(rep.Points[len(rep.Points)-1].DelayS*1e12, "critical-path-ps")
+}
+
 // BenchmarkRoutingSchemes quantifies the routing-complexity trade the
 // paper flags for scheme 2 ("needs new placement tools taking into
 // account IR drops and routing complexity"): the scheme-2 full adder is

@@ -30,9 +30,12 @@ import (
 // build fan-out, characterization (including the arc batch-vs-loop
 // pair), Monte Carlo sharding, the cached flow rerun, the sweep engine,
 // the disk-backed artifact store, the dense/sparse transient solver
-// ladder, and the variation-ensemble batch-vs-loop pair (the batch
-// side must hold its 0 allocs/op steady state).
-const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk|Transient|VariationEnsemble`
+// ladder, the variation-ensemble batch-vs-loop pair (the batch side
+// must hold its 0 allocs/op steady state), and the STA engine (build,
+// zero-alloc reanalysis, incremental cone updates, and the
+// transient-vs-incremental delay-sweep pair — DelaySweep* already
+// matches Sweep).
+const defaultFilter = `Library|Characterization|MonteCarlo|FlowCachedRerun|Sweep|StoreDisk|Transient|VariationEnsemble|STA`
 
 func main() {
 	in := flag.String("in", "-", "benchmark output to read (\"-\" = stdin)")

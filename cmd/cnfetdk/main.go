@@ -36,7 +36,7 @@ func main() {
 	scheme := flag.Int("scheme", 2, "CNFET layout scheme (1 or 2)")
 	gds := flag.String("gds", "", "output GDS path")
 	workers := flag.Int("j", 0, "worker-pool width (0 = one per CPU, 1 = sequential)")
-	analyses := flag.String("analyses", "area", "comma-separated analyses (area,delay,energy,immunity)")
+	analyses := flag.String("analyses", "area", "comma-separated analyses (area,delay,sta,energy,immunity)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -57,14 +57,27 @@ func main() {
 	fmt.Printf("netlist %s: %d instances, %d nets\n", res.Circuit, res.Instances, res.Nets)
 
 	cn := res.Techs["cnfet"]
-	fmt.Printf("placed (scheme %d): %.0fλ x %.0fλ = %.0f λ², utilization %.2f\n",
-		*scheme, cn.WidthLam, cn.HeightLam, cn.AreaLam2, cn.Utilization)
-	if cm := res.Techs["cmos"]; cm != nil {
-		fmt.Printf("CMOS reference: %.0f λ² (CNFET gain %.2fx)\n",
-			cm.AreaLam2, res.Gains["area"])
+	if cn.AreaLam2 > 0 {
+		fmt.Printf("placed (scheme %d): %.0fλ x %.0fλ = %.0f λ², utilization %.2f\n",
+			*scheme, cn.WidthLam, cn.HeightLam, cn.AreaLam2, cn.Utilization)
+		if cm := res.Techs["cmos"]; cm != nil {
+			fmt.Printf("CMOS reference: %.0f λ² (CNFET gain %.2fx)\n",
+				cm.AreaLam2, res.Gains["area"])
+		}
 	}
 	if cn.DelayS > 0 {
 		fmt.Printf("delay: %.1f ps\n", cn.DelayS*1e12)
+	}
+	if s := cn.STA; s != nil {
+		fmt.Printf("sta: %.1f ps over %d levels (%d instances), worst net %s\n",
+			s.DelayS*1e12, s.Levels, s.Instances, s.WorstNet)
+		if len(s.CriticalPath) > 0 {
+			fmt.Printf("critical path: %s\n", strings.Join(s.CriticalPath, " -> "))
+		}
+		if cm := res.Techs["cmos"]; cm != nil && cm.STA != nil {
+			fmt.Printf("CMOS sta: %.1f ps (CNFET gain %.2fx)\n",
+				cm.STA.DelayS*1e12, res.Gains["sta"])
+		}
 	}
 	if cn.EnergyJ > 0 {
 		fmt.Printf("energy: %.2f fJ/cycle\n", cn.EnergyJ*1e15)

@@ -14,11 +14,28 @@
 // The flow is exposed as a generic design service (internal/flow): a
 // serializable flow.Request — circuit by registry name, inline Boolean
 // equations or structural netlist; technologies; placement scheme;
-// wire-cap model; analyses (area, delay, energy, immunity, liberty, gds)
-// — executed by Kit.Run(ctx, Request) with cooperative context
-// cancellation, returning a JSON-stable flow.Result with per-stage
-// traces. cmd/cnfetd serves the same requests over HTTP (POST /v1/jobs,
-// GET /v1/circuits, GET /healthz) on one shared kit and memo cache.
+// wire-cap model; analyses (area, delay, sta, energy, immunity,
+// liberty, gds) — executed by Kit.Run(ctx, Request) with cooperative
+// context cancellation, returning a JSON-stable flow.Result with
+// per-stage traces. cmd/cnfetd serves the same requests over HTTP
+// (POST /v1/jobs, GET /v1/circuits, GET /healthz) on one shared kit and
+// memo cache.
+//
+// Where the delay analysis pays a transistor-level transient, the sta
+// analysis answers from the library: internal/sta is a levelized,
+// slew-aware static timing engine over the 2-D NLDM
+// (input-slew × output-load) surfaces internal/liberty characterizes
+// (one plan-sharing SPICE batch per arc grid). An sta.Engine compiles a
+// netlist once — interned ids, CSR fan-out, Kahn levelization — then
+// propagates (arrival, slew) allocation-free in steady state,
+// deterministic at any worker count, and recomputes only the fan-out
+// cone of a SetLoad/SetCell/Invalidate edit (byte-identical to a full
+// rebuild). That turns a wire-cap or drive-strength sweep
+// (sweep.Timing) into one build plus N microsecond cone updates, and
+// makes thousand-gate registry circuits (rca16, mult8) timeable in
+// milliseconds where their transients cost minutes; per-circuit
+// STA-vs-SPICE tracking windows are pinned in the flow tests. See
+// DESIGN.md ("Timing engine").
 //
 // Batched exploration rides on the sweep engine (internal/sweep): a
 // declarative sweep.Spec crosses (or zips) axes — circuits, technology

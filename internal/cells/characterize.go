@@ -11,11 +11,13 @@ import (
 
 // Timing is one characterization row of the library datasheet.
 type Timing struct {
-	Cell    string
-	Input   string
-	LoadF   float64 // load capacitance (F)
-	DelayS  float64 // propagation delay (s), average of rise/fall
-	EnergyJ float64 // supply energy per full output cycle (J)
+	Cell     string
+	Input    string
+	LoadF    float64 // load capacitance (F)
+	SlewInS  float64 // input transition time of the stimulus edge (s)
+	DelayS   float64 // propagation delay (s), average of rise/fall
+	SlewOutS float64 // output transition time (s), ramp-equivalent 20–80 average
+	EnergyJ  float64 // supply energy per full output cycle (J)
 }
 
 // sensitizingVector finds values for the side inputs such that toggling
@@ -63,6 +65,11 @@ const (
 	ArcSteps  = 4000
 )
 
+// DefaultSlewS is the input transition time of the single-slew
+// characterization testbench — the 5 ps edge ArcCircuit has always
+// driven, and the reference row of the 2-D NLDM grid.
+const DefaultSlewS = 5e-12
+
 // ArcCircuit builds the characterization testbench of one (cell, input,
 // load) arc: a VDD rail, a pulse source on net "in" driving the probed
 // input, side inputs tied to a sensitizing vector, the cell instance
@@ -71,6 +78,14 @@ const (
 // only loadF (> 0) yields structure-identical circuits — the property
 // plan-sharing batches rely on.
 func (l *Library) ArcCircuit(c *Cell, input string, loadF float64) (*spice.Circuit, int, error) {
+	return l.ArcCircuitSlew(c, input, loadF, DefaultSlewS)
+}
+
+// ArcCircuitSlew is ArcCircuit with the input edge's transition time as a
+// parameter — the second axis of the NLDM characterization grid. Sweeping
+// loadF and slewS changes only element values, never topology, so a whole
+// (slew × load) grid stays one structure-identical plan-sharing family.
+func (l *Library) ArcCircuitSlew(c *Cell, input string, loadF, slewS float64) (*spice.Circuit, int, error) {
 	env, err := sensitizingVector(c.Gate.PullDown, c.Gate.Inputs, input)
 	if err != nil {
 		return nil, 0, err
@@ -79,7 +94,7 @@ func (l *Library) ArcCircuit(c *Cell, input string, loadF float64) (*spice.Circu
 	vddIdx := ckt.AddV("vdd", "VDD", "0", spice.DC(device.Vdd))
 	ckt.AddV("vin", "in", "0", spice.Pulse{
 		V0: 0, V1: device.Vdd, Delay: ArcPeriod / 4,
-		Rise: 5e-12, Fall: 5e-12, W: ArcPeriod / 2, Period: ArcPeriod,
+		Rise: slewS, Fall: slewS, W: ArcPeriod / 2, Period: ArcPeriod,
 	})
 	conns := map[string]string{"OUT": "out"}
 	for _, n := range c.Gate.Inputs {
@@ -109,13 +124,15 @@ func (l *Library) ArcCircuit(c *Cell, input string, loadF float64) (*spice.Circu
 // a one-shot measurement. The workspace is not safe for concurrent use;
 // give each worker its own.
 func (l *Library) CharacterizeWith(ws *spice.Workspace, c *Cell, input string, loadF float64) (Timing, error) {
-	return l.characterizeArc(ws, c, input, loadF, spice.DefaultOptions())
+	return l.characterizeArc(ws, c, input, loadF, DefaultSlewS, spice.DefaultOptions())
 }
 
 // characterizeArc runs one arc's testbench through the given workspace
-// and solver options and measures the Timing row.
-func (l *Library) characterizeArc(ws *spice.Workspace, c *Cell, input string, loadF float64, opt spice.Options) (Timing, error) {
-	ckt, vddIdx, err := l.ArcCircuit(c, input, loadF)
+// and solver options and measures the Timing row: propagation delay,
+// output transition time (average of the falling edge after the input
+// rise and the rising edge after the input fall), and supply energy.
+func (l *Library) characterizeArc(ws *spice.Workspace, c *Cell, input string, loadF, slewS float64, opt spice.Options) (Timing, error) {
+	ckt, vddIdx, err := l.ArcCircuitSlew(c, input, loadF, slewS)
 	if err != nil {
 		return Timing{}, err
 	}
@@ -123,14 +140,27 @@ func (l *Library) characterizeArc(ws *spice.Workspace, c *Cell, input string, lo
 	if err != nil {
 		return Timing{}, fmt.Errorf("cells: %s transient: %w", c.FullName(), err)
 	}
-	d, err := res.PropDelay("in", "out", device.Vdd)
+	// Delay and slews are searched from each input edge's start, not its
+	// midpoint: at the slow-slew/light-load corner the output switches
+	// while the input is still slewing (a legitimately negative delay),
+	// and its 80% crossing can precede the input's 50% point. The
+	// testbench is static before ArcPeriod/4, so the bounds are sound.
+	d, err := res.PropDelayFrom("in", "out", device.Vdd, ArcPeriod/4, 3*ArcPeriod/4)
 	if err != nil {
 		return Timing{}, fmt.Errorf("cells: %s delay: %w", c.FullName(), err)
 	}
+	fallSlew, err := res.SlewTime("out", device.Vdd, false, ArcPeriod/4)
+	if err != nil {
+		return Timing{}, fmt.Errorf("cells: %s fall slew: %w", c.FullName(), err)
+	}
+	riseSlew, err := res.SlewTime("out", device.Vdd, true, 3*ArcPeriod/4)
+	if err != nil {
+		return Timing{}, fmt.Errorf("cells: %s rise slew: %w", c.FullName(), err)
+	}
 	e := res.SupplyEnergy(vddIdx, 0, ArcPeriod)
 	return Timing{
-		Cell: c.FullName(), Input: input, LoadF: loadF,
-		DelayS: d, EnergyJ: e,
+		Cell: c.FullName(), Input: input, LoadF: loadF, SlewInS: slewS,
+		DelayS: d, SlewOutS: (fallSlew + riseSlew) / 2, EnergyJ: e,
 	}, nil
 }
 
@@ -155,13 +185,50 @@ func (l *Library) CharacterizeBatch(c *Cell, input string, loads []float64, opt 
 	}
 	out := make([]Timing, len(loads))
 	for i, load := range loads {
-		t, err := l.characterizeArc(b.Lane(i), c, input, load, opt)
+		t, err := l.characterizeArc(b.Lane(i), c, input, load, DefaultSlewS, opt)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = t
 	}
 	return out, nil
+}
+
+// CharacterizeNLDM measures one arc over a full (input slew × output
+// load) NLDM grid as a single plan-sharing batch: every grid point's
+// testbench differs only in the pulse edge rate and the load value, so
+// the symbolic plan is computed once and each point refactorizes
+// numerically in its own lane. Rows are indexed [slew][load]; the first
+// slew row at DefaultSlewS reproduces CharacterizeBatch byte-identically.
+func (l *Library) CharacterizeNLDM(c *Cell, input string, slews, loads []float64, opt spice.Options) ([][]Timing, error) {
+	if len(slews) == 0 {
+		slews = []float64{DefaultSlewS}
+	}
+	if len(loads) == 0 {
+		return nil, nil
+	}
+	proto, _, err := l.ArcCircuitSlew(c, input, loads[0], slews[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := spice.NewBatch(len(slews)*len(loads), proto, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %s/%s nldm batch plan: %w", c.FullName(), input, err)
+	}
+	rows := make([][]Timing, len(slews))
+	lane := 0
+	for si, slew := range slews {
+		rows[si] = make([]Timing, len(loads))
+		for li, load := range loads {
+			t, err := l.characterizeArc(b.Lane(lane), c, input, load, slew, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows[si][li] = t
+			lane++
+		}
+	}
+	return rows, nil
 }
 
 // ReferenceLoad returns the library's characterization load: four times

@@ -7,6 +7,7 @@ import (
 	"cnfetdk/internal/cells"
 	"cnfetdk/internal/geom"
 	"cnfetdk/internal/layout"
+	"cnfetdk/internal/liberty"
 	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/synth"
@@ -29,7 +30,11 @@ import (
 // ordering — the elimination order differs from dense partial-pivot LU,
 // so converged waveforms (and everything derived from them) drift in
 // the low-order FP bits on circuits above the dense/sparse crossover.
-const cacheSchema = "cnfetdk/flow@v3"
+// v4: characterization grew the input-slew axis — the liberty stage's
+// .lib text now carries 2-D (slew × load) templates and transition
+// tables, so v3 liberty artifacts describe a different model and must
+// read as misses (the nldm and sta stages are new under this salt).
+const cacheSchema = "cnfetdk/flow@v4"
 
 // The registered codecs of the flow's serializable stage results. Every
 // stage Kit.Run schedules declares one of these (or a per-kit placement
@@ -42,6 +47,8 @@ var (
 	codecImmunity = pipeline.RegisterCodec(pipeline.JSONCodec[*ImmunityResult]("flow/immunity@v1"))
 	codecVarDelay = pipeline.RegisterCodec(pipeline.JSONCodec[*DelayEnsemble]("flow/vardelay@v1"))
 	codecLiberty  = pipeline.RegisterCodec(pipeline.JSONCodec[string]("flow/liberty@v1"))
+	codecNLDM     = pipeline.RegisterCodec(pipeline.JSONCodec[*liberty.Model]("flow/nldm@v1"))
+	codecSTA      = pipeline.RegisterCodec(pipeline.JSONCodec[*STAReport]("flow/sta@v1"))
 	codecGDS      = pipeline.RegisterCodec(pipeline.RawCodec("flow/gds@v1"))
 )
 

@@ -123,6 +123,25 @@ func init() {
 		}, Pulse: "C0"},
 	})
 	RegisterCircuit(Circuit{
+		Name:        "rca16",
+		Description: "16-bit ripple-carry adder (16 structural full adders)",
+		Build:       func() (*synth.Netlist, error) { return synth.RippleCarryAdder(16), nil },
+		Spec:        func() map[string]*logic.Expr { return synth.RippleCarryAdderSpec(16) },
+		// 33 inputs: verification runs on a deterministic 2048-vector
+		// sample of the 2^33 space.
+		SpecSamples: 2048,
+		// A=0xFFFF, B=0: a pulse on C0 ripples through all sixteen carry
+		// stages to C16 — the deep-chain STA stress case.
+		Stimulus: Stimulus{Static: func() map[string]bool {
+			s := map[string]bool{}
+			for i := 0; i < 16; i++ {
+				s[fmt.Sprintf("A%d", i)] = true
+				s[fmt.Sprintf("B%d", i)] = false
+			}
+			return s
+		}(), Pulse: "C0"},
+	})
+	RegisterCircuit(Circuit{
 		Name:        "mult4",
 		Description: "4-bit ripple-carry array multiplier (AND array + HA/FA rows)",
 		Build:       func() (*synth.Netlist, error) { return synth.ArrayMultiplier(4), nil },
@@ -133,6 +152,27 @@ func init() {
 			"A0": true, "A1": true, "A2": true, "A3": true,
 			"B1": false, "B2": false, "B3": false,
 		}, Pulse: "B0"},
+	})
+	RegisterCircuit(Circuit{
+		Name:        "mult8",
+		Description: "8-bit ripple-carry array multiplier (AND array + HA/FA rows)",
+		Build:       func() (*synth.Netlist, error) { return synth.ArrayMultiplier(8), nil },
+		// No Spec: the folded multiplier specification's expression tree
+		// is exponential to evaluate at 8 bits. The netlist's arithmetic
+		// is instead verified directly against integer products in the
+		// synth package's tests.
+		// A=0xFF, B=B0: P = 255·B0, so toggling B0 toggles every product
+		// bit through the partial-product array and seven adder rows.
+		Stimulus: Stimulus{Static: func() map[string]bool {
+			s := map[string]bool{}
+			for i := 0; i < 8; i++ {
+				s[fmt.Sprintf("A%d", i)] = true
+				if i > 0 {
+					s[fmt.Sprintf("B%d", i)] = false
+				}
+			}
+			return s
+		}(), Pulse: "B0"},
 	})
 	RegisterCircuit(Circuit{
 		Name:        "mux2",

@@ -37,6 +37,7 @@ type Analysis string
 const (
 	AnalysisArea     Analysis = "area"     // placement area/utilization
 	AnalysisDelay    Analysis = "delay"    // transistor-level stimulus delay
+	AnalysisSTA      Analysis = "sta"      // levelized static timing analysis
 	AnalysisEnergy   Analysis = "energy"   // calibrated switching energy
 	AnalysisImmunity Analysis = "immunity" // per-cell misaligned-CNT certificates
 	AnalysisLiberty  Analysis = "liberty"  // Liberty (.lib) characterization
@@ -45,7 +46,7 @@ const (
 
 // Analyses lists every supported analysis in canonical order.
 func Analyses() []Analysis {
-	return []Analysis{AnalysisArea, AnalysisDelay, AnalysisEnergy,
+	return []Analysis{AnalysisArea, AnalysisDelay, AnalysisSTA, AnalysisEnergy,
 		AnalysisImmunity, AnalysisLiberty, AnalysisGDS}
 }
 
@@ -324,6 +325,27 @@ type DelayEnsemble struct {
 	MaxS    float64 `json:"max_s"`
 }
 
+// STAReport summarizes one technology's static timing analysis: the
+// levelized, slew-aware engine run over the placed design's extracted
+// wire loads. Where the delay analysis simulates one stimulus at the
+// transistor level, STA covers every path through NLDM table lookups in
+// milliseconds.
+type STAReport struct {
+	// DelayS is the design delay: the worst primary-output arrival time.
+	DelayS float64 `json:"delay_s"`
+	// WorstNet names the latest primary output.
+	WorstNet string `json:"worst_net"`
+	// CriticalPath lists nets from a primary input to WorstNet.
+	CriticalPath []string `json:"critical_path,omitempty"`
+	// Levels is the design's logic depth; Instances its gate count.
+	Levels    int `json:"levels"`
+	Instances int `json:"instances"`
+	// InstanceDelay maps each instance to the delay of the arc on its own
+	// worst input path, so summing along the critical path reproduces
+	// DelayS.
+	InstanceDelay map[string]float64 `json:"instance_delay,omitempty"`
+}
+
 // TechResult carries one technology's requested analyses.
 type TechResult struct {
 	Tech string `json:"tech"`
@@ -342,6 +364,9 @@ type TechResult struct {
 	// model (delay analysis with a non-zero count/diameter spread,
 	// CNFET only).
 	VarDelay *DelayEnsemble `json:"var_delay,omitempty"`
+
+	// STA is the static timing report (sta analysis).
+	STA *STAReport `json:"sta,omitempty"`
 
 	Immunity *ImmunityResult `json:"immunity,omitempty"`
 

@@ -17,6 +17,7 @@ import (
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/rules"
 	"cnfetdk/internal/spice"
+	"cnfetdk/internal/sta"
 	"cnfetdk/internal/synth"
 )
 
@@ -77,7 +78,9 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			return nil, fmt.Errorf("%w: the immunity analysis requires the cnfet technology", ErrBadRequest)
 		}
 	}
-	needPlace := want[AnalysisArea] || want[AnalysisDelay] || want[AnalysisEnergy] || want[AnalysisGDS]
+	needPlace := want[AnalysisArea] || want[AnalysisDelay] || want[AnalysisSTA] ||
+		want[AnalysisEnergy] || want[AnalysisGDS]
+	needWire := want[AnalysisDelay] || want[AnalysisSTA]
 
 	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
 	// add is AddFunc plus the stage's result codec — what makes the
@@ -126,10 +129,12 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 				return placeScheme(lib, d["netlist"].(*synth.Netlist), scheme, rows)
 			})
 		}
-		if want[AnalysisDelay] {
+		if needWire {
 			add("wire/"+tn, req.stageKey("wire", tn, rk, scheme, rows, wireCap), codecWireCaps, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
 				return WireCapsWith(d[placeStage].(*place.Placement), d["netlist"].(*synth.Netlist), lib.Rules.LambdaNM, wireCap), nil
 			})
+		}
+		if want[AnalysisDelay] {
 			add("delay/"+tn, req.stageKey(append([]any{"delay", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
 				dly, err := k.runDelay(lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim)
 				if err != nil {
@@ -151,6 +156,26 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 						return de, nil
 					})
 			}
+		}
+		if want[AnalysisSTA] {
+			// The NLDM stage characterizes exactly the cells the design
+			// uses (the expensive transistor-level grid, heavily cached);
+			// the sta stage itself is a millisecond table-lookup pass over
+			// the placed design's extracted wire loads.
+			add("nldm/"+tn, req.stageKey("nldm", tn, rk), codecNLDM, []string{"netlist"}, func(d map[string]any) (any, error) {
+				m, err := k.runNLDM(ctx, lib, d["netlist"].(*synth.Netlist))
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s nldm: %w", tech, err)
+				}
+				return m, nil
+			})
+			add("sta/"+tn, req.stageKey("sta", tn, rk, scheme, rows, wireCap), codecSTA, []string{"netlist", "wire/" + tn, "nldm/" + tn}, func(d map[string]any) (any, error) {
+				rep, err := runSTA(d["netlist"].(*synth.Netlist), d["nldm/"+tn].(*liberty.Model), d["wire/"+tn].(map[string]float64))
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s sta: %w", tech, err)
+				}
+				return rep, nil
+			})
 		}
 		if want[AnalysisEnergy] {
 			add("energy/"+tn, req.stageKey(append([]any{"energy", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
@@ -221,6 +246,9 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		if r, ok := results["vardelay/"+tn]; ok {
 			tr.VarDelay = r.Value.(*DelayEnsemble)
 		}
+		if r, ok := results["sta/"+tn]; ok {
+			tr.STA = r.Value.(*STAReport)
+		}
 		if r, ok := results["energy/"+tn]; ok {
 			tr.EnergyJ = r.Value.(float64)
 		}
@@ -245,6 +273,9 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		}
 		if want[AnalysisEnergy] && cn.EnergyJ > 0 {
 			res.Gains["energy"] = cm.EnergyJ / cn.EnergyJ
+		}
+		if want[AnalysisSTA] && cm.STA != nil && cn.STA != nil && cn.STA.DelayS > 0 {
+			res.Gains["sta"] = cm.STA.DelayS / cn.STA.DelayS
 		}
 		if len(res.Gains) == 0 {
 			res.Gains = nil
@@ -551,14 +582,20 @@ func (k *Kit) runImmunity(ctx context.Context, lib *cells.Library, nl *synth.Net
 	return res, nil
 }
 
-// runLiberty characterizes exactly the cells the design instantiates and
-// renders the Liberty (.lib) text.
-func (k *Kit) runLiberty(ctx context.Context, lib *cells.Library, nl *synth.Netlist) (string, error) {
+// runNLDM characterizes exactly the cells the design instantiates into
+// the slew-aware NLDM model the sta stage evaluates.
+func (k *Kit) runNLDM(ctx context.Context, lib *cells.Library, nl *synth.Netlist) (*liberty.Model, error) {
 	used := map[string]bool{}
 	for _, inst := range nl.Instances {
 		used[inst.Cell] = true
 	}
-	m, err := liberty.CharacterizeCtx(ctx, lib, nil, func(name string) bool { return used[name] }, k.workers)
+	return liberty.CharacterizeCtx(ctx, lib, nil, func(name string) bool { return used[name] }, k.workers)
+}
+
+// runLiberty characterizes exactly the cells the design instantiates and
+// renders the Liberty (.lib) text.
+func (k *Kit) runLiberty(ctx context.Context, lib *cells.Library, nl *synth.Netlist) (string, error) {
+	m, err := k.runNLDM(ctx, lib, nl)
 	if err != nil {
 		return "", err
 	}
@@ -567,4 +604,21 @@ func (k *Kit) runLiberty(ctx context.Context, lib *cells.Library, nl *synth.Netl
 		return "", err
 	}
 	return buf.String(), nil
+}
+
+// runSTA runs the levelized static timing engine over the netlist under
+// the placement's extracted wire loads and snapshots the report.
+func runSTA(nl *synth.Netlist, m *liberty.Model, wire map[string]float64) (*STAReport, error) {
+	res, err := sta.Analyze(nl, m, wire)
+	if err != nil {
+		return nil, err
+	}
+	return &STAReport{
+		DelayS:        res.WorstArrivalS,
+		WorstNet:      res.WorstNet,
+		CriticalPath:  res.CriticalPath,
+		Levels:        res.Levels,
+		Instances:     len(nl.Instances),
+		InstanceDelay: res.InstanceDelay,
+	}, nil
 }

@@ -48,10 +48,73 @@ func (l LUT) Interp(loadF float64) float64 {
 	return l.DelaysS[n-1] + slope*(loadF-l.LoadsF[n-1])
 }
 
+// Surface is a two-dimensional NLDM table over (input slew, output
+// load): the arc's delay and output transition time at each grid point.
+// Lookups interpolate bilinearly with the LUT's edge policy on both axes
+// (flat below the first point, linear extrapolation beyond the last).
+type Surface struct {
+	SlewsS   []float64
+	LoadsF   []float64
+	DelayS   [][]float64 // [slew][load]
+	OutSlewS [][]float64 // [slew][load]
+}
+
+// Delay evaluates the arc delay at an input slew and output load.
+func (s *Surface) Delay(slewS, loadF float64) float64 {
+	return interp2(s.SlewsS, s.LoadsF, s.DelayS, slewS, loadF)
+}
+
+// OutSlew evaluates the output transition time at an input slew and
+// output load — the value STA propagates as the next stage's input slew.
+func (s *Surface) OutSlew(slewS, loadF float64) float64 {
+	return interp2(s.SlewsS, s.LoadsF, s.OutSlewS, slewS, loadF)
+}
+
+// bracket locates x on the axis: the segment index and the fractional
+// position within it (0 below the first point — flat extrapolation;
+// > 1 beyond the last — linear extrapolation from the final segment).
+func bracket(xs []float64, x float64) (int, float64) {
+	if len(xs) < 2 || x <= xs[0] {
+		return 0, 0
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			return i - 1, (x - xs[i-1]) / (xs[i] - xs[i-1])
+		}
+	}
+	n := len(xs)
+	return n - 2, (x - xs[n-2]) / (xs[n-1] - xs[n-2])
+}
+
+func interp2(xs, ys []float64, z [][]float64, x, y float64) float64 {
+	if len(z) == 0 {
+		return 0
+	}
+	i, fx := bracket(xs, x)
+	j, fy := bracket(ys, y)
+	row := func(r []float64) float64 {
+		if len(r) == 0 {
+			return 0
+		}
+		if len(r) < 2 {
+			return r[0]
+		}
+		return r[j] + fy*(r[j+1]-r[j])
+	}
+	v0 := row(z[i])
+	if len(z) < 2 {
+		return v0
+	}
+	return v0 + fx*(row(z[i+1])-v0)
+}
+
 // Arc is one characterized timing arc (input pin -> OUT).
 type Arc struct {
 	Input string
 	Table LUT
+	// Surface is the full slew-aware NLDM grid (nil on models built
+	// without slew characterization — lookups then fall back to Table).
+	Surface *Surface
 	// SigmaRefS is the delay standard deviation at the reference load
 	// under the model's variation ensemble (0 until AddVariation runs);
 	// Write emits it as a Liberty comment on the arc.
@@ -74,6 +137,7 @@ type Model struct {
 	Tech     string
 	Cells    map[string]*CellModel
 	LoadsF   []float64
+	SlewsS   []float64
 	RefLoadF float64
 	// Variation and VarSamples record the CNT variation model the
 	// per-arc sigmas were measured under (nil/0 for a nominal model);
@@ -99,6 +163,14 @@ func DefaultLoads(ref float64) []float64 {
 	return []float64{ref * 0.25, ref * 0.5, ref, ref * 2, ref * 4}
 }
 
+// DefaultSlews returns the characterization input-slew sweep. The first
+// point is the classic 5 ps testbench edge, so the legacy 1-D table (and
+// the energy row) is exactly the grid's first slew row; the later points
+// cover the degraded edges deep logic cones actually see.
+func DefaultSlews() []float64 {
+	return []float64{cells.DefaultSlewS, 20e-12, 60e-12}
+}
+
 // Characterize sweeps every cell and timing arc of the library across the
 // load points using the transistor-level simulator. cellFilter restricts
 // which cells to characterize (nil = all). The per-arc load sweeps — the
@@ -122,11 +194,13 @@ func CharacterizeCtx(ctx context.Context, lib *cells.Library, loads []float64, c
 	if loads == nil {
 		loads = DefaultLoads(ref)
 	}
+	slews := DefaultSlews()
 	m := &Model{
 		Name:     "cnfetdk_" + strings.ToLower(lib.Tech.String()) + "_65nm",
 		Tech:     lib.Tech.String(),
 		Cells:    map[string]*CellModel{},
 		LoadsF:   loads,
+		SlewsS:   slews,
 		RefLoadF: ref,
 	}
 
@@ -163,19 +237,35 @@ func CharacterizeCtx(ctx context.Context, lib *cells.Library, loads []float64, c
 	outs, err := pipeline.MapCtx(ctx, workers, jobs, func(_ int, j arcJob) (arcOut, error) {
 		c := lib.MustGet(j.cell)
 		out := arcOut{arc: Arc{Input: j.input}}
-		// The load sweep runs as one plan-sharing batch: the sweep's
-		// testbenches are structure-identical, so the symbolic solver
-		// work is paid once per arc and each load point refactorizes
+		// The whole (slew × load) grid runs as one plan-sharing batch:
+		// the grid's testbenches are structure-identical, so the symbolic
+		// solver work is paid once per arc and each point refactorizes
 		// numerically in its own lane.
-		ts, err := lib.CharacterizeBatch(c, j.input, loads, spice.DefaultOptions())
+		grid, err := lib.CharacterizeNLDM(c, j.input, slews, loads, spice.DefaultOptions())
 		if err != nil {
 			return out, fmt.Errorf("liberty: %s/%s: %w", j.cell, j.input, err)
 		}
-		out.arc.Table.LoadsF = make([]float64, 0, len(loads))
-		out.arc.Table.DelaysS = make([]float64, 0, len(loads))
-		for i, t := range ts {
-			out.arc.Table.LoadsF = append(out.arc.Table.LoadsF, loads[i])
-			out.arc.Table.DelaysS = append(out.arc.Table.DelaysS, t.DelayS)
+		sf := &Surface{
+			SlewsS:   append([]float64(nil), slews...),
+			LoadsF:   append([]float64(nil), loads...),
+			DelayS:   make([][]float64, len(slews)),
+			OutSlewS: make([][]float64, len(slews)),
+		}
+		for si, row := range grid {
+			sf.DelayS[si] = make([]float64, len(loads))
+			sf.OutSlewS[si] = make([]float64, len(loads))
+			for li, t := range row {
+				sf.DelayS[si][li] = t.DelayS
+				sf.OutSlewS[si][li] = t.SlewOutS
+			}
+		}
+		out.arc.Surface = sf
+		// The legacy 1-D table is the grid's first slew row (the classic
+		// 5 ps testbench edge), keeping single-slew consumers and the
+		// energy row byte-identical to the pre-slew characterization.
+		out.arc.Table.LoadsF = append([]float64(nil), loads...)
+		out.arc.Table.DelaysS = append([]float64(nil), sf.DelayS[0]...)
+		for i, t := range grid[0] {
 			if loads[i] == ref && j.first {
 				out.energyJ = t.EnergyJ
 				out.hasE = true
@@ -253,6 +343,14 @@ func (m *Model) Write(w io.Writer) error {
 	fmt.Fprintf(&b, "    variable_1 : total_output_net_capacitance;\n")
 	fmt.Fprintf(&b, "    index_1 (\"%s\");\n", joinF(m.LoadsF, 1e15))
 	fmt.Fprintf(&b, "  }\n")
+	if len(m.SlewsS) > 0 {
+		fmt.Fprintf(&b, "  lu_table_template(delay_slew_load) {\n")
+		fmt.Fprintf(&b, "    variable_1 : input_net_transition;\n")
+		fmt.Fprintf(&b, "    variable_2 : total_output_net_capacitance;\n")
+		fmt.Fprintf(&b, "    index_1 (\"%s\");\n", joinF(m.SlewsS, 1e12))
+		fmt.Fprintf(&b, "    index_2 (\"%s\");\n", joinF(m.LoadsF, 1e15))
+		fmt.Fprintf(&b, "  }\n")
+	}
 	if v := m.Variation; v != nil {
 		fmt.Fprintf(&b, "  /* variation model: cnt_count_cv=%g diameter_sigma_nm=%g alignment_p=%g"+
 			" (%d-sample ensembles; per-arc delay sigma at the reference load in the timing comments) */\n",
@@ -284,10 +382,23 @@ func (m *Model) Write(w io.Writer) error {
 				fmt.Fprintf(&b, "        /* delay sigma at reference load: %.4f ps */\n", arc.SigmaRefS*1e12)
 			}
 			fmt.Fprintf(&b, "        timing_sense : negative_unate;\n")
-			for _, kind := range []string{"cell_rise", "cell_fall"} {
-				fmt.Fprintf(&b, "        %s(delay_vs_load) {\n", kind)
-				fmt.Fprintf(&b, "          values (\"%s\");\n", joinF(arc.Table.DelaysS, 1e12))
-				fmt.Fprintf(&b, "        }\n")
+			if sf := arc.Surface; sf != nil {
+				for _, kind := range []string{"cell_rise", "cell_fall"} {
+					fmt.Fprintf(&b, "        %s(delay_slew_load) {\n", kind)
+					fmt.Fprintf(&b, "          values (%s);\n", joinRows(sf.DelayS, 1e12))
+					fmt.Fprintf(&b, "        }\n")
+				}
+				for _, kind := range []string{"rise_transition", "fall_transition"} {
+					fmt.Fprintf(&b, "        %s(delay_slew_load) {\n", kind)
+					fmt.Fprintf(&b, "          values (%s);\n", joinRows(sf.OutSlewS, 1e12))
+					fmt.Fprintf(&b, "        }\n")
+				}
+			} else {
+				for _, kind := range []string{"cell_rise", "cell_fall"} {
+					fmt.Fprintf(&b, "        %s(delay_vs_load) {\n", kind)
+					fmt.Fprintf(&b, "          values (\"%s\");\n", joinF(arc.Table.DelaysS, 1e12))
+					fmt.Fprintf(&b, "        }\n")
+				}
 			}
 			fmt.Fprintf(&b, "      }\n")
 		}
@@ -303,6 +414,16 @@ func joinF(vs []float64, scale float64) string {
 	parts := make([]string, len(vs))
 	for i, v := range vs {
 		parts[i] = fmt.Sprintf("%.4f", v*scale)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// joinRows renders a 2-D table body: one quoted row per slew point, the
+// Liberty multi-row values() syntax.
+func joinRows(rows [][]float64, scale float64) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = "\"" + joinF(r, scale) + "\""
 	}
 	return strings.Join(parts, ", ")
 }

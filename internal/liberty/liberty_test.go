@@ -90,10 +90,13 @@ func TestCharacterizeSubsetAndWrite(t *testing.T) {
 	for _, want := range []string{
 		"library(cnfetdk_cnfet_65nm)",
 		"lu_table_template(delay_vs_load)",
+		"lu_table_template(delay_slew_load)",
+		"variable_1 : input_net_transition",
 		"cell(NAND2_1X)",
 		`function : "!(A&B)"`,
 		`related_pin : "A"`,
-		"cell_rise(delay_vs_load)",
+		"cell_rise(delay_slew_load)",
+		"rise_transition(delay_slew_load)",
 		"capacitance :",
 	} {
 		if !strings.Contains(out, want) {

@@ -158,6 +158,34 @@ func TestFullAdderJob(t *testing.T) {
 	}
 }
 
+// TestSTAJob exercises the sta analysis through the HTTP surface: the
+// levelized timing report must arrive in the JSON result with a
+// positive delay and a non-trivial critical path.
+func TestSTAJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization-backed flow")
+	}
+	s := testServer(t)
+	rec := postJob(t, s, `{"circuit": "mux2", "techs": ["cnfet"], "analyses": ["sta"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res flow.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	sta := res.Techs["cnfet"].STA
+	if sta == nil {
+		t.Fatalf("no sta report in %s", rec.Body.String())
+	}
+	if sta.DelayS <= 0 || sta.Levels <= 0 || len(sta.CriticalPath) < 2 {
+		t.Fatalf("sta report malformed: %+v", sta)
+	}
+	if sta.Instances != res.Instances {
+		t.Fatalf("sta instances %d != result instances %d", sta.Instances, res.Instances)
+	}
+}
+
 func TestConcurrentIdenticalJobsShareCache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("flow")

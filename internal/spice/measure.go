@@ -72,6 +72,34 @@ func (r *Result) PropDelay(in, out string, vdd float64) (float64, error) {
 	return ((tOutFall - tInRise) + (tOutRise - tInFall)) / 2, nil
 }
 
+// PropDelayFrom is PropDelay with explicit edge-start bounds: the output
+// crossings are searched from each input edge's start (riseStart,
+// fallStart — before which the testbench must be static) rather than
+// from the input's 50% point, so a lightly loaded gate that overtakes a
+// slow input ramp measures a negative delay instead of erroring. NLDM
+// tables legitimately carry such entries at the slow-slew/light-load
+// corner. Where PropDelay succeeds, both agree exactly.
+func (r *Result) PropDelayFrom(in, out string, vdd, riseStart, fallStart float64) (float64, error) {
+	mid := vdd / 2
+	tInRise, err := r.CrossTime(in, mid, true, riseStart)
+	if err != nil {
+		return 0, err
+	}
+	tOutFall, err := r.CrossTime(out, mid, false, riseStart)
+	if err != nil {
+		return 0, err
+	}
+	tInFall, err := r.CrossTime(in, mid, false, fallStart)
+	if err != nil {
+		return 0, err
+	}
+	tOutRise, err := r.CrossTime(out, mid, true, fallStart)
+	if err != nil {
+		return 0, err
+	}
+	return ((tOutFall - tInRise) + (tOutRise - tInFall)) / 2, nil
+}
+
 // DelayPair measures the inverting propagation delay between two nodes
 // that switch in the same direction (e.g. through two inverting stages).
 func (r *Result) DelayPair(in, out string, vdd float64, rising bool) (float64, error) {
@@ -85,6 +113,27 @@ func (r *Result) DelayPair(in, out string, vdd float64, rising bool) (float64, e
 		return 0, err
 	}
 	return tOut - tIn, nil
+}
+
+// SlewTime measures the node's transition time through one edge after
+// tMin: the 20%–80% crossing interval scaled to the full swing (÷0.6),
+// the ramp-equivalent transition time NLDM slew axes index (a linear
+// 0→vdd ramp of duration T spends 0.6·T between 20% and 80%).
+func (r *Result) SlewTime(node string, vdd float64, rising bool, tMin float64) (float64, error) {
+	lo, hi := 0.2*vdd, 0.8*vdd
+	first, second := hi, lo
+	if rising {
+		first, second = lo, hi
+	}
+	t1, err := r.CrossTime(node, first, rising, tMin)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := r.CrossTime(node, second, rising, t1)
+	if err != nil {
+		return 0, err
+	}
+	return (t2 - t1) / 0.6, nil
 }
 
 // SupplyEnergy integrates the energy delivered by voltage source vsrc over

@@ -1,0 +1,31 @@
+//go:build !race
+
+package sta
+
+import "testing"
+
+// TestSteadyStateZeroAlloc pins the engine's steady-state contract: once
+// built, full repropagation and incremental load-change reanalysis run
+// without allocating. (Skipped under -race: the race runtime instruments
+// allocations.)
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	eng, err := NewEngine(invChain(64), fakeModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up once so lazy runtime state settles.
+	eng.Analyze()
+	if n := testing.AllocsPerRun(10, func() { eng.Analyze() }); n != 0 {
+		t.Fatalf("Analyze allocates %v/op, want 0", n)
+	}
+	cap := 1e-15
+	if n := testing.AllocsPerRun(10, func() {
+		cap = 3e-15 - cap // alternate so every run changes the load
+		if err := eng.SetLoad("n32", cap); err != nil {
+			t.Fatal(err)
+		}
+		eng.Reanalyze()
+	}); n != 0 {
+		t.Fatalf("SetLoad+Reanalyze allocates %v/op, want 0", n)
+	}
+}

@@ -1,21 +1,19 @@
 package sta
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
-	"cnfetdk/internal/cells"
-	"cnfetdk/internal/device"
-	"cnfetdk/internal/flow"
 	"cnfetdk/internal/liberty"
-	"cnfetdk/internal/place"
-	"cnfetdk/internal/rules"
-	"cnfetdk/internal/spice"
 	"cnfetdk/internal/synth"
 )
 
 // fakeModel builds a hand-written liberty model for STA unit tests (no
-// spice characterization needed).
+// spice characterization needed). Arcs carry only the 1-D table, so the
+// engine exercises its surface-less fallback path.
 func fakeModel() *liberty.Model {
 	mk := func(name string, inputs []string, d0 float64) *liberty.CellModel {
 		cm := &liberty.CellModel{
@@ -37,21 +35,32 @@ func fakeModel() *liberty.Model {
 	return &liberty.Model{
 		Cells: map[string]*liberty.CellModel{
 			"INV_1X":   mk("INV_1X", []string{"A"}, 10e-12),
+			"INV_2X":   mk("INV_2X", []string{"A"}, 6e-12),
 			"NAND2_1X": mk("NAND2_1X", []string{"A", "B"}, 15e-12),
 		},
 	}
 }
 
-func TestAnalyzeChain(t *testing.T) {
-	nl := &synth.Netlist{
-		Name:    "chain",
-		Inputs:  []string{"A"},
-		Outputs: []string{"Y"},
-		Instances: []synth.Instance{
-			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "n1"}},
-			{Name: "u2", Cell: "INV_1X", Conns: map[string]string{"A": "n1", "OUT": "Y"}},
-		},
+// invChain builds a linear chain of n inverters A -> n1 -> ... -> Y.
+func invChain(n int) *synth.Netlist {
+	nl := &synth.Netlist{Name: "chain", Inputs: []string{"A"}, Outputs: []string{"Y"}}
+	in := "A"
+	for i := 1; i <= n; i++ {
+		out := "Y"
+		if i < n {
+			out = fmt.Sprintf("n%d", i)
+		}
+		nl.Instances = append(nl.Instances, synth.Instance{
+			Name: fmt.Sprintf("u%d", i), Cell: "INV_1X",
+			Conns: map[string]string{"A": in, "OUT": out},
+		})
+		in = out
 	}
+	return nl
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	nl := invChain(2)
 	res, err := Analyze(nl, fakeModel(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -62,13 +71,14 @@ func TestAnalyzeChain(t *testing.T) {
 		t.Fatalf("arrival = %v, want 20ps", res.MaxArrival())
 	}
 	wantPath := []string{"A", "n1", "Y"}
-	if len(res.CriticalPath) != 3 {
-		t.Fatalf("path = %v", res.CriticalPath)
+	if !reflect.DeepEqual(res.CriticalPath, wantPath) {
+		t.Fatalf("path = %v, want %v", res.CriticalPath, wantPath)
 	}
-	for i, n := range wantPath {
-		if res.CriticalPath[i] != n {
-			t.Fatalf("path = %v, want %v", res.CriticalPath, wantPath)
-		}
+	if res.WorstNet != "Y" {
+		t.Fatalf("WorstNet = %q, want Y", res.WorstNet)
+	}
+	if res.Levels != 2 {
+		t.Fatalf("levels = %d, want 2", res.Levels)
 	}
 }
 
@@ -96,15 +106,56 @@ func TestAnalyzePicksWorstArc(t *testing.T) {
 	}
 }
 
-func TestAnalyzeWireLoadRaisesDelay(t *testing.T) {
-	nl := &synth.Netlist{
-		Name:    "w",
-		Inputs:  []string{"A"},
-		Outputs: []string{"Y"},
-		Instances: []synth.Instance{
-			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
+// TestInstanceDelayWorstPathOnly pins the report semantics: an
+// instance's delay is the arc on its own worst input path, not the worst
+// arc over all pins, so critical-path instance delays sum to the design
+// delay.
+func TestInstanceDelayWorstPathOnly(t *testing.T) {
+	m := fakeModel()
+	// Pin A's arc is much slower than pin B's, but B's input arrives so
+	// late that the worst path still runs through B.
+	m.Cells["SKEW_1X"] = &liberty.CellModel{
+		Name:      "SKEW_1X",
+		InputCapF: map[string]float64{"A": 1e-15, "B": 1e-15},
+		Arcs: []liberty.Arc{
+			{Input: "A", Table: liberty.LUT{LoadsF: []float64{1e-15}, DelaysS: []float64{30e-12}}},
+			{Input: "B", Table: liberty.LUT{LoadsF: []float64{1e-15}, DelaysS: []float64{5e-12}}},
 		},
 	}
+	nl := &synth.Netlist{
+		Name:    "skew",
+		Inputs:  []string{"A", "B"},
+		Outputs: []string{"Y"},
+		Instances: []synth.Instance{
+			{Name: "slow1", Cell: "INV_1X", Conns: map[string]string{"A": "B", "OUT": "m1"}},
+			{Name: "slow2", Cell: "INV_1X", Conns: map[string]string{"A": "m1", "OUT": "m2"}},
+			{Name: "slow3", Cell: "INV_1X", Conns: map[string]string{"A": "m2", "OUT": "m3"}},
+			{Name: "u", Cell: "SKEW_1X", Conns: map[string]string{"A": "A", "B": "m3", "OUT": "Y"}},
+		},
+	}
+	res, err := Analyze(nl, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst path: B -> m1 -> m2 -> m3 -> Y (3 INVs + 5ps B arc), not the
+	// 30ps A arc.
+	if res.CriticalPath[len(res.CriticalPath)-2] != "m3" {
+		t.Fatalf("critical path = %v, want ... m3 Y", res.CriticalPath)
+	}
+	if got := res.InstanceDelay["u"]; got != 5e-12 {
+		t.Fatalf("InstanceDelay[u] = %v, want the worst-path arc (5ps), not the worst arc (30ps)", got)
+	}
+	sum := 0.0
+	for _, inst := range []string{"slow1", "slow2", "slow3", "u"} {
+		sum += res.InstanceDelay[inst]
+	}
+	if math.Abs(sum-res.WorstArrivalS) > 1e-18 {
+		t.Fatalf("critical-path instance delays sum to %v, want %v", sum, res.WorstArrivalS)
+	}
+}
+
+func TestAnalyzeWireLoadRaisesDelay(t *testing.T) {
+	nl := invChain(1)
 	dry, err := Analyze(nl, fakeModel(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -118,15 +169,51 @@ func TestAnalyzeWireLoadRaisesDelay(t *testing.T) {
 	}
 }
 
+// TestSlewPropagation: with a 2-D surface whose delay grows with input
+// slew, downstream gates see the degraded edges the first stage produces
+// — the chain must be slower than the slew-blind 1-D prediction.
+func TestSlewPropagation(t *testing.T) {
+	sf := &liberty.Surface{
+		SlewsS:   []float64{5e-12, 40e-12},
+		LoadsF:   []float64{1e-15, 4e-15},
+		DelayS:   [][]float64{{10e-12, 20e-12}, {20e-12, 40e-12}},
+		OutSlewS: [][]float64{{40e-12, 40e-12}, {40e-12, 40e-12}},
+	}
+	m := &liberty.Model{
+		Cells: map[string]*liberty.CellModel{
+			"INV_1X": {
+				Name:      "INV_1X",
+				InputCapF: map[string]float64{"A": 1e-15},
+				Arcs: []liberty.Arc{{
+					Input:   "A",
+					Table:   liberty.LUT{LoadsF: sf.LoadsF, DelaysS: sf.DelayS[0]},
+					Surface: sf,
+				}},
+			},
+		},
+	}
+	nl := invChain(3)
+	res, err := Analyze(nl, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 sees the primary 5ps edge (10ps at 1fF pin load), u2/u3 see the
+	// 40ps output edges (20ps, 20ps at their loads' first points).
+	want := 50e-12
+	if math.Abs(res.MaxArrival()-want) > 1e-15 {
+		t.Fatalf("slew-aware arrival = %v, want %v", res.MaxArrival(), want)
+	}
+}
+
 func TestAnalyzeErrors(t *testing.T) {
-	nl := &synth.Netlist{
+	bad := &synth.Netlist{
 		Name:   "bad",
 		Inputs: []string{"A"},
 		Instances: []synth.Instance{
 			{Name: "u1", Cell: "XOR_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
 		},
 	}
-	if _, err := Analyze(nl, fakeModel(), nil); err == nil {
+	if _, err := Analyze(bad, fakeModel(), nil); err == nil {
 		t.Fatal("uncharacterized cell must error")
 	}
 	cyc := &synth.Netlist{
@@ -139,69 +226,166 @@ func TestAnalyzeErrors(t *testing.T) {
 	if _, err := Analyze(cyc, fakeModel(), nil); err == nil {
 		t.Fatal("cyclic netlist must error")
 	}
+	undriven := &synth.Netlist{
+		Name:   "undrv",
+		Inputs: []string{"A"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "NAND2_1X", Conns: map[string]string{"A": "A", "B": "ghost", "OUT": "Y"}},
+		},
+	}
+	if _, err := Analyze(undriven, fakeModel(), nil); err == nil {
+		t.Fatal("undriven net must error")
+	}
+	twice := &synth.Netlist{
+		Name:   "twice",
+		Inputs: []string{"A"},
+		Instances: []synth.Instance{
+			{Name: "u1", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
+			{Name: "u2", Cell: "INV_1X", Conns: map[string]string{"A": "A", "OUT": "Y"}},
+		},
+	}
+	if _, err := Analyze(twice, fakeModel(), nil); err == nil {
+		t.Fatal("multiply-driven net must error")
+	}
 }
 
-// Integration: STA on the characterized CNFET library must track the
-// transistor-level full-adder delay within a factor of two (NLDM with a
-// single slew point is coarse, but the orders must agree).
-func TestSTATracksSpiceOnFullAdder(t *testing.T) {
-	if testing.Short() {
-		t.Skip("characterization + transient")
-	}
-	lib, err := cells.NewLibrary(rules.CNFET)
+// TestEngineIncrementalMatchesFull: after SetLoad/SetCell plus
+// Reanalyze, every reported value must be byte-identical to an engine
+// rebuilt from scratch with the same inputs.
+func TestEngineIncrementalMatchesFull(t *testing.T) {
+	nl := invChain(12)
+	wire := map[string]float64{"n3": 1.5e-15, "n7": 0.5e-15}
+	eng, err := NewEngine(nl, fakeModel(), wire)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl := synth.FullAdder()
-	used := map[string]bool{}
-	for _, inst := range nl.Instances {
-		used[inst.Cell] = true
-	}
-	m, err := liberty.Characterize(lib, nil, func(n string) bool { return used[n] })
-	if err != nil {
+	if err := eng.SetLoad("n5", 2.5e-15); err != nil {
 		t.Fatal(err)
 	}
-	k, err := flow.NewKit()
-	if err != nil {
+	if err := eng.SetCell("u9", "INV_2X"); err != nil {
 		t.Fatal(err)
 	}
-	p2, err := place.Shelves(k.CNFET, nl, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wire := flow.WireCaps(p2, nl, lib.Rules.LambdaNM)
-	res, err := Analyze(nl, m, wire)
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng.Reanalyze()
 
-	// Spice reference: Cin -> Sum arc delay with the same wire loading.
-	ckt, _, err := k.BuildCircuit(k.CNFET, nl, wire)
+	wire2 := map[string]float64{"n3": 1.5e-15, "n5": 2.5e-15, "n7": 0.5e-15}
+	nl2 := invChain(12)
+	nl2.Instances[8].Cell = "INV_2X" // u9
+	full, err := NewEngine(nl2, fakeModel(), wire2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	period := 4000e-12
-	ckt.AddV("va", "A", "0", spice.DC(device.Vdd))
-	ckt.AddV("vb", "B", "0", spice.DC(0))
-	ckt.AddV("vcin", "Cin", "0", spice.Pulse{
-		V0: 0, V1: device.Vdd, Delay: period / 4,
-		Rise: 5e-12, Fall: 5e-12, W: period / 2, Period: period,
-	})
-	r, err := ckt.Transient(period, 8000, spice.DefaultOptions())
+	got, want := eng.Report(), full.Report()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental report diverges from full rebuild:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReanalyzeTouchesOnlyCone pins the incremental contract: a load
+// change re-evaluates the changed net's driver plus its downstream cone
+// — never the whole design.
+func TestReanalyzeTouchesOnlyCone(t *testing.T) {
+	const n = 10
+	eng, err := NewEngine(invChain(n), fakeModel(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dSpice, err := r.PropDelay("Cin", "Sum", device.Vdd)
+	if eng.Touched() != n {
+		t.Fatalf("initial analysis touched %d, want %d", eng.Touched(), n)
+	}
+	before := eng.Report()
+	// n6's driver is u6; raising its load slows u6..u10: a 5-instance cone.
+	if err := eng.SetLoad("n6", 2e-15); err != nil {
+		t.Fatal(err)
+	}
+	if touched := eng.Reanalyze(); touched != 5 {
+		t.Fatalf("Reanalyze touched %d instances, want the 5-instance cone", touched)
+	}
+	after := eng.Report()
+	for i := 1; i <= 5; i++ {
+		inst := fmt.Sprintf("u%d", i)
+		if after.InstanceDelay[inst] != before.InstanceDelay[inst] {
+			t.Fatalf("%s outside the cone was recomputed differently", inst)
+		}
+	}
+	if after.MaxArrival() <= before.MaxArrival() {
+		t.Fatal("added load must slow the design")
+	}
+	// A clean engine reanalyzes nothing.
+	if touched := eng.Reanalyze(); touched != 0 {
+		t.Fatalf("clean Reanalyze touched %d, want 0", touched)
+	}
+	// Setting the same load again is a no-op.
+	if err := eng.SetLoad("n6", 2e-15); err != nil {
+		t.Fatal(err)
+	}
+	if touched := eng.Reanalyze(); touched != 0 {
+		t.Fatalf("no-op SetLoad touched %d, want 0", touched)
+	}
+}
+
+// TestInvalidateDirtiesCone: Invalidate re-evaluates driver + readers
+// and converges back to the same answer.
+func TestInvalidateDirtiesCone(t *testing.T) {
+	eng, err := NewEngine(invChain(8), fakeModel(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ratio := res.MaxArrival() / dSpice
-	t.Logf("STA %.1fps vs spice %.1fps (ratio %.2f), critical path %v",
-		res.MaxArrival()*1e12, dSpice*1e12, ratio, res.CriticalPath)
-	if ratio < 0.5 || ratio > 2.5 {
-		t.Fatalf("STA/spice ratio %.2f out of range", ratio)
+	before := eng.Delay()
+	if err := eng.Invalidate("n4"); err != nil {
+		t.Fatal(err)
 	}
-	if len(res.CriticalPath) < 4 {
-		t.Fatalf("suspiciously short critical path: %v", res.CriticalPath)
+	// Driver u4 and reader u5 re-evaluate; nothing changed, so the cone
+	// stops there.
+	if touched := eng.Reanalyze(); touched != 2 {
+		t.Fatalf("Invalidate cone touched %d, want 2", touched)
+	}
+	if eng.Delay() != before {
+		t.Fatal("no-op invalidation must not move the answer")
+	}
+}
+
+// TestAnalyzeCtxDeterministic: the level-parallel pass is byte-identical
+// to the sequential pass at any worker count.
+func TestAnalyzeCtxDeterministic(t *testing.T) {
+	nl := invChain(20)
+	wire := map[string]float64{"n10": 2e-15}
+	seq, err := NewEngine(nl, fakeModel(), wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Report()
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := NewEngine(nl, fakeModel(), wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.AnalyzeCtx(context.Background(), workers); err != nil {
+			t.Fatal(err)
+		}
+		if got := par.Report(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverges from sequential:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func TestEngineMutationErrors(t *testing.T) {
+	eng, err := NewEngine(invChain(3), fakeModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetLoad("nope", 1e-15); err == nil {
+		t.Fatal("unknown net must error")
+	}
+	if err := eng.SetCell("nope", "INV_2X"); err == nil {
+		t.Fatal("unknown instance must error")
+	}
+	if err := eng.SetCell("u1", "GHOST_1X"); err == nil {
+		t.Fatal("uncharacterized cell must error")
+	}
+	if err := eng.SetCell("u1", "NAND2_1X"); err == nil {
+		t.Fatal("pin-count mismatch must error")
+	}
+	if err := eng.Invalidate("nope"); err == nil {
+		t.Fatal("unknown net must error")
 	}
 }

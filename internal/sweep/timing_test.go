@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cnfetdk/internal/flow"
+)
+
+// TestTimingSweepSharedEngine drives a wire-cap × drive grid through one
+// shared STA engine and cross-checks each point against an independent
+// full flow run of the same request — the incremental cone updates must
+// land on the same answers a from-scratch analysis computes.
+func TestTimingSweepSharedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization-backed timing sweep")
+	}
+	k := testKit(t)
+	ctx := context.Background()
+	caps := []float64{0.03e-18, 0.06e-18, 0.12e-18}
+	rep, err := Timing(ctx, k, TimingSpec{
+		Circuit:       "fulladder",
+		WireCapsPerNM: caps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tech != "cnfet" || rep.Instances == 0 || rep.Levels == 0 {
+		t.Fatalf("report header malformed: %+v", rep)
+	}
+	if len(rep.Points) != len(caps) {
+		t.Fatalf("points = %d, want %d", len(rep.Points), len(caps))
+	}
+	prev := 0.0
+	for i, pt := range rep.Points {
+		if pt.WireCapPerNM != caps[i] {
+			t.Fatalf("point %d wirecap %g, want %g", i, pt.WireCapPerNM, caps[i])
+		}
+		if pt.DelayS <= prev {
+			t.Fatalf("delay not monotone in wire cap: %+v", rep.Points)
+		}
+		prev = pt.DelayS
+		if pt.Touched == 0 {
+			t.Fatalf("point %d touched no instances", i)
+		}
+		// Cross-check against the flow's own sta stage at this wire model
+		// (a full engine rebuild on independently recomputed wire loads).
+		res, err := k.Run(ctx, flow.Request{
+			Circuit:      "fulladder",
+			Techs:        []string{"cnfet"},
+			Analyses:     []flow.Analysis{flow.AnalysisSTA},
+			WireCapPerNM: pt.WireCapPerNM,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Techs["cnfet"].STA.DelayS
+		if math.Abs(pt.DelayS-want) > 1e-18 {
+			t.Fatalf("point %d: incremental delay %v, full flow %v", i, pt.DelayS, want)
+		}
+	}
+}
+
+// TestTimingSweepDriveAxis remaps every instance to its 2X variant and
+// back: upsized cells must speed the design up, and the walk must return
+// to the original answer when the drive returns to the netlist's own.
+func TestTimingSweepDriveAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization-backed timing sweep")
+	}
+	k := testKit(t)
+	rep, err := Timing(context.Background(), k, TimingSpec{
+		Circuit: "mux2",
+		Drives:  []float64{0, 2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(rep.Points))
+	}
+	base, up, back := rep.Points[0], rep.Points[1], rep.Points[2]
+	if up.DelayS >= base.DelayS {
+		t.Fatalf("2X remap did not speed up: base %v, 2X %v", base.DelayS, up.DelayS)
+	}
+	if back.DelayS != base.DelayS {
+		t.Fatalf("drive round-trip diverged: %v vs %v", back.DelayS, base.DelayS)
+	}
+}
+
+func TestDriveVariant(t *testing.T) {
+	cases := []struct {
+		cell  string
+		drive float64
+		want  string
+	}{
+		{"NAND2_1X", 2, "NAND2_2X"},
+		{"INV_4X", 1, "INV_1X"},
+		{"NAND2_1X", 0, "NAND2_1X"},
+		{"PLAIN", 2, "PLAIN"},
+	}
+	for _, c := range cases {
+		if got := driveVariant(c.cell, c.drive); got != c.want {
+			t.Errorf("driveVariant(%q, %g) = %q, want %q", c.cell, c.drive, got, c.want)
+		}
+	}
+}

@@ -119,6 +119,48 @@ func TestArrayMultiplierSpecMatchesArithmetic(t *testing.T) {
 	}
 }
 
+// TestArrayMultiplier8Arithmetic verifies the 8-bit multiplier netlist
+// directly against integer products. The folded Boolean spec is
+// exponential to evaluate at this width (which is why the mult8 registry
+// entry carries no Spec), but netlist evaluation is linear in gates, so
+// a deterministic sample of the 65536-product space runs in milliseconds.
+func TestArrayMultiplier8Arithmetic(t *testing.T) {
+	nl := ArrayMultiplier(8)
+	if len(nl.Inputs) != 16 || len(nl.Outputs) != 16 {
+		t.Fatalf("ports = %d in / %d out, want 16/16", len(nl.Inputs), len(nl.Outputs))
+	}
+	check := func(a, b int) {
+		in := map[string]bool{}
+		for k := 0; k < 8; k++ {
+			in[fmt.Sprintf("A%d", k)] = a>>uint(k)&1 == 1
+			in[fmt.Sprintf("B%d", k)] = b>>uint(k)&1 == 1
+		}
+		vals, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := a * b
+		for k := 0; k < 16; k++ {
+			if want := p>>uint(k)&1 == 1; vals[fmt.Sprintf("P%d", k)] != want {
+				t.Fatalf("P%d(%d*%d) = %v, want %v", k, a, b, vals[fmt.Sprintf("P%d", k)], want)
+			}
+		}
+	}
+	// Corners plus an LCG sample across the space.
+	for _, c := range [][2]int{{0, 0}, {255, 255}, {255, 1}, {1, 255}, {0, 255}, {170, 85}} {
+		check(c[0], c[1])
+	}
+	state := uint32(1)
+	n := 256
+	if testing.Short() {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		state = state*1664525 + 1013904223
+		check(int(state>>8&0xFF), int(state>>16&0xFF))
+	}
+}
+
 func TestWriteVerilog(t *testing.T) {
 	nl := FullAdder()
 	var buf bytes.Buffer
