@@ -71,6 +71,7 @@ import (
 	"time"
 
 	"cnfetdk/internal/fabric"
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/promtext"
 	"cnfetdk/internal/service"
@@ -87,6 +88,8 @@ func main() {
 	sweepPoints := flag.Int("sweep-points", 1024, "per-sweep expansion cap")
 	sweepStore := flag.Int("sweep-store", 64, "how many sweeps the status store retains")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling aid only — do not enable on a daemon reachable by untrusted clients)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage watchdog: kill any flow stage running longer than this (0 = unbounded; requests may override via stage_timeout_ms)")
+	faultsPath := flag.String("faults", "", "fault-injection plan JSON file (chaos-testing aid; see internal/fault)")
 	joinURL := flag.String("join", "", "sweep-fabric coordinator URL to enroll with as a worker (heartbeats until shutdown)")
 	advertise := flag.String("advertise", "", "base URL workers advertise to the coordinator (default: http://<bound address>, 127.0.0.1 for wildcard binds)")
 	coordinator := flag.Bool("coordinator", false, "also run a sweep-fabric coordinator (mounts /v1/fabric/ and appends fabric metrics to /metrics)")
@@ -105,6 +108,25 @@ func main() {
 	kitOpts := []flow.Option{flow.WithWorkers(*workers), flow.WithCacheLimit(*cacheLimit)}
 	if *storeDir != "" {
 		kitOpts = append(kitOpts, flow.WithStore(*storeDir), flow.WithStoreBudget(*storeBudget))
+	}
+	if *stageTimeout > 0 {
+		kitOpts = append(kitOpts, flow.WithStageTimeout(*stageTimeout))
+	}
+	if *faultsPath != "" {
+		blob, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		plan, err := fault.ParsePlan(blob)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		inj, err := fault.New(plan)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		kitOpts = append(kitOpts, flow.WithFaults(inj))
+		log.Printf("fault injection armed: plan %q, seed %d, %d rules", plan.Name, plan.Seed, len(plan.Rules))
 	}
 	kit, err := flow.New(ctx, kitOpts...)
 	if err != nil {
@@ -139,7 +161,8 @@ func main() {
 
 	svc := service.NewServer(kit,
 		service.WithBaseContext(jobCtx),
-		service.WithSweepLimits(*sweepPoints, *sweepStore))
+		service.WithSweepLimits(*sweepPoints, *sweepStore),
+		service.WithLogf(log.Printf))
 	var handler http.Handler = svc
 
 	if *coordinator {
@@ -234,10 +257,11 @@ func main() {
 			log.Printf("grace expired, cancelling in-flight jobs: %v", err)
 		}
 		// Background (async) sweeps outlive their HTTP requests and
-		// Shutdown does not wait for them — give them the rest of the
-		// same grace window before cutting them off.
-		if !svc.DrainSweeps(shutdownCtx) {
-			log.Printf("grace expired, cancelling background sweeps")
+		// Shutdown does not wait for them — give them (and any streamed
+		// sweeps or coopt searches Shutdown was cut short on) the rest
+		// of the same grace window before cutting them off.
+		if !svc.Drain(shutdownCtx) {
+			log.Printf("grace expired, cancelling remaining sweeps and searches")
 		}
 		cancelJobs()
 		srv.Close()

@@ -29,10 +29,19 @@
 //	curl -sN localhost:8066/v1/fabric/sweeps -d '{
 //	  "base": {"techs":["cnfet"],"analyses":["area"]},
 //	  "axes": {"circuits":["mux2","dec2"],"placements":["rows","shelves"]}}'
+//
+// Chaos soak mode (no listener; self-contained in-process fleet):
+//
+//	cnfetfab -chaos -chaos-schedules 8 -chaos-seed 1 -chaos-out verdicts.json
+//
+// runs the 24-point soak sweep under K seeded fault schedules, demands
+// byte-identical-or-typed-error termination from every run, writes the
+// verdict log as JSON, and exits non-zero if any schedule fails.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"cnfetdk/internal/chaos"
 	"cnfetdk/internal/fabric"
 )
 
@@ -53,29 +63,48 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker base URLs to pre-seed (static fleet; workers may also enroll via cnfetd -join)")
 	leasePoints := flag.Int("lease-points", fabric.DefaultLeasePoints, "points per lease")
 	maxAttempts := flag.Int("max-attempts", fabric.DefaultMaxAttempts, "dispatch attempts per lease before the sweep fails")
-	retryBackoff := flag.Duration("retry-backoff", fabric.DefaultRetryBackoff, "base lease retry backoff (doubles per attempt)")
+	retryBackoff := flag.Duration("retry-backoff", fabric.DefaultRetryBackoff, "base lease retry backoff window (doubles per attempt, full jitter)")
+	maxRetryBackoff := flag.Duration("max-retry-backoff", fabric.DefaultMaxRetryBackoff, "cap on the lease retry backoff window")
+	backoffSeed := flag.Int64("backoff-seed", 0, "seed for the retry jitter RNG (0 seeds from the clock; fixed seeds replay retry schedules)")
+	breakerThreshold := flag.Int("breaker-threshold", fabric.DefaultBreakerThreshold, "consecutive lease failures that open a worker's circuit breaker (negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", fabric.DefaultBreakerCooldown, "base hold-out once a worker's breaker opens (doubles per further failure, capped at 8x)")
 	leaseTimeout := flag.Duration("lease-timeout", fabric.DefaultLeaseTimeout, "max silence on a lease stream before it is retried")
 	heartbeatTTL := flag.Duration("heartbeat-ttl", fabric.DefaultHeartbeatTTL, "worker liveness window past its last heartbeat")
 	stallTimeout := flag.Duration("stall-timeout", fabric.DefaultStallTimeout, "fail a sweep with zero live workers for this long")
 	sweepPoints := flag.Int("sweep-points", fabric.DefaultMaxSweepPoints, "per-sweep point quota")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight sweeps")
+	chaosMode := flag.Bool("chaos", false, "run the chaos soak (no listener) and exit non-zero on any failed schedule")
+	chaosSchedules := flag.Int("chaos-schedules", 8, "seeded fault schedules to soak")
+	chaosSeed := flag.Int64("chaos-seed", 1, "base schedule seed (schedule i uses seed+i)")
+	chaosWorkers := flag.Int("chaos-workers", 2, "in-process workers per soak run")
+	chaosRules := flag.Int("chaos-rules", 4, "fault rules per schedule")
+	chaosOut := flag.String("chaos-out", "", "write the JSON verdict log to this file (default stdout)")
 	flag.Parse()
 
 	log.SetPrefix("cnfetfab: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	if *chaosMode {
+		runChaos(*chaosSchedules, *chaosSeed, *chaosWorkers, *chaosRules, *chaosOut)
+		return
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	coord := fabric.New(fabric.Options{
-		LeasePoints:    *leasePoints,
-		MaxAttempts:    *maxAttempts,
-		RetryBackoff:   *retryBackoff,
-		LeaseTimeout:   *leaseTimeout,
-		HeartbeatTTL:   *heartbeatTTL,
-		StallTimeout:   *stallTimeout,
-		MaxSweepPoints: *sweepPoints,
-		Logf:           log.Printf,
+		LeasePoints:      *leasePoints,
+		MaxAttempts:      *maxAttempts,
+		RetryBackoff:     *retryBackoff,
+		MaxRetryBackoff:  *maxRetryBackoff,
+		BackoffSeed:      *backoffSeed,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		LeaseTimeout:     *leaseTimeout,
+		HeartbeatTTL:     *heartbeatTTL,
+		StallTimeout:     *stallTimeout,
+		MaxSweepPoints:   *sweepPoints,
+		Logf:             log.Printf,
 	})
 	for _, wu := range strings.Split(*workers, ",") {
 		if wu = strings.TrimSpace(wu); wu == "" {
@@ -130,4 +159,34 @@ func main() {
 		}
 	}
 	log.Printf("bye")
+}
+
+// runChaos executes the soak and exits the process with its verdict.
+func runChaos(schedules int, seed int64, workers, rules int, out string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := chaos.Soak(ctx, chaos.Config{
+		Schedules: schedules,
+		Seed:      seed,
+		Workers:   workers,
+		Rules:     rules,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("chaos: %v", err)
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatalf("chaos: encoding verdict log: %v", err)
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatalf("chaos: writing -chaos-out: %v", err)
+	}
+	if !res.OK() {
+		log.Fatalf("chaos: SOAK FAILED: %d/%d schedules failed", res.Failed, res.Schedules)
+	}
+	log.Printf("chaos: soak passed: %d/%d schedules byte-identical or typed-error", res.Passed, res.Schedules)
 }

@@ -50,6 +50,7 @@ import (
 	"strings"
 
 	"cnfetdk/internal/fabric"
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/prof"
 	"cnfetdk/internal/sweep"
@@ -78,6 +79,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the progress and summary output")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs profile to this file on exit")
+	faultsPath := flag.String("faults", "", "fault-injection plan JSON file for local runs (chaos-testing aid; see internal/fault)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuprofile, *memprofile)
@@ -116,6 +118,21 @@ func main() {
 	kitOpts := []flow.Option{flow.WithWorkers(*workers)}
 	if *storeDir != "" {
 		kitOpts = append(kitOpts, flow.WithStore(*storeDir), flow.WithStoreBudget(*storeBudget))
+	}
+	if *faultsPath != "" {
+		blob, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		plan, err := fault.ParsePlan(blob)
+		if err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		inj, err := fault.New(plan)
+		if err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		kitOpts = append(kitOpts, flow.WithFaults(inj))
 	}
 	kit, err := flow.New(ctx, kitOpts...)
 	if err != nil {

@@ -73,6 +73,26 @@
 // <coordinator> and fabric.Client are the clients; /livez, /readyz and
 // Prometheus-text /metrics cover both roles.
 //
+// The whole serving stack is failure-hardened and provably so: a
+// seeded, rule-based fault-injection framework (internal/fault)
+// threads named injection points through the artifact store's I/O, the
+// fabric transport, every flow stage and the SPICE solver — free when
+// disabled, deterministic when armed (cnfetd -faults plan.json).
+// What it found is fixed and pinned: panic recovery into typed errors
+// in stages and HTTP handlers, per-stage watchdog deadlines
+// (-stage-timeout, per-request stage_timeout_ms), full-jitter capped
+// lease backoff with a per-worker circuit breaker and health scoring
+// in the coordinator, fsync-then-rename crash safety in the store,
+// compute-through degradation when the store is sick, partial-report
+// salvage in a typed *fabric.SweepError when retries run out, client
+// disconnects cancelling streamed sweeps, and a unified graceful drain
+// (-grace) covering sweeps, streams and co-optimization searches. The
+// chaos soak harness (internal/chaos, cnfetfab -chaos) replays seeded
+// fault schedules over a 24-point fleet sweep and requires every run
+// to end byte-identical to the fault-free reference or with a typed
+// error — no hangs, no goroutine leaks, no misfiled store entries. See
+// DESIGN.md ("Failure model & fault injection").
+//
 // CNT process variation is a first-class input (device.Variations): a
 // flow.Request (or sweep axis) can carry a tube-count CV, a per-tube
 // diameter sigma and a misposition probability, turning delay into a

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"cnfetdk/internal/fault"
+)
+
+// TestSoak is the chaos acceptance bar: every seeded schedule over the
+// 24-point sweep terminates with canonical bytes identical to the
+// fault-free reference or a typed error — no hangs, no goroutine
+// leaks, no misfiled store entries.
+func TestSoak(t *testing.T) {
+	schedules := 8
+	if testing.Short() {
+		schedules = 2
+	}
+	res, err := Soak(context.Background(), Config{
+		Schedules:    schedules,
+		Seed:         1,
+		StageTimeout: time.Second,
+		RunTimeout:   time.Minute,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSpec()
+	if n, err := spec.NumPoints(); err != nil || n != 24 {
+		t.Fatalf("default soak spec expands to %d points (err %v), want 24", n, err)
+	}
+	if !res.OK() || res.Passed != schedules {
+		blob, _ := json.MarshalIndent(res.Verdicts, "", "  ")
+		t.Fatalf("soak failed (%d/%d passed):\n%s", res.Passed, res.Schedules, blob)
+	}
+
+	// A soak where no fault ever fired proves nothing — the schedules
+	// must actually bite.
+	fired := 0
+	for _, v := range res.Verdicts {
+		fired += v.Fired
+	}
+	if fired == 0 {
+		t.Fatal("no injected faults fired across the whole soak — schedules are vacuous")
+	}
+
+	// The verdict log is the CI artifact; it must round-trip as JSON.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("verdict log does not serialize: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil || len(back.Verdicts) != schedules {
+		t.Fatalf("verdict log does not round-trip: %v (%d verdicts)", err, len(back.Verdicts))
+	}
+}
+
+// TestScheduleReplayable pins that the same seed yields the same plan
+// over the soak catalog — the property that makes a failed verdict
+// reproducible from its log alone.
+func TestScheduleReplayable(t *testing.T) {
+	p1, _ := json.Marshal(fault.Schedule(42, Catalog(), 4))
+	p2, _ := json.Marshal(fault.Schedule(42, Catalog(), 4))
+	p3, _ := json.Marshal(fault.Schedule(43, Catalog(), 4))
+	if string(p1) != string(p2) {
+		t.Fatalf("same seed produced different plans:\n%s\n%s", p1, p2)
+	}
+	if string(p1) == string(p3) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

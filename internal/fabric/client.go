@@ -76,7 +76,10 @@ func (c *Client) RunSweep(ctx context.Context, spec sweep.Spec) (*sweep.Report, 
 		}
 		if line.Done {
 			if line.Error != "" {
-				return nil, fmt.Errorf("fabric: sweep failed: %s", line.Error)
+				// A failed sweep may still carry a salvaged partial
+				// report (Partial flag set) next to the error; return
+				// both so callers can triage what did complete.
+				return line.Report, fmt.Errorf("fabric: sweep failed: %s", line.Error)
 			}
 			rep = line.Report
 		}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -28,8 +29,23 @@ type Options struct {
 	// MaxAttempts bounds how often one lease is dispatched before the
 	// sweep fails fast (a poison point must not spin the fleet).
 	MaxAttempts int
-	// RetryBackoff delays a lease's re-dispatch, doubling per attempt.
+	// RetryBackoff is the base of the lease re-dispatch backoff. The
+	// actual delay is full-jitter: uniform in [0, min(MaxRetryBackoff,
+	// RetryBackoff<<(attempt-1))), so a burst of failed leases does not
+	// re-dispatch in lockstep.
 	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential backoff window.
+	MaxRetryBackoff time.Duration
+	// BackoffSeed seeds the jitter RNG; 0 seeds from the clock. Fixed
+	// seeds make retry schedules replayable in tests.
+	BackoffSeed int64
+	// BreakerThreshold is how many consecutive lease failures open a
+	// worker's circuit breaker (no leases until the cooldown passes).
+	// 0 selects the default; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the base hold-out once the breaker opens; it
+	// doubles per further consecutive failure, capped at 8x.
+	BreakerCooldown time.Duration
 	// LeaseTimeout is the longest silence tolerated on a lease stream
 	// before the lease is cancelled and retried.
 	LeaseTimeout time.Duration
@@ -61,6 +77,18 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = DefaultRetryBackoff
 	}
+	if o.MaxRetryBackoff <= 0 {
+		o.MaxRetryBackoff = DefaultMaxRetryBackoff
+	}
+	if o.MaxRetryBackoff < o.RetryBackoff {
+		o.MaxRetryBackoff = o.RetryBackoff
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if o.LeaseTimeout <= 0 {
 		o.LeaseTimeout = DefaultLeaseTimeout
 	}
@@ -89,6 +117,9 @@ func (o Options) withDefaults() Options {
 type Coordinator struct {
 	opts Options
 
+	rngMu sync.Mutex
+	rng   *rand.Rand // full-jitter backoff source (seedable for tests)
+
 	mu      sync.Mutex
 	workers map[string]*worker
 	runs    map[int64]*run
@@ -100,6 +131,7 @@ type Coordinator struct {
 	pointsDuplicate  atomic.Int64
 	leasesDispatched atomic.Int64
 	leaseRetries     atomic.Int64
+	breakerTrips     atomic.Int64
 	sweepsStarted    atomic.Int64
 	sweepsDone       atomic.Int64
 	sweepsFailed     atomic.Int64
@@ -116,15 +148,83 @@ type worker struct {
 	points   atomic.Int64
 	leases   atomic.Int64
 	failures atomic.Int64
+
+	// Circuit-breaker and health state, guarded by Coordinator.mu. A
+	// worker whose leases keep failing is held out of rotation for an
+	// escalating cooldown even if its heartbeat says it is alive — a
+	// live-but-sick worker (full disk, thrashing) must not re-absorb
+	// every retried lease. health is an EWMA of lease outcomes in [0,1].
+	consecFails int
+	trips       int64
+	openUntil   time.Time
+	health      float64
 }
+
+// healthDecay is the EWMA factor: health' = decay*health + (1-decay)*outcome.
+const healthDecay = 0.8
 
 // New builds a coordinator with no workers registered.
 func New(opts Options) *Coordinator {
+	o := opts.withDefaults()
+	seed := o.BackoffSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &Coordinator{
-		opts:    opts.withDefaults(),
+		opts:    o,
+		rng:     rand.New(rand.NewSource(seed)),
 		workers: map[string]*worker{},
 		runs:    map[int64]*run{},
 	}
+}
+
+// leaseBackoff returns the delay before a lease's attempt-th re-dispatch:
+// full jitter over an exponentially-grown, capped window. Full jitter
+// (uniform in [0, window)) decorrelates retries — when a worker death
+// fails several leases at once, they come back spread out instead of
+// hammering the survivor in lockstep.
+func (c *Coordinator) leaseBackoff(attempt int) time.Duration {
+	window := c.opts.RetryBackoff
+	for i := 1; i < attempt && window < c.opts.MaxRetryBackoff; i++ {
+		window <<= 1
+	}
+	if window > c.opts.MaxRetryBackoff || window <= 0 { // <=0 guards shift overflow
+		window = c.opts.MaxRetryBackoff
+	}
+	c.rngMu.Lock()
+	f := c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(f * float64(window))
+}
+
+// recordLease folds one lease outcome into the worker's health score and
+// circuit breaker. On failure past BreakerThreshold consecutive misses
+// the breaker opens for an escalating cooldown (doubling per further
+// failure, capped at 8x): heartbeats prove the process is up, but only
+// completed leases prove it is healthy.
+func (c *Coordinator) recordLease(w *worker, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		w.consecFails = 0
+		w.openUntil = time.Time{}
+		w.health = healthDecay*w.health + (1 - healthDecay)
+		return
+	}
+	w.health = healthDecay * w.health
+	w.consecFails++
+	if c.opts.BreakerThreshold < 0 || w.consecFails < c.opts.BreakerThreshold {
+		return
+	}
+	over := w.consecFails - c.opts.BreakerThreshold
+	if over > 3 {
+		over = 3
+	}
+	hold := c.opts.BreakerCooldown << over
+	w.openUntil = time.Now().Add(hold)
+	w.trips++
+	c.breakerTrips.Add(1)
+	c.opts.Logf("worker breaker open for %s after %d consecutive lease failures: %s", hold, w.consecFails, w.url)
 }
 
 // normalizeWorkerURL validates and canonicalizes an advertised URL.
@@ -153,7 +253,7 @@ func (c *Coordinator) Join(rawURL string, static bool) (JoinResponse, error) {
 	c.mu.Lock()
 	w := c.workers[u]
 	if w == nil {
-		w = &worker{url: u, joined: now}
+		w = &worker{url: u, joined: now, health: 1}
 		c.workers[u] = w
 		c.opts.Logf("worker joined: %s", u)
 	}
@@ -173,11 +273,26 @@ func (c *Coordinator) aliveLocked(w *worker, now time.Time) bool {
 	return w.static || now.Sub(w.lastSeen) <= c.opts.HeartbeatTTL
 }
 
-// alive reports whether the worker may receive leases.
+// alive reports whether the worker counts toward fleet liveness.
 func (c *Coordinator) alive(w *worker) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.aliveLocked(w, time.Now())
+}
+
+// leasableLocked adds the circuit breaker to liveness: an alive worker
+// whose breaker is open receives no leases until the cooldown passes
+// (half-open: the first lease after expiry probes it — success closes
+// the breaker, failure re-opens it longer).
+func (c *Coordinator) leasableLocked(w *worker, now time.Time) bool {
+	return c.aliveLocked(w, now) && !now.Before(w.openUntil)
+}
+
+// leasable reports whether the worker may receive leases right now.
+func (c *Coordinator) leasable(w *worker) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leasableLocked(w, time.Now())
 }
 
 // suspect marks a worker dead after a dispatch failure; the next
@@ -213,21 +328,47 @@ func (c *Coordinator) Workers() []WorkerStatus {
 	out := make([]WorkerStatus, 0, len(c.workers))
 	for _, w := range c.workers {
 		st := WorkerStatus{
-			URL:      w.url,
-			Alive:    c.aliveLocked(w, now),
-			Joined:   w.joined,
-			Points:   w.points.Load(),
-			Leases:   w.leases.Load(),
-			Failures: w.failures.Load(),
+			URL:          w.url,
+			Alive:        c.aliveLocked(w, now),
+			Joined:       w.joined,
+			Points:       w.points.Load(),
+			Leases:       w.leases.Load(),
+			Failures:     w.failures.Load(),
+			Health:       w.health,
+			BreakerTrips: w.trips,
 		}
 		if !w.lastSeen.IsZero() {
 			st.LastSeenSeconds = now.Sub(w.lastSeen).Seconds()
+		}
+		if now.Before(w.openUntil) {
+			st.BreakerOpenSeconds = w.openUntil.Sub(now).Seconds()
 		}
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
 }
+
+// SweepError is the typed failure of a fabric sweep: the fatal cause
+// plus whatever portion of the report could be salvaged from the points
+// delivered before the failure. Callers that only care about the cause
+// unwrap it; callers that want the partial data (the daemon's stream
+// surface, triage tooling) read Partial.
+type SweepError struct {
+	// Cause is the fatal error that ended the sweep.
+	Cause error
+	// Partial is the salvaged report (Partial flag set), nil when no
+	// points completed before the failure.
+	Partial *sweep.Report
+	// Complete and Total count delivered points vs the spec's expansion.
+	Complete, Total int
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("%v (%d/%d points salvaged)", e.Cause, e.Complete, e.Total)
+}
+
+func (e *SweepError) Unwrap() error { return e.Cause }
 
 // lease is one contiguous shard of a sweep's index space.
 type lease struct {
@@ -366,7 +507,16 @@ func (c *Coordinator) RunSweep(ctx context.Context, spec sweep.Spec, opts RunOpt
 	r.mu.Unlock()
 	if fatal != nil {
 		c.sweepsFailed.Add(1)
-		return nil, fatal
+		se := &SweepError{Cause: fatal, Complete: len(pts), Total: n}
+		if len(pts) > 0 {
+			// Salvage what the fleet did finish: points already delivered
+			// are correct (deterministic index space, first-write-wins),
+			// so triage gets a Partial-flagged report instead of nothing.
+			if prep, perr := sweep.AssemblePartial(spec, pts); perr == nil {
+				se.Partial = prep
+			}
+		}
+		return nil, se
 	}
 
 	rep, err := sweep.Assemble(spec, pts)
@@ -395,6 +545,14 @@ func (r *run) schedule() {
 	defer tick.Stop()
 	for {
 		live := r.c.live()
+		// A live worker with an open breaker gets no runner; the poll
+		// re-checks it once the cooldown passes (half-open). Checked
+		// before taking r.mu — WriteMetrics holds c.mu while taking
+		// r.mu, so the reverse order here would invite deadlock.
+		leasable := make(map[string]bool, len(live))
+		for _, w := range live {
+			leasable[w.url] = r.c.leasable(w)
+		}
 		r.mu.Lock()
 		if len(live) > 0 {
 			r.lastAlive = time.Now()
@@ -402,7 +560,7 @@ func (r *run) schedule() {
 		stalled := len(live) == 0 && time.Since(r.lastAlive) > r.c.opts.StallTimeout
 		var spawn []*worker
 		for _, w := range live {
-			if !r.runners[w.url] {
+			if leasable[w.url] && !r.runners[w.url] {
 				r.runners[w.url] = true
 				spawn = append(spawn, w)
 			}
@@ -434,7 +592,7 @@ func (r *run) runner(w *worker) {
 		r.mu.Unlock()
 	}()
 	for {
-		if !r.c.alive(w) {
+		if !r.c.leasable(w) {
 			return
 		}
 		select {
@@ -443,7 +601,7 @@ func (r *run) runner(w *worker) {
 		case <-r.done:
 			return
 		case l := <-r.pending:
-			if !r.c.alive(w) {
+			if !r.c.leasable(w) {
 				// Requeue untouched: liveness flipped between the pull
 				// and the dispatch; this was not an attempt.
 				r.pending <- l
@@ -474,6 +632,7 @@ func (r *run) execute(w *worker, l *lease) bool {
 	delete(r.active, l)
 	r.mu.Unlock()
 	if err == nil {
+		r.c.recordLease(w, true)
 		r.emitLease(LeaseEvent{State: "done", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt})
 		r.mu.Lock()
 		r.outstanding--
@@ -488,6 +647,7 @@ func (r *run) execute(w *worker, l *lease) bool {
 		return false // run cancelled; the failure is an artifact of it
 	}
 	w.failures.Add(1)
+	r.c.recordLease(w, false)
 	r.c.suspect(w)
 	r.c.opts.Logf("lease [%d,%d) attempt %d failed on %s: %v", l.offset, l.offset+l.count, l.attempt, w.url, err)
 	if l.attempt >= r.c.opts.MaxAttempts {
@@ -503,7 +663,7 @@ func (r *run) execute(w *worker, l *lease) bool {
 	r.emitLease(LeaseEvent{State: "retry", Offset: l.offset, Count: l.count, Worker: w.url, Attempt: l.attempt, Error: err.Error()})
 	// Requeue after backoff without parking the runner: the channel is
 	// sized to hold every lease, so the send cannot block.
-	backoff := r.c.opts.RetryBackoff << (l.attempt - 1)
+	backoff := r.c.leaseBackoff(l.attempt)
 	go func() {
 		select {
 		case <-time.After(backoff):

@@ -69,14 +69,17 @@ import (
 
 // Defaults for Options zero values.
 const (
-	DefaultLeasePoints    = 8
-	DefaultMaxAttempts    = 3
-	DefaultRetryBackoff   = 250 * time.Millisecond
-	DefaultLeaseTimeout   = 2 * time.Minute
-	DefaultHeartbeatTTL   = 15 * time.Second
-	DefaultStallTimeout   = 2 * time.Minute
-	DefaultMaxSweepPoints = 4096
-	DefaultPoll           = 100 * time.Millisecond
+	DefaultLeasePoints      = 8
+	DefaultMaxAttempts      = 3
+	DefaultRetryBackoff     = 250 * time.Millisecond
+	DefaultMaxRetryBackoff  = 5 * time.Second
+	DefaultLeaseTimeout     = 2 * time.Minute
+	DefaultHeartbeatTTL     = 15 * time.Second
+	DefaultStallTimeout     = 2 * time.Minute
+	DefaultMaxSweepPoints   = 4096
+	DefaultPoll             = 100 * time.Millisecond
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 3 * time.Second
 )
 
 // JoinRequest is the body a worker POSTs to /v1/fabric/workers — both
@@ -104,6 +107,14 @@ type WorkerStatus struct {
 	Points          int64     `json:"points"`
 	Leases          int64     `json:"leases"`
 	Failures        int64     `json:"failures"`
+	// Health is the EWMA lease success score in [0,1] (1 = every recent
+	// lease succeeded); new workers start at 1.
+	Health float64 `json:"health"`
+	// BreakerOpenSeconds is how much longer the worker's circuit breaker
+	// holds it out of lease rotation (0 = closed).
+	BreakerOpenSeconds float64 `json:"breaker_open_seconds,omitempty"`
+	// BreakerTrips counts how many times the breaker has opened.
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
 }
 
 // LeaseEvent reports a lease state change on the fabric sweep stream.

@@ -2,8 +2,10 @@ package fabric
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -45,8 +47,45 @@ func NewServer(c *Coordinator) *Server {
 // surfaces around it).
 func (s *Server) Coordinator() *Coordinator { return s.c }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, converting handler panics into a
+// JSON 500 (when the response is still unwritten) instead of the bare
+// severed connection net/http's own recovery leaves behind.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &recoveryWriter{ResponseWriter: w}
+	defer func() {
+		if v := recover(); v != nil {
+			s.c.opts.Logf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rw.wrote {
+				s.writeError(rw, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", v))
+			}
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// recoveryWriter tracks whether the response has started, so the panic
+// path knows if a 500 can still be written. Flush forwards to the
+// wrapped writer (the sweep stream depends on it).
+type recoveryWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoveryWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoveryWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *recoveryWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -138,6 +177,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	last := StreamLine{Done: true, Report: rep}
 	if err != nil {
 		last.Error = err.Error()
+		// A fatal sweep still salvages delivered points: the final line
+		// carries the Partial-flagged report next to the error.
+		var se *SweepError
+		if errors.As(err, &se) && se.Partial != nil {
+			last.Report = se.Partial
+		}
 	}
 	emit(last)
 }
@@ -177,18 +222,26 @@ func (c *Coordinator) WriteMetrics(pw *promtext.Writer) {
 	pw.Counter("cnfet_fabric_points_duplicate_total", "Duplicate point deliveries dropped by first-write-wins merging.", float64(c.pointsDuplicate.Load()))
 	pw.Counter("cnfet_fabric_leases_dispatched_total", "Lease dispatches, including retries.", float64(c.leasesDispatched.Load()))
 	pw.Counter("cnfet_fabric_lease_retries_total", "Leases requeued after a dispatch failure.", float64(c.leaseRetries.Load()))
+	pw.Counter("cnfet_fabric_breaker_trips_total", "Worker circuit-breaker openings across the fleet.", float64(c.breakerTrips.Load()))
 
 	now := time.Now()
 	c.mu.Lock()
-	liveN := 0
-	var workerRows []promtext.Sample
+	liveN, breakerOpen := 0, 0
+	var workerRows, healthRows []promtext.Sample
 	for _, w := range c.workers {
 		if c.aliveLocked(w, now) {
 			liveN++
 		}
+		if now.Before(w.openUntil) {
+			breakerOpen++
+		}
 		workerRows = append(workerRows, promtext.Sample{
 			Labels: []promtext.Label{{Name: "worker", Value: w.url}},
 			Value:  float64(w.points.Load()),
+		})
+		healthRows = append(healthRows, promtext.Sample{
+			Labels: []promtext.Label{{Name: "worker", Value: w.url}},
+			Value:  w.health,
 		})
 	}
 	runs := len(c.runs)
@@ -209,13 +262,16 @@ func (c *Coordinator) WriteMetrics(pw *promtext.Writer) {
 	c.mu.Unlock()
 
 	sort.Slice(workerRows, func(i, j int) bool { return workerRows[i].Labels[0].Value < workerRows[j].Labels[0].Value })
+	sort.Slice(healthRows, func(i, j int) bool { return healthRows[i].Labels[0].Value < healthRows[j].Labels[0].Value })
 	pw.Gauge("cnfet_fabric_workers_registered", "Workers in the registry, live or not.", float64(registered))
 	pw.Gauge("cnfet_fabric_workers_live", "Workers currently eligible for leases.", float64(liveN))
+	pw.Gauge("cnfet_fabric_workers_breaker_open", "Workers currently held out of rotation by their circuit breaker.", float64(breakerOpen))
 	pw.Gauge("cnfet_fabric_sweeps_running", "Fabric sweeps currently executing.", float64(runs))
 	pw.Gauge("cnfet_fabric_queue_depth", "Leases waiting for a worker across running sweeps.", float64(queue))
 	pw.Gauge("cnfet_fabric_leases_active", "Leases currently dispatched to a worker.", float64(activeLeases))
 	pw.Gauge("cnfet_fabric_lease_age_seconds_max", "Age of the oldest in-flight lease.", oldest)
 	pw.Metric("counter", "cnfet_fabric_worker_points_total", "Points delivered per worker (throughput numerator).", workerRows...)
+	pw.Metric("gauge", "cnfet_fabric_worker_health", "EWMA lease success score per worker (1 = healthy).", healthRows...)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,41 @@
+package fault
+
+import "testing"
+
+// BenchmarkDisabledNil measures the cost of an injection point when
+// fault injection is off entirely (nil injector) — the price every
+// production call path pays. Expected: sub-nanosecond, 0 allocs.
+func BenchmarkDisabledNil(b *testing.B) {
+	var inj *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj.Decide("store.put.write").Fired() {
+			b.Fatal("fired")
+		}
+	}
+}
+
+// BenchmarkDisabledUnarmed measures an enabled injector consulted at a
+// point no rule arms — the price paid while a schedule targets other
+// points. Expected: one map lookup, 0 allocs.
+func BenchmarkDisabledUnarmed(b *testing.B) {
+	inj := MustNew(Plan{Rules: []Rule{{Point: "other.point", Nth: 1}}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj.Decide("store.put.write").Fired() {
+			b.Fatal("fired")
+		}
+	}
+}
+
+// BenchmarkArmedNotFiring measures an armed point whose rule does not
+// trigger this call (an Nth pin far in the future).
+func BenchmarkArmedNotFiring(b *testing.B) {
+	inj := MustNew(Plan{Rules: []Rule{{Point: "p", Nth: 1 << 60}}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inj.Decide("p").Fired() {
+			b.Fatal("fired")
+		}
+	}
+}

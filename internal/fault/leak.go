@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"runtime"
+	"time"
+)
+
+// Goroutines returns the current goroutine count — take it before the
+// operation under test for Settle's target.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// Settle polls until the goroutine count drops to at most target (plus
+// slack) or the wait expires, returning the final count and whether it
+// settled. It is a dependency-free goleak substitute for regression
+// tests: snapshot Goroutines(), run the operation, then require the
+// count to settle back.
+//
+// slack absorbs runtime-owned goroutines that appear lazily (netpoll,
+// GC workers, http idle-connection reapers); 2 is a good default.
+func Settle(target, slack int, wait time.Duration) (int, bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= target+slack {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PointSpec describes one injection point to the schedule generator:
+// its name and the actions it supports. Sites that understand torn
+// writes or crashes list them; everything supports "error".
+type PointSpec struct {
+	Point   string
+	Actions []string
+}
+
+// Schedule generates a reproducible fault plan from a seed: up to n
+// rules drawn over the catalog, each with a bounded fire count, a
+// randomized trigger (an Nth-call pin or a capped probability) and an
+// action legal for its point. Bounded counts are what make chaos runs
+// convergent — retries eventually outlast the schedule, so every run
+// either completes identically or fails with a typed error instead of
+// flapping forever.
+func Schedule(seed int64, catalog []PointSpec, n int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	plan := Plan{Name: fmt.Sprintf("seed-%d", seed), Seed: seed}
+	for i := 0; i < n && len(catalog) > 0; i++ {
+		ps := catalog[rng.Intn(len(catalog))]
+		actions := ps.Actions
+		if len(actions) == 0 {
+			actions = []string{ActionError}
+		}
+		r := Rule{
+			Point:  ps.Point,
+			Action: actions[rng.Intn(len(actions))],
+			Count:  1 + rng.Intn(2),
+		}
+		if rng.Intn(2) == 0 {
+			r.Nth = 1 + rng.Intn(6)
+		} else {
+			r.P = 0.05 + 0.25*rng.Float64()
+		}
+		switch r.Action {
+		case ActionTorn:
+			r.After = int64(rng.Intn(512))
+		case ActionDelay, ActionError:
+			if rng.Intn(3) == 0 {
+				r.DelayMS = 1 + rng.Intn(10)
+			}
+		}
+		if r.Action == ActionHang || r.Action == ActionPanic {
+			// Hangs ride the stage watchdog and panics the recovery
+			// path — one fire each is plenty, and keeps schedules
+			// from starving the retry budget.
+			r.Count = 1
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	// Stream cuts need a byte budget even when picked as "error"-class
+	// rules on cut points.
+	for i := range plan.Rules {
+		if plan.Rules[i].After == 0 && strings.HasSuffix(plan.Rules[i].Point, ".cut") {
+			plan.Rules[i].After = int64(rng.Intn(2048))
+		}
+	}
+	return plan
+}

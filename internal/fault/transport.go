@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Transport is an http.RoundTripper that injects transport-layer
+// faults around a base transport. It consults three points derived
+// from Prefix (default "fabric.lease"):
+//
+//	<prefix>.dispatch — fail/delay/hang the request before it is sent
+//	                    (connection refused, worker timeout)
+//	<prefix>.status   — swallow the request and synthesize a 503
+//	<prefix>.cut      — cut the response body after Rule.After bytes
+//	                    (mid-NDJSON stream loss)
+//
+// A nil Inj makes Transport a transparent passthrough.
+type Transport struct {
+	// Base is the wrapped transport (nil selects
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// Inj decides the faults; nil disables.
+	Inj *Injector
+	// Prefix namespaces the injection points (default "fabric.lease").
+	Prefix string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Inj == nil {
+		return base.RoundTrip(req)
+	}
+	prefix := t.Prefix
+	if prefix == "" {
+		prefix = "fabric.lease"
+	}
+	if err := t.Inj.FaultCtx(req.Context(), prefix+".dispatch"); err != nil {
+		return nil, err
+	}
+	if d := t.Inj.Decide(prefix + ".status"); d.Fired() {
+		if err := d.Apply(req.Context()); err != nil && d.Action != ActionError {
+			return nil, err
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+			Body:       io.NopCloser(strings.NewReader("fault: injected 503\n")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if d := t.Inj.Decide(prefix + ".cut"); d.Fired() {
+		resp.Body = &cutBody{rc: resp.Body, remain: d.After, err: d.Err}
+	}
+	return resp, nil
+}
+
+// cutBody passes through remain bytes then fails every Read,
+// simulating a connection dropped mid-stream.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+	err    error
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("fault: stream cut: %w", b.err)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }
+
+// CloseIdleConnections forwards to the base transport so callers'
+// cleanup (http.Client.CloseIdleConnections) is not silently dropped.
+func (t *Transport) CloseIdleConnections() {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if c, ok := base.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}

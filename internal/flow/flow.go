@@ -18,9 +18,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"cnfetdk/internal/cells"
 	"cnfetdk/internal/device"
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/place"
 	"cnfetdk/internal/rules"
@@ -52,11 +54,13 @@ type Kit struct {
 	// rulesKey digests each library's full design-rule struct once at
 	// construction; stage keys embed the digest instead of re-formatting
 	// the 12-field struct on every (possibly fully cached) Run.
-	rulesKey map[rules.Tech]string
-	cache    *pipeline.Cache
-	trace    *pipeline.Trace
-	workers  int
-	wireCap  float64
+	rulesKey     map[rules.Tech]string
+	cache        *pipeline.Cache
+	trace        *pipeline.Trace
+	workers      int
+	wireCap      float64
+	faults       *fault.Injector
+	stageTimeout time.Duration
 }
 
 // Options tunes kit construction and flow execution; prefer the
@@ -88,6 +92,14 @@ type Options struct {
 	// oldest entries are evicted (0 = unbounded). Ignored without
 	// StoreDir.
 	StoreBudget int64
+	// Faults arms the kit's fault-injection points (flow stages, the
+	// artifact store, the SPICE solver); nil — the default — is free.
+	Faults *fault.Injector
+	// StageTimeout is the kit-default per-stage watchdog: a stage that
+	// runs past it is cancelled and fails with a typed
+	// pipeline.StageTimeoutError. 0 disables; Request.StageTimeoutMS
+	// overrides per job.
+	StageTimeout time.Duration
 }
 
 // Option is a functional kit-construction option.
@@ -118,6 +130,14 @@ func WithStore(dir string) Option { return func(o *Options) { o.StoreDir = dir }
 // oldest entries past it (0 = unbounded; needs WithStore).
 func WithStoreBudget(maxBytes int64) Option { return func(o *Options) { o.StoreBudget = maxBytes } }
 
+// WithFaults arms the kit's fault-injection points with a compiled
+// schedule; nil (the default) disables injection at zero cost.
+func WithFaults(inj *fault.Injector) Option { return func(o *Options) { o.Faults = inj } }
+
+// WithStageTimeout arms the kit-default per-stage watchdog (0
+// disables). See Options.StageTimeout.
+func WithStageTimeout(d time.Duration) Option { return func(o *Options) { o.StageTimeout = d } }
+
 // kitTechs is the technology table one constructor serves.
 var kitTechs = []rules.Tech{rules.CNFET, rules.CMOS}
 
@@ -135,19 +155,21 @@ func New(ctx context.Context, opts ...Option) (*Kit, error) {
 	mem := pipeline.NewMemory(o.CacheEntries)
 	var st pipeline.Store = mem
 	if o.StoreDir != "" {
-		disk, err := store.Open(o.StoreDir, store.WithBudget(o.StoreBudget))
+		disk, err := store.Open(o.StoreDir, store.WithBudget(o.StoreBudget), store.WithInjector(o.Faults))
 		if err != nil {
 			return nil, fmt.Errorf("flow: artifact store: %w", err)
 		}
 		st = pipeline.NewTiered(mem, disk)
 	}
 	k := &Kit{
-		libs:     map[rules.Tech]*cells.Library{},
-		rulesKey: map[rules.Tech]string{},
-		cache:    pipeline.NewCacheStore(st),
-		trace:    o.Trace,
-		workers:  o.Workers,
-		wireCap:  o.WireCapPerNM,
+		libs:         map[rules.Tech]*cells.Library{},
+		rulesKey:     map[rules.Tech]string{},
+		cache:        pipeline.NewCacheStore(st),
+		trace:        o.Trace,
+		workers:      o.Workers,
+		wireCap:      o.WireCapPerNM,
+		faults:       o.Faults,
+		stageTimeout: o.StageTimeout,
 	}
 	g := pipeline.NewGraph(nil, o.Workers).Trace(o.Trace)
 	for _, tech := range kitTechs {

@@ -114,6 +114,12 @@ type Request struct {
 	// VarSamples sizes the per-design delay ensemble (0 selects
 	// DefaultVarSamples when a variation spread is active).
 	VarSamples int `json:"var_samples,omitempty"`
+
+	// StageTimeoutMS arms a per-stage watchdog for this job: any single
+	// pipeline stage running longer is cancelled and fails with a typed
+	// pipeline.StageTimeoutError instead of hanging the request. 0
+	// inherits the kit default (which itself defaults to off).
+	StageTimeoutMS int `json:"stage_timeout_ms,omitempty"`
 }
 
 // DefaultVarSamples is the delay-ensemble size used when a request
@@ -198,6 +204,9 @@ func (r *Request) normalize() ([]rules.Tech, []Analysis, error) {
 	}
 	if r.VarSamples < 0 || r.VarSamples > MaxVarSamples {
 		return nil, nil, fmt.Errorf("%w: var_samples %d outside [0, %d]", ErrBadRequest, r.VarSamples, MaxVarSamples)
+	}
+	if r.StageTimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("%w: stage_timeout_ms %d is negative", ErrBadRequest, r.StageTimeoutMS)
 	}
 	return ts, as, nil
 }

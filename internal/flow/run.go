@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"cnfetdk/internal/cells"
 	"cnfetdk/internal/device"
@@ -82,14 +83,28 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		want[AnalysisEnergy] || want[AnalysisGDS]
 	needWire := want[AnalysisDelay] || want[AnalysisSTA]
 
-	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace)
+	stageTimeout := k.stageTimeout
+	if req.StageTimeoutMS > 0 {
+		stageTimeout = time.Duration(req.StageTimeoutMS) * time.Millisecond
+	}
+	g := pipeline.NewGraph(k.cache, k.workers).Trace(k.trace).StageTimeout(stageTimeout)
 	// add is AddFunc plus the stage's result codec — what makes the
-	// result persistable in the artifact store's disk tier.
-	add := func(name, key string, codec pipeline.Codec, deps []string, run func(map[string]any) (any, error)) {
-		g.Add(pipeline.Stage{Name: name, Key: key, Codec: codec, Deps: deps, Run: run})
+	// result persistable in the artifact store's disk tier. Every stage
+	// runs under its watchdog-bounded stage context (not the run
+	// context), consults the kit's fault injector at
+	// "flow.stage.<name>" first, and recovers panics into typed errors
+	// (pipeline.PanicError) inside the graph runner.
+	add := func(name, key string, codec pipeline.Codec, deps []string, run func(ctx context.Context, d map[string]any) (any, error)) {
+		g.Add(pipeline.Stage{Name: name, Key: key, Codec: codec, Deps: deps,
+			RunCtx: func(sctx context.Context, d map[string]any) (any, error) {
+				if err := k.faults.FaultCtx(sctx, "flow.stage."+name); err != nil {
+					return nil, err
+				}
+				return run(sctx, d)
+			}})
 	}
 
-	add("netlist", req.stageKey("netlist"), codecNetlist, nil, func(map[string]any) (any, error) {
+	add("netlist", req.stageKey("netlist"), codecNetlist, nil, func(_ context.Context, _ map[string]any) (any, error) {
 		nl, err := build()
 		if err != nil {
 			return nil, err
@@ -125,17 +140,17 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 		}
 		placeStage := "place/" + tn
 		if needPlace {
-			add(placeStage, req.stageKey("place", tn, rk, scheme, rows), placementCodec(lib), []string{"netlist"}, func(d map[string]any) (any, error) {
+			add(placeStage, req.stageKey("place", tn, rk, scheme, rows), placementCodec(lib), []string{"netlist"}, func(_ context.Context, d map[string]any) (any, error) {
 				return placeScheme(lib, d["netlist"].(*synth.Netlist), scheme, rows)
 			})
 		}
 		if needWire {
-			add("wire/"+tn, req.stageKey("wire", tn, rk, scheme, rows, wireCap), codecWireCaps, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("wire/"+tn, req.stageKey("wire", tn, rk, scheme, rows, wireCap), codecWireCaps, []string{"netlist", placeStage}, func(_ context.Context, d map[string]any) (any, error) {
 				return WireCapsWith(d[placeStage].(*place.Placement), d["netlist"].(*synth.Netlist), lib.Rules.LambdaNM, wireCap), nil
 			})
 		}
 		if want[AnalysisDelay] {
-			add("delay/"+tn, req.stageKey(append([]any{"delay", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
+			add("delay/"+tn, req.stageKey(append([]any{"delay", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", "wire/" + tn}, func(_ context.Context, d map[string]any) (any, error) {
 				dly, err := k.runDelay(lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim)
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s delay: %w", tech, err)
@@ -148,8 +163,8 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 				// vardelay entry per spread point.
 				add("vardelay/"+tn, req.stageKey(append([]any{"vardelay", tn, rk, scheme, rows, wireCap,
 					vr.CountCV, vr.DiameterSigmaNM, varSamples, req.Seed}, stimKey...)...),
-					codecVarDelay, []string{"netlist", "wire/" + tn}, func(d map[string]any) (any, error) {
-						de, err := k.runVarDelay(ctx, lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim, vr, varSamples, req.Seed)
+					codecVarDelay, []string{"netlist", "wire/" + tn}, func(sctx context.Context, d map[string]any) (any, error) {
+						de, err := k.runVarDelay(sctx, lib, d["netlist"].(*synth.Netlist), d["wire/"+tn].(map[string]float64), stim, vr, varSamples, req.Seed)
 						if err != nil {
 							return nil, fmt.Errorf("flow: %s vardelay: %w", tech, err)
 						}
@@ -162,14 +177,14 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			// uses (the expensive transistor-level grid, heavily cached);
 			// the sta stage itself is a millisecond table-lookup pass over
 			// the placed design's extracted wire loads.
-			add("nldm/"+tn, req.stageKey("nldm", tn, rk), codecNLDM, []string{"netlist"}, func(d map[string]any) (any, error) {
-				m, err := k.runNLDM(ctx, lib, d["netlist"].(*synth.Netlist))
+			add("nldm/"+tn, req.stageKey("nldm", tn, rk), codecNLDM, []string{"netlist"}, func(sctx context.Context, d map[string]any) (any, error) {
+				m, err := k.runNLDM(sctx, lib, d["netlist"].(*synth.Netlist))
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s nldm: %w", tech, err)
 				}
 				return m, nil
 			})
-			add("sta/"+tn, req.stageKey("sta", tn, rk, scheme, rows, wireCap), codecSTA, []string{"netlist", "wire/" + tn, "nldm/" + tn}, func(d map[string]any) (any, error) {
+			add("sta/"+tn, req.stageKey("sta", tn, rk, scheme, rows, wireCap), codecSTA, []string{"netlist", "wire/" + tn, "nldm/" + tn}, func(_ context.Context, d map[string]any) (any, error) {
 				rep, err := runSTA(d["netlist"].(*synth.Netlist), d["nldm/"+tn].(*liberty.Model), d["wire/"+tn].(map[string]float64))
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s sta: %w", tech, err)
@@ -178,7 +193,7 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 			})
 		}
 		if want[AnalysisEnergy] {
-			add("energy/"+tn, req.stageKey(append([]any{"energy", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("energy/"+tn, req.stageKey(append([]any{"energy", tn, rk, scheme, rows, wireCap}, stimKey...)...), codecScalar, []string{"netlist", placeStage}, func(_ context.Context, d map[string]any) (any, error) {
 				e, err := k.runEnergy(lib, tech, d["netlist"].(*synth.Netlist), d[placeStage].(*place.Placement), stim, wireCap)
 				if err != nil {
 					return nil, fmt.Errorf("flow: %s energy: %w", tech, err)
@@ -193,17 +208,17 @@ func (k *Kit) Run(ctx context.Context, req Request) (*Result, error) {
 				// probability; the diameter spread moves timing only.
 				immKey = append(immKey, "var", vr.CountCV, vr.AlignmentP)
 			}
-			add("immunity/"+tn, req.stageKey(immKey...), codecImmunity, []string{"netlist"}, func(d map[string]any) (any, error) {
-				return k.runImmunity(ctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed, vr)
+			add("immunity/"+tn, req.stageKey(immKey...), codecImmunity, []string{"netlist"}, func(sctx context.Context, d map[string]any) (any, error) {
+				return k.runImmunity(sctx, lib, d["netlist"].(*synth.Netlist), req.MCTubes, mcAngle, req.Seed, vr)
 			})
 		}
 		if want[AnalysisLiberty] {
-			add("liberty/"+tn, req.stageKey("liberty", tn, rk), codecLiberty, []string{"netlist"}, func(d map[string]any) (any, error) {
-				return k.runLiberty(ctx, lib, d["netlist"].(*synth.Netlist))
+			add("liberty/"+tn, req.stageKey("liberty", tn, rk), codecLiberty, []string{"netlist"}, func(sctx context.Context, d map[string]any) (any, error) {
+				return k.runLiberty(sctx, lib, d["netlist"].(*synth.Netlist))
 			})
 		}
 		if want[AnalysisGDS] {
-			add("gds/"+tn, req.stageKey("gds", tn, rk, scheme, rows), codecGDS, []string{"netlist", placeStage}, func(d map[string]any) (any, error) {
+			add("gds/"+tn, req.stageKey("gds", tn, rk, scheme, rows), codecGDS, []string{"netlist", placeStage}, func(_ context.Context, d map[string]any) (any, error) {
 				nl := d["netlist"].(*synth.Netlist)
 				var buf bytes.Buffer
 				top := gdsTopName(nl.Name, tech, scheme)
@@ -432,7 +447,9 @@ func (k *Kit) runDelay(lib *cells.Library, nl *synth.Netlist, wire map[string]fl
 		return 0, err
 	}
 	period := addStimulus(ckt, stim)
-	r, err := ckt.Transient(period, delaySteps, spice.DefaultOptions())
+	opts := spice.DefaultOptions()
+	opts.Inject = k.faults
+	r, err := ckt.Transient(period, delaySteps, opts)
 	if err != nil {
 		return 0, err
 	}

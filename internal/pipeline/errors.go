@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrPanic is the sentinel wrapped by every panic a pipeline worker
+// recovers; match with errors.Is. Panics are infrastructure failures,
+// not data: layers that fold point errors into reports (the sweep
+// executor) treat them as fatal instead.
+var ErrPanic = errors.New("pipeline: panic")
+
+// PanicError carries a recovered stage or map-item panic as a typed
+// error, so a panicking computation fails its run instead of killing
+// the worker goroutine (and with it the whole process).
+type PanicError struct {
+	// Stage names the panicking stage ("" for map items).
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack capture.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("pipeline: panic in stage %q: %v", e.Stage, e.Value)
+	}
+	return fmt.Sprintf("pipeline: panic: %v", e.Value)
+}
+
+// Unwrap exposes ErrPanic to errors.Is.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// ErrStageTimeout is the sentinel wrapped by stage-watchdog
+// expirations; match with errors.Is. Deliberately distinct from
+// context.DeadlineExceeded: a stage that outlives its watchdog is an
+// infrastructure failure of that stage, not an expiry of the caller's
+// own deadline.
+var ErrStageTimeout = errors.New("pipeline: stage timeout")
+
+// StageTimeoutError reports a stage cancelled by the per-stage
+// watchdog while the surrounding run was still live.
+type StageTimeoutError struct {
+	// Stage names the stage the watchdog killed.
+	Stage string
+	// Timeout is the watchdog deadline it exceeded.
+	Timeout time.Duration
+	// Cause is the error the stage returned when cancelled.
+	Cause error
+}
+
+func (e *StageTimeoutError) Error() string {
+	return fmt.Sprintf("pipeline: stage %q exceeded its %v watchdog: %v", e.Stage, e.Timeout, e.Cause)
+}
+
+// Unwrap exposes ErrStageTimeout to errors.Is. The cause is carried
+// for the message only — exposing its context error would make a
+// watchdog kill indistinguishable from the caller's own deadline.
+func (e *StageTimeoutError) Unwrap() error { return ErrStageTimeout }
+
+// recovering runs fn converting a panic into a *PanicError, so pool
+// workers always hand back a result.
+func recovering(stage string, fn func() (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Stage: stage, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -22,6 +23,12 @@ type Stage struct {
 	// it. Stages without a codec memoize in memory only.
 	Codec Codec
 	Run   func(deps map[string]any) (any, error)
+	// RunCtx, when set, replaces Run and receives the stage context —
+	// the run context bounded by the graph's per-stage watchdog (see
+	// StageTimeout). Stages that can block (solvers, I/O, injected
+	// hangs) should use this form so the watchdog can actually reclaim
+	// them.
+	RunCtx func(ctx context.Context, deps map[string]any) (any, error)
 }
 
 // Result is the outcome of one stage of a graph run.
@@ -36,11 +43,12 @@ type Result struct {
 // Graph is a DAG of stages executed with bounded parallelism: every stage
 // starts as soon as its dependencies are done and a worker is free.
 type Graph struct {
-	stages  []*Stage
-	byName  map[string]*Stage
-	cache   *Cache
-	trace   *Trace
-	workers int
+	stages       []*Stage
+	byName       map[string]*Stage
+	cache        *Cache
+	trace        *Trace
+	workers      int
+	stageTimeout time.Duration
 }
 
 // NewGraph builds an empty graph. cache may be nil (no memoization across
@@ -51,6 +59,13 @@ func NewGraph(cache *Cache, workers int) *Graph {
 
 // Trace attaches a trace that receives one StageReport per executed stage.
 func (g *Graph) Trace(t *Trace) *Graph { g.trace = t; return g }
+
+// StageTimeout arms a per-stage watchdog: each stage runs under a
+// context that expires d after the stage starts. A stage killed by its
+// watchdog (rather than by the run's own context) fails with a
+// *StageTimeoutError, which skips its dependents like any stage
+// failure. 0 (the default) disables the watchdog.
+func (g *Graph) StageTimeout(d time.Duration) *Graph { g.stageTimeout = d; return g }
 
 // Add appends a stage; name must be unique and every dependency must have
 // been added first (any topological construction satisfies this, and it
@@ -125,13 +140,37 @@ func (g *Graph) RunCtx(ctx context.Context) (map[string]Result, error) {
 			var value any
 			var err error
 			cached := false
+			stageCtx := ctx
+			cancelStage := context.CancelFunc(func() {})
+			if g.stageTimeout > 0 {
+				stageCtx, cancelStage = context.WithTimeout(ctx, g.stageTimeout)
+			}
+			// Panic recovery lives inside the function handed to the
+			// cache, so a panicking stage settles its singleflight entry
+			// with an error instead of stranding every waiter.
+			run := func() (any, error) {
+				return recovering(s.Name, func() (any, error) {
+					if s.RunCtx != nil {
+						return s.RunCtx(stageCtx, deps)
+					}
+					return s.Run(deps)
+				})
+			}
 			if err = ctx.Err(); err != nil {
 				// Cancelled before the worker picked the stage up: fail
 				// it without running (or touching the cache).
 			} else if g.cache != nil && s.Key != "" {
-				value, cached, err = g.cache.DoCodecCtx(ctx, s.Key, s.Codec, func() (any, error) { return s.Run(deps) })
+				value, cached, err = g.cache.DoCodecCtx(stageCtx, s.Key, s.Codec, run)
 			} else {
-				value, err = s.Run(deps)
+				value, err = run()
+			}
+			cancelStage()
+			if err != nil && stageCtx != ctx &&
+				errors.Is(stageCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+				// The stage watchdog fired while the run itself was still
+				// live: report it as a typed stage failure, not as the
+				// caller's deadline.
+				err = &StageTimeoutError{Stage: s.Name, Timeout: g.stageTimeout, Cause: err}
 			}
 			r := Result{Stage: s.Name, Value: value, Err: err, Dur: time.Since(t0), Cached: cached}
 			g.trace.Add(StageReport{Stage: s.Name, Dur: r.Dur, Cached: r.Cached, Err: r.Err})

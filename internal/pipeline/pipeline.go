@@ -98,6 +98,12 @@ func MapCtx[I, O any](ctx context.Context, workers int, items []I, fn func(i int
 		return out, nil
 	}
 	workers = clampWorkers(workers, len(items))
+	// A panicking item converts to a typed *PanicError instead of
+	// killing the worker goroutine: the map fails, the process (a
+	// daemon serving other requests) survives.
+	runItem := func(i int) (any, error) {
+		return recovering("", func() (any, error) { return fn(i, items[i]) })
+	}
 	if workers == 1 {
 		// Run inline: same code path semantics, no goroutine overhead,
 		// and errors still reported by lowest index.
@@ -106,7 +112,10 @@ func MapCtx[I, O any](ctx context.Context, workers int, items []I, fn func(i int
 				errs[i] = err
 				continue
 			}
-			out[i], errs[i] = fn(i, items[i])
+			var v any
+			if v, errs[i] = runItem(i); errs[i] == nil && v != nil {
+				out[i] = v.(O)
+			}
 		}
 	} else {
 		next := make(chan int)
@@ -116,7 +125,10 @@ func MapCtx[I, O any](ctx context.Context, workers int, items []I, fn func(i int
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = fn(i, items[i])
+					var v any
+					if v, errs[i] = runItem(i); errs[i] == nil && v != nil {
+						out[i] = v.(O)
+					}
 				}
 			}()
 		}

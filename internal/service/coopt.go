@@ -31,6 +31,8 @@ func (s *Server) handleCoopt(w http.ResponseWriter, r *http.Request) {
 		spec.MaxPoints = s.maxSweepPoints
 	}
 	s.jobs.Add(1)
+	s.cooptEnter()
+	defer s.cooptExit()
 	front, err := coopt.Search(r.Context(), coopt.KitRunner{Kit: sweep.For(s.kit)}, spec)
 	if err != nil {
 		status, code := errorStatus(err)

@@ -37,10 +37,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/pipeline"
 	"cnfetdk/internal/promtext"
@@ -54,6 +56,8 @@ type Server struct {
 	circuits []circuitInfo // static after construction
 	jobs     atomic.Int64  // jobs accepted since start
 	ready    atomic.Bool   // readiness for /readyz (true unless flipped)
+	panics   atomic.Int64  // handler panics converted to 500s
+	logf     func(format string, args ...any)
 
 	// points aggregates every sweep's progress (async and streamed)
 	// into process-lifetime counters for /metrics: each sweep's own
@@ -68,6 +72,7 @@ type Server struct {
 	sweeps         map[string]*sweepJob
 	sweepOrder     []string // creation order, for bounded retention
 	sweepSeq       int
+	cooptN         int // in-flight co-optimization searches (sweepMu)
 }
 
 // ServerOption tunes server construction.
@@ -78,6 +83,16 @@ type ServerOption func(*Server)
 // background sweeps too). Defaults to context.Background().
 func WithBaseContext(ctx context.Context) ServerOption {
 	return func(s *Server) { s.baseCtx = ctx }
+}
+
+// WithLogf routes server event logs (handler panics, drain progress) to
+// fn. Defaults to discarding them.
+func WithLogf(fn func(format string, args ...any)) ServerOption {
+	return func(s *Server) {
+		if fn != nil {
+			s.logf = fn
+		}
+	}
 }
 
 // WithSweepLimits bounds sweep admission: maxPoints caps one spec's
@@ -106,6 +121,7 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 		maxSweepPoints: 1024,
 		maxStored:      64,
 		sweeps:         map[string]*sweepJob{},
+		logf:           func(string, ...any) {},
 	}
 	s.ready.Store(true)
 	for _, opt := range opts {
@@ -143,8 +159,47 @@ func NewServer(kit *flow.Kit, opts ...ServerOption) *Server {
 // (/livez, /healthz) is unaffected.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, converting handler panics into a
+// structured JSON 500 when the response has not started. net/http's own
+// per-connection recovery would otherwise sever the connection with no
+// body at all — and with nothing counted or logged server-side.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &recoveryWriter{ResponseWriter: w}
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rw.wrote {
+				writeError(rw, http.StatusInternalServerError, "panic", fmt.Sprintf("internal error: %v", v))
+			}
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// recoveryWriter tracks whether the response has started, so the panic
+// path knows if a 500 can still be written. Flush forwards to the
+// wrapped writer — the NDJSON sweep stream depends on it.
+type recoveryWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoveryWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoveryWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *recoveryWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // apiError is the structured error body.
 type apiError struct {
@@ -170,6 +225,15 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 // is a 500.
 func errorStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, pipeline.ErrStageTimeout):
+		// A watchdog kill deliberately does not unwrap to
+		// DeadlineExceeded, so this arm is reachable: the job hit the
+		// server's per-stage bound, not the client's deadline.
+		return http.StatusInternalServerError, "stage_timeout"
+	case errors.Is(err, pipeline.ErrPanic):
+		return http.StatusInternalServerError, "panic"
+	case errors.Is(err, fault.ErrInjected):
+		return http.StatusInternalServerError, "fault_injected"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable, "cancelled"
 	case errors.Is(err, flow.ErrUnknownCircuit):
@@ -319,6 +383,7 @@ func (s *Server) WriteMetrics(pw *promtext.Writer) {
 	pw.Gauge("cnfetd_uptime_seconds", "Seconds since the daemon started.", time.Since(s.started).Seconds())
 	pw.Gauge("cnfetd_ready", "1 when /readyz answers 200.", ready)
 	pw.Counter("cnfetd_jobs_accepted_total", "Jobs and sweeps accepted since start.", float64(s.jobs.Load()))
+	pw.Counter("cnfetd_handler_panics_total", "Handler panics converted to 500 responses.", float64(s.panics.Load()))
 	pw.Gauge("cnfetd_sweeps_tracked", "Sweeps retained in the status store.", float64(tracked))
 	pw.Gauge("cnfetd_sweeps_running", "Tracked sweeps currently executing.", float64(running))
 	pw.Counter("cnfetd_sweep_points_total", "Sweep points this process has been asked to run.", float64(prog.Total))

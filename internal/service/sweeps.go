@@ -27,6 +27,7 @@ type sweepJob struct {
 	spec     sweep.Spec
 	points   int
 	created  time.Time
+	streamed bool // ran under its request's context, result went to the stream
 	progress *pipeline.Progress
 	cancel   context.CancelFunc
 	done     chan struct{}
@@ -45,6 +46,7 @@ type sweepStatus struct {
 	Name     string                    `json:"name,omitempty"`
 	Points   int                       `json:"points"`
 	Created  time.Time                 `json:"created"`
+	Streamed bool                      `json:"streamed,omitempty"`
 	Progress pipeline.ProgressSnapshot `json:"progress"`
 	Error    string                    `json:"error,omitempty"`
 	Report   *sweep.Report             `json:"report,omitempty"`
@@ -58,6 +60,7 @@ func (s *Server) status(j *sweepJob, withReport bool) sweepStatus {
 		Name:     j.spec.Name,
 		Points:   j.points,
 		Created:  j.created,
+		Streamed: j.streamed,
 		Progress: j.progress.Snapshot(),
 		Error:    j.errMsg,
 	}
@@ -91,6 +94,62 @@ func (s *Server) DrainSweeps(ctx context.Context) bool {
 			return false
 		}
 	}
+}
+
+// Drain blocks until every running sweep (async and streamed alike) and
+// every in-flight co-optimization search settles, or ctx expires; it
+// reports whether the server fully drained. The daemon calls it inside
+// its shutdown grace window: streamed work is nominally covered by
+// http.Server.Shutdown too, but Drain also covers it for embedders that
+// bypass Shutdown, and is the one signal that includes coopt runs.
+func (s *Server) Drain(ctx context.Context) bool {
+	if !s.DrainSweeps(ctx) {
+		return false
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.sweepMu.Lock()
+		n := s.cooptN
+		s.sweepMu.Unlock()
+		if n == 0 {
+			// Sweeps may have been admitted while coopt drained.
+			s.sweepMu.Lock()
+			again := false
+			for _, j := range s.sweeps {
+				if j.state == sweepRunning {
+					again = true
+					break
+				}
+			}
+			s.sweepMu.Unlock()
+			if !again {
+				return true
+			}
+			if !s.DrainSweeps(ctx) {
+				return false
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// cooptEnter/cooptExit bracket one co-optimization search for Drain.
+func (s *Server) cooptEnter() {
+	s.sweepMu.Lock()
+	s.cooptN++
+	s.sweepMu.Unlock()
+}
+
+func (s *Server) cooptExit() {
+	s.sweepMu.Lock()
+	s.cooptN--
+	s.sweepMu.Unlock()
 }
 
 // sweepCounts reports (tracked, running) for healthz.
@@ -152,7 +211,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs.Add(1)
 	if stream := r.URL.Query().Get("stream"); stream == "ndjson" || stream == "1" || stream == "true" {
-		s.streamSweep(w, r, spec)
+		s.streamSweep(w, r, spec, n)
 		return
 	}
 
@@ -166,28 +225,12 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		done:     make(chan struct{}),
 		state:    sweepRunning,
 	}
-	s.sweepMu.Lock()
-	s.sweepSeq++
-	j.id = fmt.Sprintf("sw-%d", s.sweepSeq)
-	s.sweeps[j.id] = j
-	s.sweepOrder = append(s.sweepOrder, j.id)
-	s.evictSweepsLocked()
-	s.sweepMu.Unlock()
+	s.registerSweep(j)
 
 	go func() {
 		defer cancel()
 		rep, err := sweep.Run(ctx, s.kit, spec, sweep.WithProgress(j.progress))
-		s.sweepMu.Lock()
-		switch {
-		case err == nil:
-			j.state, j.report = sweepDone, rep
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.state, j.errMsg = sweepCancelled, err.Error()
-		default:
-			j.state, j.errMsg = sweepFailed, err.Error()
-		}
-		s.sweepMu.Unlock()
-		close(j.done)
+		s.settleSweep(j, rep, err)
 	}()
 
 	w.Header().Set("Location", "/v1/sweeps/"+j.id)
@@ -197,6 +240,39 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		"points": n,
 		"url":    "/v1/sweeps/" + j.id,
 	})
+}
+
+// registerSweep assigns an id and admits the job to the bounded status
+// store.
+func (s *Server) registerSweep(j *sweepJob) {
+	s.sweepMu.Lock()
+	s.sweepSeq++
+	j.id = fmt.Sprintf("sw-%d", s.sweepSeq)
+	s.sweeps[j.id] = j
+	s.sweepOrder = append(s.sweepOrder, j.id)
+	s.evictSweepsLocked()
+	s.sweepMu.Unlock()
+}
+
+// settleSweep records the run outcome and closes the job's done channel.
+func (s *Server) settleSweep(j *sweepJob, rep *sweep.Report, err error) {
+	s.sweepMu.Lock()
+	switch {
+	case err == nil:
+		j.state = sweepDone
+		// A streamed sweep already delivered its report on the wire;
+		// retaining a second copy in the status store would only pin
+		// memory for a client that has what it asked for.
+		if !j.streamed {
+			j.report = rep
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.state, j.errMsg = sweepCancelled, err.Error()
+	default:
+		j.state, j.errMsg = sweepFailed, err.Error()
+	}
+	s.sweepMu.Unlock()
+	close(j.done)
 }
 
 // streamLine is one NDJSON line of a streamed sweep.
@@ -214,7 +290,26 @@ type streamLine struct {
 // — the sweep fabric relays these streams, and a proxy batching them
 // would stall the coordinator's lease watchdog and the client's
 // progress display alike.
-func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.Spec) {
+//
+// The run is tracked in the sweep status store like an async job: it
+// shows up in GET /v1/sweeps, DELETE /v1/sweeps/{id} cancels it
+// server-side, a client disconnect settles it as cancelled (freeing its
+// retention slot), and the daemon's drain path waits on it.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.Spec, n int) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	j := &sweepJob{
+		spec:     spec,
+		points:   n,
+		created:  time.Now(),
+		streamed: true,
+		progress: new(pipeline.Progress).Chain(&s.points),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    sweepRunning,
+	}
+	s.registerSweep(j)
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -225,8 +320,8 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.
 		flusher.Flush()
 	}
 	enc := json.NewEncoder(w)
-	rep, err := sweep.Run(r.Context(), s.kit, spec,
-		sweep.WithProgress(new(pipeline.Progress).Chain(&s.points)),
+	rep, err := sweep.Run(ctx, s.kit, spec,
+		sweep.WithProgress(j.progress),
 		sweep.OnPoint(func(pr sweep.PointResult) {
 			// OnPoint calls are serialized by the engine, so the encoder
 			// never sees concurrent writes.
@@ -235,6 +330,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, spec sweep.
 				flusher.Flush()
 			}
 		}))
+	s.settleSweep(j, rep, err)
 	last := streamLine{Done: true, Report: rep}
 	if err != nil {
 		last.Error = err.Error()

@@ -6,7 +6,40 @@ import (
 	"math"
 
 	"cnfetdk/internal/device"
+	"cnfetdk/internal/fault"
 )
+
+// ErrNoConvergence is the sentinel every Newton non-convergence wraps;
+// match with errors.Is. Non-convergence is a property of the circuit
+// and options, not of the caller's request shape, so callers decide
+// whether to retry with different options or fail typed.
+var ErrNoConvergence = errors.New("spice: no convergence")
+
+// ConvergenceError reports a Newton solve that exhausted MaxNewton
+// iterations (or an injected equivalent) at simulation time T.
+type ConvergenceError struct {
+	// T is the transient time point that failed to converge.
+	T float64
+	// Cause is the injected fault when the failure was injected, nil
+	// for a genuine solver failure.
+	Cause error
+}
+
+func (e *ConvergenceError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("spice: Newton did not converge at t=%.3e: %v", e.T, e.Cause)
+	}
+	return fmt.Sprintf("spice: Newton did not converge at t=%.3e", e.T)
+}
+
+// Unwrap exposes ErrNoConvergence (and the injected cause, when
+// present) to errors.Is.
+func (e *ConvergenceError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrNoConvergence, e.Cause}
+	}
+	return []error{ErrNoConvergence}
+}
 
 // Options tunes the analyses.
 type Options struct {
@@ -23,6 +56,9 @@ type Options struct {
 	// switches from dense to sparse at sparseCrossover unknowns;
 	// SolverDense and SolverSparse force a path (tests, benchmarks).
 	Solver SolverKind
+	// Inject arms the solver's fault-injection points ("spice.newton"
+	// forces a typed non-convergence); nil — the default — is free.
+	Inject *fault.Injector
 }
 
 // DefaultOptions returns robust defaults.
@@ -480,6 +516,9 @@ func fetCurrent(p device.FETParams, vg, vd, vs float64) float64 {
 // linearizations, then factorizes in the preallocated working system —
 // the loop allocates nothing.
 func (s *state) newton() error {
+	if err := s.opt.Inject.Fault("spice.newton"); err != nil {
+		return &ConvergenceError{T: s.t, Cause: err}
+	}
 	if !s.staticOK {
 		if s.sparse {
 			s.stampStaticSparse()
@@ -537,7 +576,7 @@ func (s *state) newton() error {
 			return nil
 		}
 	}
-	return fmt.Errorf("spice: Newton did not converge at t=%.3e", s.t)
+	return &ConvergenceError{T: s.t}
 }
 
 // Workspace holds the solver scratch and waveform storage one goroutine

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/pipeline"
 )
 
@@ -70,6 +71,17 @@ const tmpMaxAge = time.Hour
 type Disk struct {
 	dir    string // <root>/<Namespace>
 	budget int64  // entry-file byte budget (0 = unbounded)
+	inj    *fault.Injector
+
+	// Degradation breaker: degradeThreshold consecutive I/O errors put
+	// the store in compute-through mode (every Get a miss, every Put a
+	// no-op) for degradeCooldown, so a dead disk costs one cheap check
+	// per operation instead of a syscall storm. 0 threshold disables.
+	degradeThreshold int64
+	degradeCooldown  time.Duration
+	consecErrs       atomic.Int64
+	degradedUntil    atomic.Int64 // UnixNano; 0 = healthy
+	degradations     atomic.Int64
 
 	// entries/bytes track this process's view of the resident set; they
 	// are re-synced from a directory walk whenever eviction runs.
@@ -92,13 +104,40 @@ func WithBudget(maxBytes int64) Option {
 	return func(d *Disk) { d.budget = maxBytes }
 }
 
+// WithInjector arms the store's fault-injection points (see package
+// fault). A nil injector — the default — is free.
+func WithInjector(inj *fault.Injector) Option {
+	return func(d *Disk) { d.inj = inj }
+}
+
+// Default degradation-breaker tuning: how many consecutive I/O errors
+// trip compute-through mode, and for how long.
+const (
+	DefaultDegradeThreshold = 16
+	DefaultDegradeCooldown  = 2 * time.Second
+)
+
+// WithDegrade tunes the compute-through breaker: threshold consecutive
+// I/O errors disable the disk tier for cooldown. threshold 0 disables
+// the breaker (every operation keeps hitting the disk).
+func WithDegrade(threshold int, cooldown time.Duration) Option {
+	return func(d *Disk) {
+		d.degradeThreshold = int64(threshold)
+		d.degradeCooldown = cooldown
+	}
+}
+
 // Open creates (or reopens) the store rooted at dir, placing entries in
 // the current format namespace underneath it. The directory is created
 // if missing; an unusable path (an existing regular file, an unwritable
 // parent) is an error — after a successful Open, a directory that later
 // turns read-only degrades to a read-only cache instead of failing jobs.
 func Open(dir string, opts ...Option) (*Disk, error) {
-	d := &Disk{dir: filepath.Join(dir, Namespace)}
+	d := &Disk{
+		dir:              filepath.Join(dir, Namespace),
+		degradeThreshold: DefaultDegradeThreshold,
+		degradeCooldown:  DefaultDegradeCooldown,
+	}
 	for _, opt := range opts {
 		opt(d)
 	}
@@ -144,14 +183,29 @@ func encodeEntry(key, codec string, payload []byte) []byte {
 	return buf.Bytes()
 }
 
-// decodeEntry parses and verifies an entry file; any structural or
-// checksum mismatch returns an error (the caller treats it as corrupt).
+// decodeEntry parses and verifies an entry file against the key it was
+// looked up under; any structural or checksum mismatch returns an
+// error (the caller treats it as corrupt).
 func decodeEntry(blob []byte, wantKey string) (codec string, payload []byte, err error) {
+	codec, key, payload, err := decodeEntryAny(blob)
+	if err != nil {
+		return "", nil, err
+	}
+	if key != wantKey {
+		return "", nil, fmt.Errorf("store: key mismatch (hash collision or misfiled entry)")
+	}
+	return codec, payload, nil
+}
+
+// decodeEntryAny parses and checksums an entry file without knowing the
+// key in advance, returning the key it declares — the integrity scan's
+// entry point.
+func decodeEntryAny(blob []byte) (codec, key string, payload []byte, err error) {
 	if len(blob) < 4+1+14 || !bytes.Equal(blob[:4], entryMagic[:]) {
-		return "", nil, fmt.Errorf("store: bad entry header")
+		return "", "", nil, fmt.Errorf("store: bad entry header")
 	}
 	if blob[4] != entryVersion {
-		return "", nil, fmt.Errorf("store: entry version %d, want %d", blob[4], entryVersion)
+		return "", "", nil, fmt.Errorf("store: entry version %d, want %d", blob[4], entryVersion)
 	}
 	codecLen := int(binary.LittleEndian.Uint16(blob[5:7]))
 	keyLen := binary.LittleEndian.Uint32(blob[7:11])
@@ -164,36 +218,70 @@ func decodeEntry(blob []byte, wantKey string) (codec string, payload []byte, err
 	// codecLen+keyLen+32 cannot wrap (< 2^33), and once it fits in
 	// len(rest) every field converts to int safely on 32-bit too.
 	if uint64(codecLen)+uint64(keyLen)+32 > uint64(len(rest)) {
-		return "", nil, fmt.Errorf("store: truncated entry")
+		return "", "", nil, fmt.Errorf("store: truncated entry")
 	}
 	metaLen := codecLen + int(keyLen) + 32
 	if uint64(len(rest)-metaLen) != payloadLen {
-		return "", nil, fmt.Errorf("store: truncated entry")
+		return "", "", nil, fmt.Errorf("store: truncated entry")
 	}
 	codec = string(rest[:codecLen])
-	key := string(rest[codecLen : codecLen+int(keyLen)])
-	if key != wantKey {
-		return "", nil, fmt.Errorf("store: key mismatch (hash collision or misfiled entry)")
-	}
+	key = string(rest[codecLen : codecLen+int(keyLen)])
 	var sum [32]byte
 	copy(sum[:], rest[metaLen-32:metaLen])
 	payload = rest[metaLen:]
 	if sha256.Sum256(payload) != sum {
-		return "", nil, fmt.Errorf("store: payload checksum mismatch")
+		return "", "", nil, fmt.Errorf("store: payload checksum mismatch")
 	}
-	return codec, payload, nil
+	return codec, key, payload, nil
 }
+
+// ioError records one I/O failure and advances the degradation
+// breaker.
+func (d *Disk) ioError() {
+	d.errors.Add(1)
+	if d.degradeThreshold <= 0 {
+		return
+	}
+	if d.consecErrs.Add(1) >= d.degradeThreshold {
+		d.consecErrs.Store(0)
+		d.degradedUntil.Store(time.Now().Add(d.degradeCooldown).UnixNano())
+		d.degradations.Add(1)
+	}
+}
+
+// ioOK resets the breaker after any successful disk operation.
+func (d *Disk) ioOK() { d.consecErrs.Store(0) }
+
+// Degraded reports whether the breaker currently bypasses the disk.
+func (d *Disk) Degraded() bool {
+	until := d.degradedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// Degradations counts how many times the breaker has tripped.
+func (d *Disk) Degradations() int64 { return d.degradations.Load() }
 
 // Get implements pipeline.BlobStore: it loads, verifies and returns the
 // entry for key. A missing file is a plain miss; an unreadable or corrupt
 // one counts an error, is deleted best-effort, and reads as a miss so the
 // pipeline recomputes it.
 func (d *Disk) Get(key string) (string, []byte, bool) {
+	if d.Degraded() {
+		d.misses.Add(1)
+		return "", nil, false
+	}
+	if d.inj.Decide("store.get.read").Fired() {
+		d.ioError()
+		d.misses.Add(1)
+		return "", nil, false
+	}
 	path := d.entryPath(key)
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			d.errors.Add(1)
+			d.ioError()
+		} else {
+			d.ioOK()
 		}
 		d.misses.Add(1)
 		return "", nil, false
@@ -201,7 +289,9 @@ func (d *Disk) Get(key string) (string, []byte, bool) {
 	codec, payload, err := decodeEntry(blob, key)
 	if err != nil {
 		// Corrupt: drop the entry so the recompute's Put replaces it
-		// cleanly, and fall back to a miss.
+		// cleanly, and fall back to a miss. Corruption is a data
+		// problem, not a disk-health signal, so it counts an error
+		// without advancing the degradation breaker.
 		d.errors.Add(1)
 		d.misses.Add(1)
 		if os.Remove(path) == nil {
@@ -210,31 +300,72 @@ func (d *Disk) Get(key string) (string, []byte, bool) {
 		}
 		return "", nil, false
 	}
+	d.ioOK()
 	d.hits.Add(1)
 	return codec, payload, true
 }
 
-// Put implements pipeline.BlobStore: an atomic tempfile+rename write of
-// the entry, followed by budget eviction if the store grew past it.
-// Failures (read-only directory, full disk) count as errors and are
-// otherwise swallowed — the value stays served from memory.
+// Put implements pipeline.BlobStore: an atomic tempfile+fsync+rename
+// write of the entry, followed by budget eviction if the store grew
+// past it. The fsync orders the payload ahead of the rename, so after
+// a crash either the complete entry is visible or only a temporary is
+// — never a renamed-but-unwritten file (and the checksum catches any
+// torn write the filesystem lets through anyway). Failures (read-only
+// directory, full disk) count as errors and are otherwise swallowed —
+// the value stays served from memory.
 func (d *Disk) Put(key, codec string, payload []byte) {
+	if d.Degraded() {
+		return
+	}
 	path := d.entryPath(key)
 	blob := encodeEntry(key, codec, payload)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		d.errors.Add(1)
+		d.ioError()
+		return
+	}
+	if d.inj.Decide("store.put.tempfile").Fired() {
+		d.ioError()
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPattern)
 	if err != nil {
-		d.errors.Add(1)
+		d.ioError()
 		return
 	}
-	_, werr := tmp.Write(blob)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	wblob := blob
+	if fd := d.inj.Decide("store.put.write"); fd.Fired() && fd.Action == fault.ActionTorn {
+		// Torn write: only a prefix of the entry reaches the disk. The
+		// write path proceeds — publishing the truncated entry is the
+		// point, so tests can prove decode rejects it.
+		if fd.After < int64(len(wblob)) {
+			wblob = wblob[:fd.After]
+		}
+	} else if fd.Fired() {
+		tmp.Close()
 		os.Remove(tmp.Name())
-		d.errors.Add(1)
+		d.ioError()
+		return
+	}
+	_, werr := tmp.Write(wblob)
+	serr := tmp.Sync()
+	if d.inj.Decide("store.put.sync").Fired() && serr == nil {
+		serr = fmt.Errorf("store: injected sync failure")
+	}
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		d.ioError()
+		return
+	}
+	if rd := d.inj.Decide("store.put.rename"); rd.Fired() {
+		if rd.Action == fault.ActionCrash {
+			// Crash-before-rename: the writer "dies" here, leaving the
+			// temporary behind for removeStaleTemps to reap. No error
+			// counted — a dead process can't count anything.
+			return
+		}
+		os.Remove(tmp.Name())
+		d.ioError()
 		return
 	}
 	// Renaming over an existing entry (same key, concurrent writer) is
@@ -242,9 +373,10 @@ func (d *Disk) Put(key, codec string, payload []byte) {
 	prev, _ := os.Stat(path)
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		d.errors.Add(1)
+		d.ioError()
 		return
 	}
+	d.ioOK()
 	d.puts.Add(1)
 	if prev == nil {
 		d.entries.Add(1)
@@ -318,7 +450,14 @@ func (d *Disk) scanResident() (entries, bytes int64) {
 func (d *Disk) evict() {
 	d.evictMu.Lock()
 	defer d.evictMu.Unlock()
-	unlock, ok := lockDir(filepath.Join(d.dir, lockName))
+	unlock, ok := func() (func(), bool) {
+		if d.inj.Decide("store.lock").Fired() {
+			// Injected flock contention: behave exactly as if another
+			// process held the eviction lock.
+			return nil, false
+		}
+		return lockDir(filepath.Join(d.dir, lockName))
+	}()
 	if !ok {
 		// Another process is already evicting; its scan suffices. Still
 		// resync our counters from a (read-only, lock-free) walk so d.bytes
@@ -373,6 +512,56 @@ func (d *Disk) Stats() pipeline.TierStats {
 		Evictions: d.evictions.Load(),
 		Errors:    d.errors.Load(),
 	}
+}
+
+// VerifyResult is the outcome of an integrity scan.
+type VerifyResult struct {
+	// Entries counts completed entry files scanned.
+	Entries int `json:"entries"`
+	// Corrupt counts entries decode rejects (truncated, bad checksum)
+	// — these read as misses and cost only a recompute, so their
+	// presence after a fault schedule is expected, not dangerous.
+	Corrupt int `json:"corrupt"`
+	// Misfiled counts entries that decode cleanly but live at a path
+	// that doesn't match their declared key — the only way a scan can
+	// observe a *readable* wrong answer, and therefore the number that
+	// must always be zero.
+	Misfiled int `json:"misfiled"`
+	// Temps counts leftover temporaries (crashed writers).
+	Temps int `json:"temps"`
+}
+
+// Verify walks every entry in the store and checks it decodes to the
+// key it is filed under. It never modifies the store.
+func (d *Disk) Verify() VerifyResult {
+	var res VerifyResult
+	filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			res.Temps++
+			return nil
+		}
+		if filepath.Ext(path) != entrySuffix {
+			return nil
+		}
+		res.Entries++
+		blob, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil // vanished mid-scan
+		}
+		_, key, _, derr := decodeEntryAny(blob)
+		if derr != nil {
+			res.Corrupt++
+			return nil
+		}
+		if d.entryPath(key) != path {
+			res.Misfiled++
+		}
+		return nil
+	})
+	return res
 }
 
 // Purge removes every entry (and stale temporaries) in the namespace,

@@ -122,6 +122,11 @@ type Report struct {
 	Spec   Spec          `json:"spec"`
 	Points []PointResult `json:"points"`
 	Failed int           `json:"failed,omitempty"`
+	// Partial marks a salvaged report assembled from an incomplete point
+	// set (AssemblePartial): summaries and fronts cover only the points
+	// present, and the report must never be byte-compared against a full
+	// run. The flag survives Canonical() so such a comparison fails loudly.
+	Partial bool `json:"partial,omitempty"`
 
 	// Summary maps "<tech>/<metric>" (and "gain/<metric>") to its
 	// statistics over the points that produced it.
@@ -190,6 +195,38 @@ func Assemble(spec Spec, points []PointResult) (*Report, error) {
 		ordered[pr.Index] = pr
 	}
 	return buildReport(spec, ordered), nil
+}
+
+// AssemblePartial is Assemble's salvage variant: it builds a best-effort
+// Report from however many points completed before a sweep failed —
+// bounds- and duplicate-checked against the spec's index space, ordered
+// by global index, with summaries, curves and fronts derived from just
+// the points present. The result carries Partial=true and is for
+// triage, not comparison: a salvaged report is not canonical.
+func AssemblePartial(spec Spec, points []PointResult) (*Report, error) {
+	if spec.Window != nil {
+		return nil, fmt.Errorf("sweep: assemble wants the unsharded spec, got a window at offset %d", spec.Window.Offset)
+	}
+	n, err := spec.NumPoints()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(points))
+	ordered := make([]PointResult, 0, len(points))
+	for _, pr := range points {
+		if pr.Index < 0 || pr.Index >= n {
+			return nil, fmt.Errorf("sweep: assemble point index %d outside the %d-point space", pr.Index, n)
+		}
+		if seen[pr.Index] {
+			return nil, fmt.Errorf("sweep: assemble got point index %d twice", pr.Index)
+		}
+		seen[pr.Index] = true
+		ordered = append(ordered, pr)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
+	rep := buildReport(spec, ordered)
+	rep.Partial = true
+	return rep, nil
 }
 
 // Metrics flattens the point's scalar outcomes into "<tech>/<metric>"

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"cnfetdk/internal/fault"
 	"cnfetdk/internal/flow"
 	"cnfetdk/internal/pipeline"
 )
@@ -93,6 +94,12 @@ func Run(ctx context.Context, kit *flow.Kit, spec Spec, opts ...Option) (*Report
 			pr.Result = res
 		case errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded):
 			// Abort the sweep: completed points stay cached for a rerun.
+			return pr, rerr
+		case errors.Is(rerr, fault.ErrInjected) || errors.Is(rerr, pipeline.ErrPanic) || errors.Is(rerr, pipeline.ErrStageTimeout):
+			// Infrastructure failure (injected fault, stage panic,
+			// watchdog kill), not a property of the point: fail the run
+			// loudly so the fabric retries the shard elsewhere instead of
+			// folding a transient machine problem into report data.
 			return pr, rerr
 		default:
 			pr.Error = rerr.Error()
